@@ -1,0 +1,46 @@
+//! Criterion version of **Fig. 5**: quACK construction time vs. threshold
+//! `t` for every identifier width (n = 1000 packets per construction).
+//!
+//! Run: `cargo bench -p sidecar-bench --bench construction`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sidecar_bench::workload;
+use sidecar_galois::{Field, Fp16, Fp16Table, Fp24, Fp32, Fp64, Monty64};
+use sidecar_quack::PowerSumQuack;
+use std::hint::black_box;
+
+const N: usize = 1000;
+
+fn bench_width<F: Field>(c: &mut Criterion, label: &str) {
+    let (ids, _) = workload(N, 0, F::BITS.min(32), 0xF00D);
+    let mut group = c.benchmark_group("construction");
+    group.throughput(Throughput::Elements(N as u64));
+    for t in [10usize, 20, 30, 40, 50] {
+        group.bench_with_input(BenchmarkId::new(label, t), &t, |b, &t| {
+            b.iter(|| {
+                let mut q = PowerSumQuack::<F>::new(t);
+                for &id in &ids {
+                    q.insert(black_box(id));
+                }
+                q
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_width::<Fp16>(c, "b16");
+    bench_width::<Fp16Table>(c, "b16table");
+    bench_width::<Fp24>(c, "b24");
+    bench_width::<Fp32>(c, "b32");
+    bench_width::<Fp64>(c, "b64");
+    bench_width::<Monty64>(c, "b64monty");
+}
+
+criterion_group! {
+    name = construction;
+    config = Criterion::default().sample_size(30);
+    targets = benches
+}
+criterion_main!(construction);

@@ -1,0 +1,45 @@
+//! Criterion version of **Fig. 6**: quACK decoding time vs. number of
+//! missing packets `m` (n = 1000, t = 20), for 16/24/32-bit identifiers.
+//!
+//! Run: `cargo bench -p sidecar-bench --bench decoding`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sidecar_bench::workload;
+use sidecar_galois::{Field, Fp16, Fp24, Fp32};
+use sidecar_quack::PowerSumQuack;
+
+const N: usize = 1000;
+const T: usize = 20;
+
+fn bench_width<F: Field>(c: &mut Criterion, label: &str) {
+    let mut group = c.benchmark_group("decoding");
+    for m in [0usize, 5, 10, 15, 20] {
+        let (sent, received) = workload(N, m, F::BITS.min(32), 0xDEC0DE);
+        let mut sender = PowerSumQuack::<F>::new(T);
+        for &id in &sent {
+            sender.insert(id);
+        }
+        let mut receiver = PowerSumQuack::<F>::new(T);
+        for &id in &received {
+            receiver.insert(id);
+        }
+        let diff = sender.difference(&receiver);
+        group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+            b.iter(|| diff.decode_with_log(&sent).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_width::<Fp16>(c, "b16");
+    bench_width::<Fp24>(c, "b24");
+    bench_width::<Fp32>(c, "b32");
+}
+
+criterion_group! {
+    name = decoding;
+    config = Criterion::default().sample_size(50);
+    targets = benches
+}
+criterion_main!(decoding);

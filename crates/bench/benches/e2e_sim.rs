@@ -1,0 +1,65 @@
+//! End-to-end simulation bench: wall-clock cost of running the sidecar
+//! protocol scenarios (simulator + sketch together).
+//!
+//! Run: `cargo bench -p sidecar-bench --bench e2e_sim`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
+use sidecar_proto::protocols::ccd::CcdScenario;
+use sidecar_proto::protocols::retx::RetxScenario;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_runtime");
+    group.sample_size(10);
+
+    let retx = RetxScenario {
+        total_packets: 500,
+        ..RetxScenario::default()
+    };
+    group.bench_function("retx/sidecar", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            retx.run_sidecar(seed)
+        })
+    });
+    group.bench_function("retx/baseline", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            retx.run_baseline(seed)
+        })
+    });
+
+    let ccd = CcdScenario {
+        total_packets: 500,
+        ..CcdScenario::default()
+    };
+    group.bench_function("ccd/sidecar", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ccd.run_sidecar(seed)
+        })
+    });
+
+    let ackred = AckReductionScenario {
+        total_packets: 500,
+        ..AckReductionScenario::default()
+    };
+    group.bench_function("ack_reduction/sidecar", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ackred.run_sidecar(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = e2e_sim;
+    config = Criterion::default();
+    targets = benches
+}
+criterion_main!(e2e_sim);

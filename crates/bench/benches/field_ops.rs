@@ -1,0 +1,76 @@
+//! Ablation bench: raw field-arithmetic throughput per width and backend.
+//!
+//! Quantifies the design choices DESIGN.md calls out: table-driven vs
+//! widening 16-bit multiplication (the paper's "pre-computation
+//! optimizations"), and Montgomery vs `u128`-remainder 64-bit
+//! multiplication.
+//!
+//! Run: `cargo bench -p sidecar-bench --bench field_ops`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sidecar_galois::{Field, Fp16, Fp16Table, Fp24, Fp32, Fp64, Monty64};
+use std::hint::black_box;
+
+const LANE: usize = 1024;
+
+fn bench_mul<F: Field>(c: &mut Criterion, label: &str) {
+    // Pseudo-random operands, identical across backends.
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    let xs: Vec<F> = (0..LANE)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            F::from_u64(state)
+        })
+        .collect();
+    let mut group = c.benchmark_group("field_mul");
+    group.throughput(Throughput::Elements(LANE as u64));
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            let mut acc = F::ONE;
+            for &x in &xs {
+                acc *= black_box(x);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_inv<F: Field>(c: &mut Criterion, label: &str) {
+    let xs: Vec<F> = (1..=64u64).map(|v| F::from_u64(v * 7919)).collect();
+    let mut group = c.benchmark_group("field_inv");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    group.bench_function(label, |b| {
+        b.iter(|| {
+            let mut acc = F::ONE;
+            for &x in &xs {
+                acc += black_box(x).inv();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_mul::<Fp16>(c, "b16_widening");
+    bench_mul::<Fp16Table>(c, "b16_table");
+    bench_mul::<Fp24>(c, "b24");
+    bench_mul::<Fp32>(c, "b32");
+    bench_mul::<Fp64>(c, "b64_u128_rem");
+    bench_mul::<Monty64>(c, "b64_montgomery");
+
+    bench_inv::<Fp16>(c, "b16_fermat");
+    bench_inv::<Fp16Table>(c, "b16_table");
+    bench_inv::<Fp32>(c, "b32_fermat");
+    bench_inv::<Monty64>(c, "b64_montgomery_fermat");
+}
+
+criterion_group! {
+    name = field_ops;
+    config = Criterion::default().sample_size(60);
+    targets = benches
+}
+criterion_main!(field_ops);

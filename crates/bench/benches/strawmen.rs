@@ -1,0 +1,80 @@
+//! Criterion version of **Table 2**: the two strawman quACKs against the
+//! power-sum quACK at the paper's operating point (n = 1000, t = 20,
+//! b = 32). Strawman 2's decode is benchmarked per-candidate (the full
+//! search would take ~10³¹ days; see the `table2` binary for the
+//! extrapolation).
+//!
+//! Run: `cargo bench -p sidecar-bench --bench strawmen`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidecar_bench::workload;
+use sidecar_quack::strawman::{hash_sorted, EchoQuack, HashQuack};
+use sidecar_quack::Quack32;
+
+const N: usize = 1000;
+const T: usize = 20;
+
+fn benches(c: &mut Criterion) {
+    let (sent, received) = workload(N, T, 32, 0x57A3);
+    let mut group = c.benchmark_group("table2");
+
+    group.bench_function("strawman1/construct", |b| {
+        b.iter(|| {
+            let mut q = EchoQuack::new(32);
+            for &id in &received {
+                q.insert(id);
+            }
+            q
+        })
+    });
+    let mut echo = EchoQuack::new(32);
+    for &id in &received {
+        echo.insert(id);
+    }
+    group.bench_function("strawman1/decode", |b| {
+        b.iter(|| echo.decode_missing(&sent))
+    });
+
+    group.bench_function("strawman2/construct", |b| {
+        b.iter(|| {
+            let mut q = HashQuack::new();
+            for &id in &received {
+                q.insert(id);
+            }
+            q.digest()
+        })
+    });
+    group.bench_function("strawman2/decode_per_candidate", |b| {
+        b.iter(|| hash_sorted(&received))
+    });
+
+    group.bench_function("power_sums/construct", |b| {
+        b.iter(|| {
+            let mut q = Quack32::new(T);
+            for &id in &received {
+                q.insert(id);
+            }
+            q
+        })
+    });
+    let mut sender = Quack32::new(T);
+    for &id in &sent {
+        sender.insert(id);
+    }
+    let mut receiver = Quack32::new(T);
+    for &id in &received {
+        receiver.insert(id);
+    }
+    let diff = sender.difference(&receiver);
+    group.bench_function("power_sums/decode", |b| {
+        b.iter(|| diff.decode_with_log(&sent).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = strawmen;
+    config = Criterion::default().sample_size(60);
+    targets = benches
+}
+criterion_main!(strawmen);

@@ -1,0 +1,116 @@
+//! **§2.1 experiment**: congestion-control division vs. end-to-end NewReno
+//! (paper Fig. 1b as a working system).
+//!
+//! The proxy splits the path into a fast clean upstream segment and a
+//! slower lossy downstream segment. With division, the server's window is
+//! steered by proxy quACKs (segment-1 feedback only) and the proxy paces
+//! its buffer from client quACKs — so random downstream loss no longer
+//! collapses the server's window.
+//!
+//! Regenerate: `cargo run -p sidecar-bench --release --bin exp_ccd`
+
+use sidecar_bench::Table;
+use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_netsim::time::SimDuration;
+use sidecar_proto::protocols::ccd::CcdScenario;
+
+fn main() {
+    println!(
+        "§2.1 reproduction: congestion-control division\n\
+         topology: server ↔ 200 Mbps/10 ms ↔ proxy ↔ 50 Mbps/20 ms lossy ↔ client\n\
+         flow: 2000 × 1500 B; quACKs once per segment RTT (30 ms), t = 50, b = 32\n"
+    );
+    let mut table = Table::new(&[
+        "downstream loss",
+        "variant",
+        "completion (s)",
+        "goodput (Mbit/s)",
+        "e2e retx",
+        "quACK msgs",
+        "speedup",
+    ]);
+    for loss in [0.0f64, 0.005, 0.01, 0.02] {
+        let scenario = CcdScenario {
+            total_packets: 2_000,
+            downstream: LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(20),
+                loss: if loss == 0.0 {
+                    LossModel::None
+                } else {
+                    LossModel::Bernoulli { p: loss }
+                },
+                queue_packets: 256,
+                ..LinkConfig::default()
+            },
+            ..CcdScenario::default()
+        };
+        let bbr_scenario = CcdScenario {
+            baseline_cc: sidecar_netsim::transport::CcAlgorithm::Bbr,
+            ..scenario.clone()
+        };
+        let seeds = [5u64, 6, 7];
+        let mut side_t = 0.0;
+        let mut base_t = 0.0;
+        let mut bbr_t = 0.0;
+        let mut side_g = 0.0;
+        let mut base_g = 0.0;
+        let mut bbr_g = 0.0;
+        let mut side_retx = 0;
+        let mut base_retx = 0;
+        let mut bbr_retx = 0;
+        let mut side_msgs = 0;
+        for &s in &seeds {
+            let side = scenario.run_sidecar(s);
+            let base = scenario.run_baseline(s);
+            let bbr = bbr_scenario.run_baseline(s);
+            side_t += side.completion_secs();
+            base_t += base.completion_secs();
+            bbr_t += bbr.completion_secs();
+            side_g += side.goodput_bps.unwrap_or(0.0);
+            base_g += base.goodput_bps.unwrap_or(0.0);
+            bbr_g += bbr.goodput_bps.unwrap_or(0.0);
+            side_retx += side.server_retransmissions;
+            base_retx += base.server_retransmissions;
+            bbr_retx += bbr.server_retransmissions;
+            side_msgs += side.sidecar_messages;
+        }
+        let k = seeds.len() as f64;
+        let ku = seeds.len() as u64;
+        table.row(&[
+            format!("{:.1}%", loss * 100.0),
+            "baseline (e2e NewReno)".into(),
+            format!("{:.3}", base_t / k),
+            format!("{:.1}", base_g / k / 1e6),
+            (base_retx / ku).to_string(),
+            "-".into(),
+            "1.00x".into(),
+        ]);
+        table.row(&[
+            String::new(),
+            "baseline (e2e BBR-like)".into(),
+            format!("{:.3}", bbr_t / k),
+            format!("{:.1}", bbr_g / k / 1e6),
+            (bbr_retx / ku).to_string(),
+            "-".into(),
+            format!("{:.2}x", base_t / bbr_t),
+        ]);
+        table.row(&[
+            String::new(),
+            "sidecar (division)".into(),
+            format!("{:.3}", side_t / k),
+            format!("{:.1}", side_g / k / 1e6),
+            (side_retx / ku).to_string(),
+            (side_msgs / ku).to_string(),
+            format!("{:.2}x", base_t / side_t),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nexpected shape: roughly even when the downstream is clean; the \
+         division wins increasingly as random downstream loss grows (e2e \
+         NewReno keeps halving its window for noncongestive loss). A \
+         model-based e2e sender (BBR-like) closes much of the gap without \
+         any middlebox — the honest caveat to PEP-style splitting."
+    );
+}

@@ -1,0 +1,98 @@
+//! **§4.3**: selecting the communication frequency for each sidecar
+//! protocol.
+//!
+//! Reproduces the paper's worked derivations:
+//!
+//! * **Congestion-control division** — quACK once per RTT. "Assuming a
+//!   60ms RTT on a 200 Mbps link and a maximum handled 2% loss rate, at
+//!   1500 bytes/packet … this is ≈1000 sent packets with 20 missing packets
+//!   per RTT" → exactly the (n = 1000, t = 20) benchmark point, with
+//!   ≈100 ns amortized construction per packet.
+//! * **ACK reduction** — quACK every n = 32 packets; omitting the count
+//!   (`c = 0`, count is always n) shrinks the quACK; any `t < n` beats
+//!   Strawman 1's `b·n` bits.
+//! * **In-network retransmission** — pick the interval targeting a constant
+//!   t = 20 missing per quACK given the measured loss ratio.
+//!
+//! Regenerate: `cargo run -p sidecar-bench --release --bin freq_selection`
+
+use sidecar_bench::{measure_mean, per_item_nanos, workload, Table};
+use sidecar_quack::{Quack32, WireFormat};
+
+fn main() {
+    println!("§4.3 reproduction: communication-frequency selection\n");
+
+    // --- Congestion-control division -------------------------------------
+    let rtt_s = 0.060;
+    let rate_bps = 200_000_000.0;
+    let mtu_bits = 1500.0 * 8.0;
+    let loss = 0.02;
+    let packets_per_rtt = rate_bps * rtt_s / mtu_bits;
+    let missing_per_rtt = packets_per_rtt * loss;
+    println!("— Congestion-control division (quACK once per RTT):");
+    println!(
+        "   60 ms RTT × 200 Mbps ÷ 1500 B/packet = {packets_per_rtt:.0} packets/RTT \
+         (paper: ≈1000)"
+    );
+    println!(
+        "   2% worst-case loss → {missing_per_rtt:.0} missing/RTT → threshold t = 20 \
+         (paper: 20)"
+    );
+    let (_, received) = workload(1000, 20, 32, 0x43D);
+    let construct = measure_mean(|_| {
+        let mut q = Quack32::new(20);
+        for &id in &received {
+            q.insert(id);
+        }
+        q
+    });
+    println!(
+        "   added latency = amortized construction: {:.0} ns/packet (paper: ≈100 ns)\n",
+        per_item_nanos(construct, received.len())
+    );
+
+    // --- ACK reduction ----------------------------------------------------
+    println!("— ACK reduction (quACK every n = 32 packets):");
+    let mut table = Table::new(&["scheme", "bits per 32 packets", "bits/packet"]);
+    let strawman1_bits = 32 * 32; // b·n
+    table.row(&[
+        "Strawman 1 (echo ids)".into(),
+        strawman1_bits.to_string(),
+        (strawman1_bits / 32).to_string(),
+    ]);
+    for t in [4usize, 8, 16] {
+        let fmt = WireFormat {
+            id_bits: 32,
+            threshold: t,
+            count_bits: 0, // §4.3: "we can omit c, which is always n"
+        };
+        table.row(&[
+            format!("power sums, t = {t}, c omitted"),
+            fmt.encoded_bits().to_string(),
+            (fmt.encoded_bits() / 32).to_string(),
+        ]);
+    }
+    table.print();
+    println!("   any t < n = 32 beats Strawman 1's b·n bits (paper's point)\n");
+
+    // --- In-network retransmission ----------------------------------------
+    println!("— In-network retransmission (interval from the loss ratio):");
+    println!("   target: t = 20 missing per quACK at 1 Gbps, 1500 B packets");
+    let mut table = Table::new(&["loss ratio", "packets per quACK", "quACK interval"]);
+    let pkt_rate = 1_000_000_000.0 / mtu_bits; // packets/s at 1 Gbps
+    for loss in [0.001f64, 0.005, 0.01, 0.02, 0.05] {
+        let per_quack = 20.0 / loss;
+        let interval_ms = per_quack / pkt_rate * 1e3;
+        table.row(&[
+            format!("{:.1}%", loss * 100.0),
+            format!("{per_quack:.0}"),
+            format!("{interval_ms:.2} ms"),
+        ]);
+    }
+    table.print();
+    println!(
+        "   stable link → lower frequency (longer interval), configured via the \
+         sidecar Configure message (§2.3); only n changes per quACK, and the \
+         decode cost depends only on t (Fig. 6)."
+    );
+}

@@ -1,0 +1,67 @@
+//! **§1 headline metrics**: the four numbers the paper leads with for
+//! n = 1000 sent packets and up to t = 20 missing packets (b = 32):
+//!
+//! 1. 82 bytes transmitted from the receiver to the sender,
+//! 2. ≈100 ns additional processing time per packet,
+//! 3. <100 µs decoding time,
+//! 4. 0.000023% chance that a candidate packet is indeterminate.
+//!
+//! Regenerate: `cargo run -p sidecar-bench --release --bin headline`
+
+use sidecar_bench::{fmt_duration, measure_mean, per_item_nanos, workload};
+use sidecar_quack::collision::collision_percentage;
+use sidecar_quack::{Quack32, WireFormat};
+
+const N: usize = 1000;
+const T: usize = 20;
+
+fn main() {
+    println!("§1 headline metrics (n = {N}, t = {T}, b = 32, c = 16)\n");
+
+    // 1. Wire size.
+    let fmt = WireFormat::paper_default(T);
+    println!(
+        "1. quACK size: {} bytes (paper: 82 bytes)",
+        fmt.encoded_bytes()
+    );
+
+    // 2. Amortized per-packet construction cost.
+    let (sent, received) = workload(N, T, 32, 0x4EAD);
+    let construct = measure_mean(|_| {
+        let mut q = Quack32::new(T);
+        for &id in &received {
+            q.insert(id);
+        }
+        q
+    });
+    println!(
+        "2. per-packet processing: {:.0} ns (paper: ≈100 ns)",
+        per_item_nanos(construct, received.len())
+    );
+
+    // 3. Decode time.
+    let mut sender = Quack32::new(T);
+    for &id in &sent {
+        sender.insert(id);
+    }
+    let mut receiver = Quack32::new(T);
+    for &id in &received {
+        receiver.insert(id);
+    }
+    let diff = sender.difference(&receiver);
+    let decode = measure_mean(|_| diff.decode_with_log(&sent).unwrap());
+    println!(
+        "3. decode time: {} (paper: <100 us; their machine: 61 us)",
+        fmt_duration(decode)
+    );
+    assert!(
+        decode.as_micros() < 1000,
+        "decode should be well under a millisecond"
+    );
+
+    // 4. Indeterminacy probability.
+    println!(
+        "4. indeterminate chance: {:.6}% (paper: 0.000023%)",
+        collision_percentage(32, N as u64)
+    );
+}

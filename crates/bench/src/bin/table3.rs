@@ -1,0 +1,66 @@
+//! **Table 3**: collision probabilities for n = 1000.
+//!
+//! Paper values:
+//!
+//! | identifier bits | 8    | 16    | 24      | 32      |
+//! |-----------------|------|-------|---------|---------|
+//! | collision prob. | 0.98 | 0.015 | 6.0e-05 | 2.3e-07 |
+//!
+//! The closed form is `1 − (1 − 2^{−b})^{n−1}` (§4.2); this harness prints
+//! it alongside a Monte-Carlo estimate (feasible for the smaller widths) as
+//! a cross-check.
+//!
+//! Regenerate: `cargo run -p sidecar-bench --release --bin table3`
+
+use sidecar_bench::Table;
+use sidecar_quack::collision::{
+    collision_probability, collision_probability_monte_carlo, expected_colliding_packets,
+};
+
+const N: u64 = 1000;
+
+fn main() {
+    println!("Table 3 reproduction: collision probabilities for n = {N}\n");
+    let paper = [
+        (8u32, "0.98"),
+        (16, "0.015"),
+        (24, "6.0e-05"),
+        (32, "2.3e-07"),
+    ];
+    let mut table = Table::new(&[
+        "bits",
+        "analytic",
+        "paper",
+        "monte carlo",
+        "expected colliding pkts",
+    ]);
+    for (bits, paper_val) in paper {
+        let analytic = collision_probability(bits, N);
+        // Monte Carlo needs ~100/p trials for a stable estimate; only the
+        // narrow widths are feasible.
+        let mc = if bits <= 16 {
+            let trials = if bits == 8 { 20_000 } else { 2_000_000 };
+            format!(
+                "{:.2e}",
+                collision_probability_monte_carlo(bits, N, trials, 0x7AB1E3 + bits as u64)
+            )
+        } else {
+            "(too rare to sample)".to_string()
+        };
+        table.row(&[
+            bits.to_string(),
+            format!("{analytic:.2e}"),
+            paper_val.to_string(),
+            mc,
+            format!("{:.3}", expected_colliding_packets(bits, N)),
+        ]);
+    }
+    table.print();
+
+    // The §1 headline: percentage form at b = 32.
+    println!(
+        "\nheadline (§1): {:.6}% chance a candidate packet is indeterminate \
+         at b = 32, n = {N} (paper: 0.000023%)",
+        collision_probability(32, N) * 100.0
+    );
+}

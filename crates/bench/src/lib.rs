@@ -1,0 +1,203 @@
+//! Harness utilities for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print the rows/series of each table and
+//! figure in the Sidecar (HotNets '22) evaluation; the Criterion benches in
+//! `benches/` provide statistically rigorous versions of the same
+//! measurements. This library holds the shared pieces: a trial runner
+//! matching the paper's methodology ("average of 100 trials with warmup"),
+//! workload generation, and table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use sidecar_quack::id::IdentifierGenerator;
+
+/// Measurement defaults from the paper (§4.1: "Average of 100 trials with
+/// warmup").
+pub const TRIALS: usize = 100;
+/// Warmup iterations discarded before measuring.
+pub const WARMUP: usize = 10;
+
+/// Runs `f` with warmup and returns the mean wall-clock duration over
+/// [`TRIALS`] measured runs.
+///
+/// `f` receives the trial index (warmup trials get indices too, so inputs
+/// can vary per trial if desired) and must return something observable to
+/// keep the optimizer honest — the return value is black-boxed.
+pub fn measure_mean<T>(mut f: impl FnMut(usize) -> T) -> Duration {
+    measure_mean_with(TRIALS, WARMUP, &mut f)
+}
+
+/// [`measure_mean`] with explicit trial counts.
+pub fn measure_mean_with<T>(
+    trials: usize,
+    warmup: usize,
+    f: &mut impl FnMut(usize) -> T,
+) -> Duration {
+    for i in 0..warmup {
+        std::hint::black_box(f(i));
+    }
+    let start = Instant::now();
+    for i in 0..trials {
+        std::hint::black_box(f(warmup + i));
+    }
+    start.elapsed() / trials as u32
+}
+
+/// Mean duration of `f` divided by `per`, in nanoseconds — for per-packet
+/// amortized costs.
+pub fn per_item_nanos(duration: Duration, per: usize) -> f64 {
+    duration.as_nanos() as f64 / per as f64
+}
+
+/// Formats a duration the way the paper's tables do (ns/us/ms autoscale).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats a float duration given in days (Strawman 2's decode estimate).
+pub fn fmt_days(days: f64) -> String {
+    if days >= 1.0 {
+        format!("≈{days:.1e} days")
+    } else {
+        let secs = days * 86_400.0;
+        fmt_duration(Duration::from_secs_f64(secs.max(1e-9)))
+    }
+}
+
+/// A simple fixed-width table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Standard workload: `n` uniform `bits`-bit identifiers with `missing`
+/// of them (chosen deterministically spread out) absent from the received
+/// set. Returns `(sent, received)`.
+pub fn workload(n: usize, missing: usize, bits: u32, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    assert!(missing <= n);
+    let mut generator = IdentifierGenerator::new(bits, seed);
+    let sent = generator.take_ids(n);
+    let received: Vec<u64> = sent
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| missing == 0 || i % n.div_ceil(missing) != 0)
+        .map(|(_, &id)| id)
+        .collect();
+    (sent, received)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_drops_requested_count() {
+        let (sent, received) = workload(1000, 20, 32, 42);
+        assert_eq!(sent.len(), 1000);
+        assert_eq!(sent.len() - received.len(), 20);
+        let (s2, r2) = workload(100, 0, 32, 1);
+        assert_eq!(s2.len(), r2.len());
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(100, 5, 16, 7), workload(100, 5, 16, 7));
+        assert_ne!(workload(100, 5, 16, 7), workload(100, 5, 16, 8));
+    }
+
+    #[test]
+    fn measure_returns_positive() {
+        let d = measure_mean_with(5, 1, &mut |i| {
+            let mut acc = 0u64;
+            for j in 0..1000u64 {
+                acc = acc.wrapping_add(j * i as u64);
+            }
+            acc
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(387)), "387 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(106)), "106.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert!(fmt_days(7e6).contains("days"));
+        // Half a second expressed in days falls back to duration units.
+        assert_eq!(fmt_days(0.5 / 86_400.0), "500.00 ms");
+    }
+}

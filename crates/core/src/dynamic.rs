@@ -1,0 +1,278 @@
+//! Runtime-width quACKs: one type covering every negotiable identifier
+//! width.
+//!
+//! §3.2 lists "the number of bits `b` used in the identifier" among the
+//! parameters a receiver may configure, so sidecar implementations need to
+//! pick the field *at runtime* from a negotiated value. [`DynQuack`] wraps
+//! the four statically-typed quACKs behind one enum with uniform
+//! operations; the static types remain the zero-overhead choice when the
+//! width is fixed at compile time.
+
+use crate::power_sum::{Quack16, Quack24, Quack32, Quack64};
+use crate::wire::{WireError, WireFormat};
+use crate::{DecodeError, DecodedQuack};
+
+/// Errors specific to runtime-width handling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DynError {
+    /// The requested identifier width has no field implementation.
+    UnsupportedWidth(u32),
+    /// Two quACKs of different widths were combined/differenced.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: u32,
+        /// Width of the right operand.
+        right: u32,
+    },
+    /// Wire decoding failed.
+    Wire(WireError),
+}
+
+impl core::fmt::Display for DynError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DynError::UnsupportedWidth(b) => {
+                write!(
+                    f,
+                    "unsupported identifier width: {b} bits (use 16/24/32/64)"
+                )
+            }
+            DynError::WidthMismatch { left, right } => {
+                write!(f, "mismatched quACK widths: {left} vs {right} bits")
+            }
+            DynError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynError {}
+
+impl From<WireError> for DynError {
+    fn from(e: WireError) -> Self {
+        DynError::Wire(e)
+    }
+}
+
+/// A power-sum quACK whose identifier width is chosen at runtime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DynQuack {
+    /// 16-bit identifiers.
+    B16(Quack16),
+    /// 24-bit identifiers.
+    B24(Quack24),
+    /// 32-bit identifiers (the paper's default).
+    B32(Quack32),
+    /// 64-bit identifiers.
+    B64(Quack64),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $q:ident => $body:expr) => {
+        match $self {
+            DynQuack::B16($q) => $body,
+            DynQuack::B24($q) => $body,
+            DynQuack::B32($q) => $body,
+            DynQuack::B64($q) => $body,
+        }
+    };
+}
+
+macro_rules! dispatch_pair {
+    ($self:expr, $other:expr, $a:ident, $b:ident => $body:expr) => {
+        match ($self, $other) {
+            (DynQuack::B16($a), DynQuack::B16($b)) => Ok(DynQuack::B16($body)),
+            (DynQuack::B24($a), DynQuack::B24($b)) => Ok(DynQuack::B24($body)),
+            (DynQuack::B32($a), DynQuack::B32($b)) => Ok(DynQuack::B32($body)),
+            (DynQuack::B64($a), DynQuack::B64($b)) => Ok(DynQuack::B64($body)),
+            (l, r) => Err(DynError::WidthMismatch {
+                left: l.bits(),
+                right: r.bits(),
+            }),
+        }
+    };
+}
+
+impl DynQuack {
+    /// Creates an empty quACK for the negotiated width.
+    pub fn new(bits: u32, threshold: usize) -> Result<Self, DynError> {
+        Ok(match bits {
+            16 => DynQuack::B16(Quack16::new(threshold)),
+            24 => DynQuack::B24(Quack24::new(threshold)),
+            32 => DynQuack::B32(Quack32::new(threshold)),
+            64 => DynQuack::B64(Quack64::new(threshold)),
+            other => return Err(DynError::UnsupportedWidth(other)),
+        })
+    }
+
+    /// The identifier width in bits.
+    pub fn bits(&self) -> u32 {
+        match self {
+            DynQuack::B16(_) => 16,
+            DynQuack::B24(_) => 24,
+            DynQuack::B32(_) => 32,
+            DynQuack::B64(_) => 64,
+        }
+    }
+
+    /// The threshold `t`.
+    pub fn threshold(&self) -> usize {
+        dispatch!(self, q => q.threshold())
+    }
+
+    /// The wrapping element count.
+    pub fn count(&self) -> u32 {
+        dispatch!(self, q => q.count())
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        dispatch!(self, q => q.is_empty())
+    }
+
+    /// Accumulates one identifier.
+    pub fn insert(&mut self, id: u64) {
+        dispatch!(self, q => q.insert(id))
+    }
+
+    /// Removes one identifier.
+    pub fn remove(&mut self, id: u64) {
+        dispatch!(self, q => q.remove(id))
+    }
+
+    /// `self − other` as a difference quACK.
+    pub fn difference(&self, other: &Self) -> Result<Self, DynError> {
+        dispatch_pair!(self, other, a, b => a.difference(b))
+    }
+
+    /// Multiset union (multipath aggregation).
+    pub fn combine(&self, other: &Self) -> Result<Self, DynError> {
+        dispatch_pair!(self, other, a, b => a.combine(b))
+    }
+
+    /// Decodes this difference against a log.
+    pub fn decode_with_log(&self, log: &[u64]) -> Result<DecodedQuack, DecodeError> {
+        dispatch!(self, q => q.decode_with_log(log))
+    }
+
+    /// Log-free decode into missing identifier values (§4.3).
+    pub fn decode_missing_identifiers(&self) -> Result<Vec<(u64, usize)>, DecodeError> {
+        dispatch!(self, q => q.decode_missing_identifiers())
+    }
+
+    /// The wire format for this quACK with the given count width.
+    pub fn wire_format(&self, count_bits: u32) -> WireFormat {
+        WireFormat {
+            id_bits: self.bits(),
+            threshold: self.threshold(),
+            count_bits,
+        }
+    }
+
+    /// Serializes with the given count width.
+    pub fn encode(&self, count_bits: u32) -> Vec<u8> {
+        let fmt = self.wire_format(count_bits);
+        dispatch!(self, q => fmt.encode(q))
+    }
+
+    /// Deserializes a quACK of negotiated parameters.
+    pub fn decode_wire(
+        bits: u32,
+        threshold: usize,
+        count_bits: u32,
+        bytes: &[u8],
+        count_override: Option<u32>,
+    ) -> Result<Self, DynError> {
+        let fmt = WireFormat {
+            id_bits: bits,
+            threshold,
+            count_bits,
+        };
+        Ok(match bits {
+            16 => DynQuack::B16(fmt.decode(bytes, count_override)?),
+            24 => DynQuack::B24(fmt.decode(bytes, count_override)?),
+            32 => DynQuack::B32(fmt.decode(bytes, count_override)?),
+            64 => DynQuack::B64(fmt.decode(bytes, count_override)?),
+            other => return Err(DynError::UnsupportedWidth(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::IdentifierGenerator;
+
+    #[test]
+    fn roundtrip_every_width() {
+        for bits in [16u32, 24, 32, 64] {
+            let mut ids = IdentifierGenerator::new(bits, bits as u64);
+            let sent = ids.take_ids(200);
+            let mut sender = DynQuack::new(bits, 10).unwrap();
+            let mut receiver = DynQuack::new(bits, 10).unwrap();
+            for &id in &sent {
+                sender.insert(id);
+            }
+            for (i, &id) in sent.iter().enumerate() {
+                if i % 40 != 3 {
+                    receiver.insert(id);
+                }
+            }
+            // Ship through the wire at this width.
+            let bytes = receiver.encode(16);
+            let rx = DynQuack::decode_wire(bits, 10, 16, &bytes, None).unwrap();
+            let diff = sender.difference(&rx).unwrap();
+            let decoded = diff.decode_with_log(&sent).unwrap();
+            let expected: Vec<usize> = (0..sent.len()).filter(|i| i % 40 == 3).collect();
+            assert_eq!(decoded.missing(), &expected[..], "bits {bits}");
+            assert_eq!(diff.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn unsupported_width_rejected() {
+        assert_eq!(
+            DynQuack::new(48, 10).unwrap_err(),
+            DynError::UnsupportedWidth(48)
+        );
+        assert!(DynQuack::decode_wire(8, 4, 16, &[0; 6], None).is_err());
+        assert!(DynError::UnsupportedWidth(48).to_string().contains("48"));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = DynQuack::new(16, 4).unwrap();
+        let b = DynQuack::new(32, 4).unwrap();
+        let err = a.difference(&b).unwrap_err();
+        assert_eq!(
+            err,
+            DynError::WidthMismatch {
+                left: 16,
+                right: 32
+            }
+        );
+        assert!(a.combine(&b).is_err());
+        assert!(err.to_string().contains("16 vs 32"));
+    }
+
+    #[test]
+    fn accessors_and_log_free_decode() {
+        let mut q = DynQuack::new(32, 5).unwrap();
+        assert!(q.is_empty());
+        q.insert(77);
+        q.insert(99);
+        q.remove(99);
+        assert_eq!(q.count(), 1);
+        assert_eq!(q.threshold(), 5);
+        let empty = DynQuack::new(32, 5).unwrap();
+        let diff = q.difference(&empty).unwrap();
+        assert_eq!(diff.decode_missing_identifiers().unwrap(), vec![(77, 1)]);
+        assert_eq!(diff.wire_format(16).encoded_bytes(), 22);
+    }
+
+    #[test]
+    fn wire_error_propagates() {
+        let err = DynQuack::decode_wire(32, 20, 16, &[0u8; 10], None).unwrap_err();
+        assert!(matches!(err, DynError::Wire(WireError::Length { .. })));
+        assert!(err.to_string().contains("wire error"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Root finding for error-locator polynomials: the "decoding algorithm that
+//! depends only on t" (paper §4.3).
+//!
+//! The default quACK decoder evaluates the locator at every logged
+//! identifier — `O(n·m)`. When `n` is large ("only n changes per quACK,
+//! and for large n, we can use the decoding algorithm that depends only on
+//! t"), it is cheaper to find the roots of the degree-`m` locator directly:
+//!
+//! 1. extract the part of `f` that splits into distinct linear factors
+//!    over `F_p` via `g = gcd(f, x^p − x)` (every identifier *is* a field
+//!    element, so for a well-formed difference `g` covers all roots);
+//! 2. split `g` by Cantor–Zassenhaus: for a shift `a`,
+//!    `gcd(g, (x+a)^((p−1)/2) − 1)` separates roots by the quadratic
+//!    character of `r + a`, halving the problem in expectation;
+//! 3. recover multiplicities by synthetic deflation of the original `f`.
+//!
+//! Everything is `O(m² log p)` field multiplications — independent of `n`.
+//! The shift sequence is deterministic (SplitMix64 from a fixed seed), so
+//! decoding stays reproducible.
+
+use crate::poly::deflate_monic;
+use crate::Field;
+
+/// Finds all roots (in `F`) of the monic polynomial whose non-leading,
+/// low-to-high coefficients are `non_leading` (the decoder's locator
+/// representation), together with multiplicities.
+///
+/// Roots are returned sorted by canonical value. Irreducible non-linear
+/// factors (which a well-formed quACK difference never produces) are simply
+/// not represented in the output — callers detect the shortfall by summing
+/// multiplicities.
+pub fn find_roots<F: Field>(non_leading: &[F]) -> Vec<(F, usize)> {
+    let m = non_leading.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    // Full monic coefficient vector, low-to-high.
+    let mut f: Vec<F> = non_leading.to_vec();
+    f.push(F::ONE);
+
+    // g = gcd(f, x^p − x): the product of (x − r) over distinct roots r.
+    // x^p mod f by square-and-multiply, then subtract x.
+    let xp = x_pow_modulus_mod(&f);
+    let mut xp_minus_x = xp;
+    sub_x_in_place::<F>(&mut xp_minus_x);
+    let g = poly_gcd(f.clone(), xp_minus_x);
+
+    let mut distinct = Vec::new();
+    let mut rng = ShiftStream::new(0x51DE_CA12_F00D_5EEDu64);
+    collect_roots(g, &mut distinct, &mut rng);
+    distinct.sort_unstable_by_key(|r: &F| r.to_u64());
+
+    // Multiplicities by deflation of the original locator.
+    let mut out = Vec::with_capacity(distinct.len());
+    for root in distinct {
+        let mut mult = 0usize;
+        loop {
+            // Tentatively deflate; a nonzero remainder means we're done.
+            let mut candidate = f[..f.len() - 1].to_vec();
+            let rem = deflate_monic(&mut candidate, root);
+            if rem != F::ZERO {
+                break;
+            }
+            candidate.push(F::ONE);
+            f = candidate;
+            mult += 1;
+            if f.len() == 1 {
+                break;
+            }
+        }
+        debug_assert!(mult >= 1, "gcd produced a non-root");
+        out.push((root, mult));
+    }
+    out
+}
+
+/// Sum of multiplicities [`find_roots`] would report — callers compare to
+/// the locator degree to detect non-splitting (corrupt) locators.
+pub fn total_root_multiplicity<F: Field>(roots: &[(F, usize)]) -> usize {
+    roots.iter().map(|&(_, m)| m).sum()
+}
+
+/// Deterministic shift sequence for Cantor–Zassenhaus.
+struct ShiftStream {
+    state: u64,
+}
+
+impl ShiftStream {
+    fn new(seed: u64) -> Self {
+        ShiftStream { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Recursively splits a squarefree product of linear factors into roots.
+fn collect_roots<F: Field>(g: Vec<F>, out: &mut Vec<F>, rng: &mut ShiftStream) {
+    match g.len() {
+        0 | 1 => {}
+        2 => {
+            // Monic linear: x + c ⇒ root −c.
+            let lead_inv = g[1].inv();
+            out.push(-(g[0] * lead_inv));
+        }
+        _ => {
+            // Try shifts until one separates the roots. Each attempt
+            // succeeds with probability ≥ 1/2 per pair of roots.
+            loop {
+                let a = F::from_u64(rng.next());
+                // h = gcd(g, (x + a)^((p−1)/2) − 1)
+                let base = vec![a, F::ONE];
+                let mut power = poly_pow_mod(base, (F::MODULUS - 1) / 2, &g);
+                if power.is_empty() {
+                    power.push(F::ZERO);
+                }
+                power[0] -= F::ONE;
+                trim(&mut power);
+                let h = poly_gcd(g.clone(), power);
+                if h.len() > 1 && h.len() < g.len() {
+                    let quotient = poly_div_exact(&g, &h);
+                    collect_roots(h, out, rng);
+                    collect_roots(quotient, out, rng);
+                    return;
+                }
+                // Degenerate shift (all or none of the roots satisfied the
+                // character test, or a root hit x = −a exactly): the
+                // remainder-one case. Handle the "x + a divides g" root
+                // directly to guarantee progress on tiny fields.
+                if h.len() == g.len() {
+                    continue;
+                }
+                // h is constant: also check whether −a itself is a root
+                // ((−a + a) = 0 evaluates the character to 0, escaping both
+                // buckets).
+                let minus_a = -a;
+                if eval(&g, minus_a) == F::ZERO {
+                    out.push(minus_a);
+                    let reduced = deflate_root(&g, minus_a);
+                    collect_roots(reduced, out, rng);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a low-to-high coefficient vector at `x`.
+fn eval<F: Field>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Removes one `(x − root)` factor from a polynomial known to have it.
+fn deflate_root<F: Field>(coeffs: &[F], root: F) -> Vec<F> {
+    let mut carry = F::ZERO;
+    let mut out = vec![F::ZERO; coeffs.len()];
+    for (i, &c) in coeffs.iter().enumerate().rev() {
+        let b = c + root * carry;
+        out[i] = carry;
+        carry = b;
+    }
+    debug_assert_eq!(carry, F::ZERO, "not a root");
+    // `out[k]` already holds the quotient's x^k coefficient; only the
+    // placeholder in the top slot needs trimming.
+    trim(&mut out);
+    out
+}
+
+/// Drops trailing zero coefficients.
+fn trim<F: Field>(v: &mut Vec<F>) {
+    while v.last().is_some_and(|c| c.is_zero()) {
+        v.pop();
+    }
+}
+
+/// `x^p mod f` for the field modulus `p`, with `f` monic.
+fn x_pow_modulus_mod<F: Field>(f: &[F]) -> Vec<F> {
+    poly_pow_mod(vec![F::ZERO, F::ONE], F::MODULUS, f)
+}
+
+/// `base^exp mod f` by square-and-multiply (all polynomials low-to-high,
+/// `f` with invertible leading coefficient).
+fn poly_pow_mod<F: Field>(base: Vec<F>, mut exp: u64, f: &[F]) -> Vec<F> {
+    let mut acc = vec![F::ONE];
+    let mut base = poly_rem(base, f);
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = poly_rem(poly_mul(&acc, &base), f);
+        }
+        base = poly_rem(poly_mul(&base, &base), f);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Schoolbook polynomial multiplication.
+fn poly_mul<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![F::ZERO; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Polynomial remainder `a mod f` (`f` nonzero).
+fn poly_rem<F: Field>(mut a: Vec<F>, f: &[F]) -> Vec<F> {
+    trim(&mut a);
+    let fd = f.len() - 1;
+    if fd == 0 {
+        return Vec::new();
+    }
+    let lead_inv = f[fd].inv();
+    while a.len() > fd {
+        let k = a.len() - 1 - fd;
+        let scale = *a.last().expect("nonempty") * lead_inv;
+        for (i, &fc) in f.iter().enumerate() {
+            a[k + i] -= scale * fc;
+        }
+        a.pop();
+        trim(&mut a);
+        if a.is_empty() {
+            break;
+        }
+    }
+    a
+}
+
+/// Monic polynomial gcd by Euclid's algorithm.
+fn poly_gcd<F: Field>(mut a: Vec<F>, mut b: Vec<F>) -> Vec<F> {
+    trim(&mut a);
+    trim(&mut b);
+    while !b.is_empty() {
+        let r = poly_rem(a, &b);
+        a = b;
+        b = r;
+    }
+    // Normalize to monic.
+    if let Some(&lead) = a.last() {
+        let inv = lead.inv();
+        for c in a.iter_mut() {
+            *c *= inv;
+        }
+    }
+    a
+}
+
+/// Exact division `a / b` (remainder known to be zero).
+fn poly_div_exact<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    let mut rem = a.to_vec();
+    trim(&mut rem);
+    let bd = b.len() - 1;
+    let lead_inv = b[bd].inv();
+    let mut quot = vec![F::ZERO; rem.len().saturating_sub(bd)];
+    while rem.len() > bd {
+        let k = rem.len() - 1 - bd;
+        let scale = *rem.last().expect("nonempty") * lead_inv;
+        quot[k] = scale;
+        for (i, &bc) in b.iter().enumerate() {
+            rem[k + i] -= scale * bc;
+        }
+        rem.pop();
+        trim(&mut rem);
+        if rem.is_empty() {
+            break;
+        }
+    }
+    debug_assert!(rem.is_empty(), "division was not exact");
+    trim(&mut quot);
+    quot
+}
+
+/// Subtracts `x` from a low-to-high coefficient vector in place.
+fn sub_x_in_place<F: Field>(v: &mut Vec<F>) {
+    if v.len() < 2 {
+        v.resize(2, F::ZERO);
+    }
+    v[1] -= F::ONE;
+    trim(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Poly;
+    use crate::{power_sums_to_coefficients, Fp16, Fp32, Fp64};
+
+    fn roots_of<F: Field>(raw: &[u64]) -> Vec<(F, usize)> {
+        let elems: Vec<F> = raw.iter().map(|&v| F::from_u64(v)).collect();
+        let sums: Vec<F> = (1..=elems.len() as u64)
+            .map(|i| elems.iter().map(|x| x.pow(i)).sum())
+            .collect();
+        let coeffs = power_sums_to_coefficients(&sums);
+        find_roots(&coeffs)
+    }
+
+    fn expect<F: Field>(raw: &[u64]) -> Vec<(F, usize)> {
+        let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+        for &v in raw {
+            *counts.entry(F::from_u64(v).to_u64()).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(v, m)| (F::from_u64(v), m))
+            .collect()
+    }
+
+    #[test]
+    fn empty_locator_has_no_roots() {
+        assert!(find_roots::<Fp32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_root() {
+        assert_eq!(roots_of::<Fp32>(&[42]), expect::<Fp32>(&[42]));
+    }
+
+    #[test]
+    fn distinct_roots_all_widths() {
+        let raw = [3u64, 9_999, 65_000, 12, 40_000];
+        assert_eq!(roots_of::<Fp16>(&raw), expect::<Fp16>(&raw));
+        assert_eq!(roots_of::<Fp32>(&raw), expect::<Fp32>(&raw));
+        assert_eq!(roots_of::<Fp64>(&raw), expect::<Fp64>(&raw));
+    }
+
+    #[test]
+    fn repeated_roots_report_multiplicity() {
+        let raw = [7u64, 7, 7, 100, 100, 3];
+        assert_eq!(roots_of::<Fp32>(&raw), expect::<Fp32>(&raw));
+    }
+
+    #[test]
+    fn zero_root_handled() {
+        let raw = [0u64, 5, 0];
+        assert_eq!(roots_of::<Fp32>(&raw), expect::<Fp32>(&raw));
+    }
+
+    #[test]
+    fn large_degree_locator() {
+        let raw: Vec<u64> = (0..40u64).map(|i| i * i * 977 + 11).collect();
+        assert_eq!(roots_of::<Fp32>(&raw), expect::<Fp32>(&raw));
+        assert_eq!(total_root_multiplicity(&roots_of::<Fp32>(&raw)), raw.len());
+    }
+
+    #[test]
+    fn adjacent_roots_split() {
+        // Consecutive values stress the character-based splitting.
+        let raw: Vec<u64> = (1000..1020).collect();
+        assert_eq!(roots_of::<Fp32>(&raw), expect::<Fp32>(&raw));
+    }
+
+    #[test]
+    fn irreducible_factor_detected_by_shortfall() {
+        // x² + 1 over F_p with p = 2^32 − 5 ≡ 3 (mod 4): −1 is a
+        // non-residue, so x² + 1 is irreducible and has no roots.
+        let coeffs = vec![Fp32::ONE, Fp32::ZERO]; // non-leading of x² + 0x + 1
+        let roots = find_roots(&coeffs);
+        assert!(roots.is_empty());
+    }
+
+    #[test]
+    fn mixed_splitting_and_irreducible() {
+        // (x − 5)(x² + 1): exactly one rational root.
+        let linear = Poly::from_roots(&[Fp32::from_u64(5)]);
+        let irreducible = Poly::from_coeffs(vec![Fp32::ONE, Fp32::ZERO, Fp32::ONE]);
+        let product = linear.mul(&irreducible);
+        let non_leading = &product.coeffs()[..product.coeffs().len() - 1];
+        let roots = find_roots(non_leading);
+        assert_eq!(roots, vec![(Fp32::from_u64(5), 1)]);
+        assert_eq!(total_root_multiplicity(&roots), 1);
+    }
+
+    #[test]
+    fn poly_helpers_agree_with_poly_type() {
+        let a = Poly::from_roots(&[Fp32::from_u64(1), Fp32::from_u64(2)]);
+        let b = Poly::from_roots(&[Fp32::from_u64(3)]);
+        let prod = poly_mul(a.coeffs(), b.coeffs());
+        assert_eq!(prod, a.mul(&b).coeffs().to_vec());
+        // a mod b: remainder of (x−1)(x−2) by (x−3) is its value at 3 = 2.
+        let r = poly_rem(a.coeffs().to_vec(), b.coeffs());
+        assert_eq!(r, vec![Fp32::from_u64(2)]);
+        // gcd((x−1)(x−2), (x−2)(x−3)) = x − 2.
+        let c = Poly::from_roots(&[Fp32::from_u64(2), Fp32::from_u64(3)]);
+        let g = poly_gcd(a.coeffs().to_vec(), c.coeffs().to_vec());
+        assert_eq!(g, Poly::from_roots(&[Fp32::from_u64(2)]).coeffs().to_vec());
+        // Exact division round trip.
+        let q = poly_div_exact(&prod, b.coeffs());
+        assert_eq!(q, a.coeffs().to_vec());
+    }
+}

@@ -1,0 +1,234 @@
+//! `F_65521`: the field for 16-bit identifiers.
+//!
+//! The paper notes that in the 16-bit case "pre-computation optimizations"
+//! apply (§4.2): the multiplicative group has only 65 520 elements, so
+//! discrete exp/log tables can replace multiplication with two loads and an
+//! add, and inversion with a single load. Whether that *wins* depends on
+//! the cache hierarchy: on the machines this reproduction targets, the
+//! ~384 KiB of tables miss L1/L2 often enough that a plain widening
+//! multiply is faster. [`Fp16`] therefore uses the widening multiply, and
+//! [`Fp16Table`] keeps the table-driven variant as an ablation target (see
+//! the `field_ops` bench); both implement [`Field`] identically.
+
+use crate::field::impl_field_ops;
+use crate::prime::primitive_root;
+use crate::{Field, P16};
+use std::sync::OnceLock;
+
+const P: u16 = P16 as u16;
+const ORDER: usize = (P16 - 1) as usize; // 65 520
+
+/// An element of `F_65521` (16-bit identifiers, paper §4.2), widening-mul
+/// arithmetic.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Fp16(u16);
+
+impl Fp16 {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Fp16(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Fp16(1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let sum = self.0 as u32 + rhs.0 as u32;
+        Fp16(if sum >= P as u32 {
+            (sum - P as u32) as u16
+        } else {
+            sum as u16
+        })
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp16(if borrow { diff.wrapping_add(P) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        Fp16(((self.0 as u32 * rhs.0 as u32) % P16 as u32) as u16)
+    }
+}
+
+impl_field_ops!(Fp16);
+
+impl Field for Fp16 {
+    const MODULUS: u64 = P16;
+    const BITS: u32 = 16;
+    const ZERO: Self = Fp16(0);
+    const ONE: Self = Fp16(1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Fp16((value % P16) as u16)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+struct Tables {
+    /// `exp[i] = g^i mod p` for `i` in `[0, 2·ORDER)` so that sums of two
+    /// logs never need reducing.
+    exp: Vec<u16>,
+    /// `log[v]` for `v` in `[1, p)`; `log[0]` is a sentinel and never read.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let g = primitive_root(P16);
+        let mut exp = vec![0u16; 2 * ORDER];
+        let mut log = vec![0u16; P16 as usize];
+        let mut acc: u64 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(ORDER) {
+            *e = acc as u16;
+            log[acc as usize] = i as u16;
+            acc = acc * g % P16;
+        }
+        debug_assert_eq!(acc, 1, "g must have order p-1");
+        let (lo, hi) = exp.split_at_mut(ORDER);
+        hi.copy_from_slice(lo);
+        Tables { exp, log }
+    })
+}
+
+/// An element of `F_65521` with discrete exp/log **table** arithmetic — the
+/// paper's 16-bit "pre-computation optimization", kept for the ablation
+/// benchmarks.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Fp16Table(u16);
+
+impl Fp16Table {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Fp16Table(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Fp16Table(1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let sum = self.0 as u32 + rhs.0 as u32;
+        Fp16Table(if sum >= P as u32 {
+            (sum - P as u32) as u16
+        } else {
+            sum as u16
+        })
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp16Table(if borrow { diff.wrapping_add(P) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Fp16Table(0);
+        }
+        let t = tables();
+        Fp16Table(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl_field_ops!(Fp16Table);
+
+impl Field for Fp16Table {
+    const MODULUS: u64 = P16;
+    const BITS: u32 = 16;
+    const ZERO: Self = Fp16Table(0);
+    const ONE: Self = Fp16Table(1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Fp16Table((value % P16) as u16)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    #[inline]
+    fn checked_inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        let t = tables();
+        Some(Fp16Table(t.exp[ORDER - t.log[self.0 as usize] as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mul_matches_widening_mul() {
+        for a in (0..P16).step_by(977) {
+            for b in (0..P16).step_by(1013) {
+                let expected = a * b % P16;
+                assert_eq!((Fp16::from_u64(a) * Fp16::from_u64(b)).to_u64(), expected);
+                assert_eq!(
+                    (Fp16Table::from_u64(a) * Fp16Table::from_u64(b)).to_u64(),
+                    expected,
+                    "{a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_inverse_exhaustive_sample() {
+        for v in (1..P16).step_by(331) {
+            let x = Fp16Table::from_u64(v);
+            assert_eq!(x * x.inv(), Fp16Table::ONE, "inv({v})");
+            let y = Fp16::from_u64(v);
+            assert_eq!(y * y.inv(), Fp16::ONE);
+            assert_eq!(x.inv().to_u64(), y.inv().to_u64());
+        }
+        assert_eq!(
+            Fp16Table::from_u64(P16 - 1).inv(),
+            Fp16Table::from_u64(P16 - 1)
+        );
+        assert_eq!(Fp16Table::ONE.inv(), Fp16Table::ONE);
+    }
+
+    #[test]
+    fn from_u64_reduces() {
+        assert_eq!(Fp16::from_u64(P16).to_u64(), 0);
+        assert_eq!(Fp16::from_u64(P16 + 7).to_u64(), 7);
+        assert_eq!(Fp16::from_u64(u64::MAX).to_u64(), u64::MAX % P16);
+        // 16-bit identifiers in [p, 2^16) alias small residues.
+        assert_eq!(Fp16::from_u64(65_535).to_u64(), 14);
+    }
+
+    #[test]
+    fn add_sub_wraparound() {
+        let max = Fp16::from_u64(P16 - 1);
+        assert_eq!((max + Fp16::ONE).to_u64(), 0);
+        assert_eq!((Fp16::ZERO - Fp16::ONE).to_u64(), P16 - 1);
+        assert_eq!((-Fp16::ONE).to_u64(), P16 - 1);
+        assert_eq!(-Fp16::ZERO, Fp16::ZERO);
+    }
+
+    #[test]
+    fn zero_absorbing_in_table_mul() {
+        assert_eq!(Fp16Table::ZERO * Fp16Table::from_u64(123), Fp16Table::ZERO);
+        assert_eq!(Fp16Table::from_u64(123) * Fp16Table::ZERO, Fp16Table::ZERO);
+    }
+}

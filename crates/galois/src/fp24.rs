@@ -1,0 +1,104 @@
+//! `F_16777213`: the field for 24-bit identifiers.
+//!
+//! 24-bit identifiers trade quACK size against collision probability (paper
+//! Table 3: 6.0e-05 at n = 1000). Products fit comfortably in `u64`, so
+//! multiplication is a widening multiply plus one hardware remainder.
+
+use crate::field::impl_field_ops;
+use crate::{Field, P24};
+
+const P: u32 = P24 as u32;
+
+/// An element of `F_16777213` (24-bit identifiers, paper §4.2).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Fp24(u32);
+
+impl Fp24 {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Fp24(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Fp24(1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let sum = self.0 + rhs.0; // both < 2^24, cannot overflow u32
+        Fp24(if sum >= P { sum - P } else { sum })
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp24(if borrow { diff.wrapping_add(P) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        Fp24(((self.0 as u64 * rhs.0 as u64) % P24) as u32)
+    }
+}
+
+impl_field_ops!(Fp24);
+
+impl Field for Fp24 {
+    const MODULUS: u64 = P24;
+    const BITS: u32 = 24;
+    const ZERO: Self = Fp24(0);
+    const ONE: Self = Fp24(1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Fp24((value % P24) as u32)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Fp24::from_u64(12_345_678);
+        let b = Fp24::from_u64(16_000_000);
+        assert_eq!(a + Fp24::ZERO, a);
+        assert_eq!(a * Fp24::ONE, a);
+        assert_eq!(a - a, Fp24::ZERO);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a + b) * a, a * a + b * a);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        for a in (0..P24).step_by(987_653) {
+            for b in (0..P24).step_by(1_234_577) {
+                let expected = ((a as u128 * b as u128) % P24 as u128) as u64;
+                assert_eq!((Fp24::from_u64(a) * Fp24::from_u64(b)).to_u64(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, 3, P24 - 1, 8_388_608] {
+            let x = Fp24::from_u64(v);
+            assert_eq!(x * x.inv(), Fp24::ONE);
+        }
+    }
+
+    #[test]
+    fn aliasing_of_wide_identifiers() {
+        // 24-bit identifiers in [p, 2^24) reduce onto [0, 3).
+        assert_eq!(Fp24::from_u64((1 << 24) - 1).to_u64(), 2);
+        assert_eq!(Fp24::from_u64(P24).to_u64(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! `F_4294967291`: the field for 32-bit identifiers — the paper's default.
+//!
+//! The headline quACK configuration (n = 1000, t = 20, b = 32) stores 32-bit
+//! power sums modulo `2^32 - 5` and yields a 0.000023% indeterminacy chance
+//! (paper §1, §4). Products fit in `u64`.
+
+use crate::field::impl_field_ops;
+use crate::{Field, P32};
+
+const P: u32 = P32 as u32;
+
+/// An element of `F_4294967291` (32-bit identifiers, the paper's default).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Fp32(u32);
+
+impl Fp32 {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Fp32(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Fp32(1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let sum = self.0 as u64 + rhs.0 as u64;
+        Fp32(if sum >= P as u64 {
+            (sum - P as u64) as u32
+        } else {
+            sum as u32
+        })
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp32(if borrow { diff.wrapping_add(P) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        Fp32(((self.0 as u64 * rhs.0 as u64) % P32) as u32)
+    }
+}
+
+impl_field_ops!(Fp32);
+
+impl Field for Fp32 {
+    const MODULUS: u64 = P32;
+    const BITS: u32 = 32;
+    const ZERO: Self = Fp32(0);
+    const ONE: Self = Fp32(1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Fp32((value % P32) as u32)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Fp32::from_u64(4_000_000_000);
+        let b = Fp32::from_u64(123_456_789);
+        assert_eq!(a + Fp32::ZERO, a);
+        assert_eq!(a * Fp32::ONE, a);
+        assert_eq!(a - a, Fp32::ZERO);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a - b) + b, a);
+        assert_eq!((a + b) * b, a * b + b * b);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        for a in (0..P32).step_by(0x0DEA_DBEE) {
+            for b in (0..P32).step_by(0x1234_5671) {
+                let expected = ((a as u128 * b as u128) % P32 as u128) as u64;
+                assert_eq!((Fp32::from_u64(a) * Fp32::from_u64(b)).to_u64(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, P32 - 1, 65_537, 2_147_483_648] {
+            let x = Fp32::from_u64(v);
+            assert_eq!(x * x.inv(), Fp32::ONE);
+        }
+    }
+
+    #[test]
+    fn aliasing_of_wide_identifiers() {
+        // The five 32-bit values >= p alias onto [0, 5).
+        for (id, residue) in [(P32, 0u64), (P32 + 1, 1), (u32::MAX as u64, 4)] {
+            assert_eq!(Fp32::from_u64(id).to_u64(), residue);
+        }
+    }
+
+    #[test]
+    fn add_at_modulus_boundary() {
+        let max = Fp32::from_u64(P32 - 1);
+        assert_eq!((max + max).to_u64(), P32 - 2);
+        assert_eq!((max + Fp32::ONE).to_u64(), 0);
+    }
+}

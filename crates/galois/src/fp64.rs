@@ -1,0 +1,121 @@
+//! `F_(2^64 - 59)`: a 64-bit extension field width.
+//!
+//! The paper evaluates b ∈ {16, 24, 32}; 64-bit identifiers are the natural
+//! "future-work" width for flows long enough that 32-bit collision
+//! probability becomes material (§4.2 notes the more bits, the better the
+//! disambiguation). Products require `u128` widening; see [`crate::Monty64`]
+//! for the Montgomery-form variant that avoids the `u128` remainder.
+
+use crate::field::impl_field_ops;
+use crate::{Field, P64};
+
+/// An element of `F_(2^64 - 59)` (64-bit identifiers; extension width).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Fp64(u64);
+
+impl Fp64 {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Fp64(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Fp64(1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let (sum, overflow) = self.0.overflowing_add(rhs.0);
+        // If the u64 add overflowed we are 2^64 = p + 59 too low after the
+        // wrap, i.e. the true sum is sum + 2^64; reduce by adding 59.
+        // Both inputs are < p so the true sum is < 2p and one correction
+        // suffices.
+        if overflow {
+            Fp64(sum.wrapping_add(59) % P64)
+        } else if sum >= P64 {
+            Fp64(sum - P64)
+        } else {
+            Fp64(sum)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Fp64(if borrow { diff.wrapping_add(P64) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        Fp64(((self.0 as u128 * rhs.0 as u128) % P64 as u128) as u64)
+    }
+}
+
+impl_field_ops!(Fp64);
+
+impl Field for Fp64 {
+    const MODULUS: u64 = P64;
+    const BITS: u32 = 64;
+    const ZERO: Self = Fp64(0);
+    const ONE: Self = Fp64(1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Fp64(value % P64)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_overflow_paths() {
+        let max = Fp64::from_u64(P64 - 1);
+        // (p-1) + (p-1) = 2p - 2 ≡ p - 2, exercises the u64-overflow branch.
+        assert_eq!((max + max).to_u64(), P64 - 2);
+        assert_eq!((max + Fp64::ONE).to_u64(), 0);
+        let a = Fp64::from_u64(P64 - 30);
+        let b = Fp64::from_u64(40);
+        assert_eq!((a + b).to_u64(), 10);
+    }
+
+    #[test]
+    fn sub_borrow_path() {
+        assert_eq!((Fp64::ZERO - Fp64::ONE).to_u64(), P64 - 1);
+        assert_eq!((Fp64::ONE - Fp64::ZERO).to_u64(), 1);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        // (p-1)^2 = p^2 - 2p + 1 ≡ 1 (mod p)
+        let max = Fp64::from_u64(P64 - 1);
+        assert_eq!(max * max, Fp64::ONE);
+        assert_eq!(
+            (Fp64::from_u64(1 << 32) * Fp64::from_u64(1 << 32)).to_u64(),
+            // 2^64 mod p = 59
+            59
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, 59, P64 - 1, u64::MAX - 60] {
+            let x = Fp64::from_u64(v);
+            assert_eq!(x * x.inv(), Fp64::ONE);
+        }
+    }
+
+    #[test]
+    fn aliasing_of_wide_identifiers() {
+        // The 59 identifiers in [p, 2^64) alias onto [0, 59).
+        assert_eq!(Fp64::from_u64(u64::MAX).to_u64(), 58);
+        assert_eq!(Fp64::from_u64(P64).to_u64(), 0);
+    }
+}

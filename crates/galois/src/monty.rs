@@ -1,0 +1,190 @@
+//! Montgomery-form arithmetic over `F_(2^64 - 59)`.
+//!
+//! [`crate::Fp64`] reduces each product with a 128-bit remainder, which
+//! compiles to a slow library call on most targets. Montgomery REDC replaces
+//! it with two widening multiplies and a handful of adds — the classic
+//! optimization the paper alludes to in "how do we further optimize the
+//! algorithm and implementation of the quACK towards nearly-zero overhead
+//! quACKing?" (§5). The `field_ops` bench compares the two; the quACK itself
+//! is generic over [`Field`] so either can back a 64-bit sketch.
+//!
+//! Elements are stored as `a·R mod p` with `R = 2^64`. Addition/subtraction
+//! operate directly on representatives; multiplication is `REDC(a·b)`;
+//! conversion in multiplies by `R^2 mod p`, conversion out is `REDC(a)`.
+
+use crate::field::impl_field_ops;
+use crate::{Field, P64};
+
+const P: u64 = P64;
+
+/// `-p^{-1} mod 2^64`, by Newton–Hensel iteration (doubles correct bits each
+/// step; 6 steps cover 64 bits).
+const NEG_P_INV: u64 = {
+    let mut inv: u64 = 1;
+    let mut i = 0;
+    while i < 6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(P.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+};
+
+/// `R^2 mod p = 2^128 mod p`, used to convert into Montgomery form.
+const R2: u64 = {
+    // 2^128 mod p == (u128::MAX mod p + 1) mod p
+    let m = P as u128;
+    let r = u128::MAX % m + 1;
+    (r % m) as u64
+};
+
+/// `R mod p`, the Montgomery representation of one.
+const R1: u64 = {
+    let m = P as u128;
+    ((u64::MAX as u128 + 1) % m) as u64
+};
+
+/// Montgomery reduction: computes `t · R^{-1} mod p` for `t < p·2^64`.
+#[inline]
+fn redc(t: u128) -> u64 {
+    let t_lo = t as u64;
+    let t_hi = (t >> 64) as u64;
+    let m = t_lo.wrapping_mul(NEG_P_INV);
+    let mp = m as u128 * P as u128;
+    let mp_lo = mp as u64;
+    let mp_hi = (mp >> 64) as u64;
+    // t_lo + mp_lo ≡ 0 (mod 2^64) by construction of m; only the carry out
+    // matters.
+    let carry = (t_lo as u128 + mp_lo as u128 > u64::MAX as u128) as u64;
+    let r = t_hi as u128 + mp_hi as u128 + carry as u128;
+    // r < 2p, one conditional subtraction suffices.
+    if r >= P as u128 {
+        (r - P as u128) as u64
+    } else {
+        r as u64
+    }
+}
+
+/// An element of `F_(2^64 - 59)` held in Montgomery form.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Monty64(u64);
+
+impl Monty64 {
+    #[inline]
+    pub(crate) const fn raw_zero() -> Self {
+        Monty64(0)
+    }
+
+    #[inline]
+    pub(crate) const fn raw_one() -> Self {
+        Monty64(R1)
+    }
+
+    #[inline]
+    pub(crate) fn raw_add(self, rhs: Self) -> Self {
+        let (sum, overflow) = self.0.overflowing_add(rhs.0);
+        if overflow {
+            Monty64(sum.wrapping_add(59))
+        } else if sum >= P {
+            Monty64(sum - P)
+        } else {
+            Monty64(sum)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn raw_sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        Monty64(if borrow { diff.wrapping_add(P) } else { diff })
+    }
+
+    #[inline]
+    pub(crate) fn raw_mul(self, rhs: Self) -> Self {
+        Monty64(redc(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl_field_ops!(Monty64);
+
+impl Field for Monty64 {
+    const MODULUS: u64 = P64;
+    const BITS: u32 = 64;
+    const ZERO: Self = Monty64(0);
+    const ONE: Self = Monty64(R1);
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Monty64(redc((value % P) as u128 * R2 as u128))
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        redc(self.0 as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fp64;
+
+    #[test]
+    fn constants_are_consistent() {
+        // p · (-p^{-1}) ≡ -1 (mod 2^64)
+        assert_eq!(P.wrapping_mul(NEG_P_INV), u64::MAX);
+        assert_eq!(R1 as u128, (1u128 << 64) % P as u128);
+        assert_eq!(R2 as u128, ((R1 as u128) * (R1 as u128)) % P as u128);
+    }
+
+    #[test]
+    fn roundtrip_conversion() {
+        for v in [0u64, 1, 58, 59, P - 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE] {
+            assert_eq!(Monty64::from_u64(v).to_u64(), v % P);
+        }
+    }
+
+    #[test]
+    fn matches_fp64_on_random_walk() {
+        // Deterministic pseudo-random walk exercising all ops.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut a_m = Monty64::from_u64(1);
+        let mut a_f = Fp64::from_u64(1);
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v_m = Monty64::from_u64(x);
+            let v_f = Fp64::from_u64(x);
+            match i % 3 {
+                0 => {
+                    a_m += v_m;
+                    a_f += v_f;
+                }
+                1 => {
+                    a_m -= v_m;
+                    a_f -= v_f;
+                }
+                _ => {
+                    a_m *= v_m;
+                    a_f *= v_f;
+                }
+            }
+            assert_eq!(a_m.to_u64(), a_f.to_u64(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, 59, P - 1, 0x1234_5678_9ABC_DEF0] {
+            let x = Monty64::from_u64(v);
+            assert_eq!((x * x.inv()).to_u64(), 1);
+        }
+    }
+
+    #[test]
+    fn one_is_montgomery_one() {
+        assert_eq!(Monty64::ONE.to_u64(), 1);
+        assert_eq!(Monty64::from_u64(1), Monty64::ONE);
+        let x = Monty64::from_u64(123_456_789);
+        assert_eq!(x * Monty64::ONE, x);
+    }
+}

@@ -1,0 +1,333 @@
+//! Dense polynomials over a prime field.
+//!
+//! The quACK decoder builds a monic degree-`m` "error-locator" polynomial
+//! whose roots are exactly the missing identifiers (paper §3.1) and then
+//! evaluates it at every candidate in the sender's log — "for a small n,
+//! such as here, it is more efficient to plug in all candidate roots than to
+//! solve the roots directly" (paper §4.2). This module supplies Horner
+//! evaluation, synthetic deflation (dividing out a found root so multiset
+//! multiplicities are honoured), and enough polynomial algebra to cross-check
+//! the decoder in tests.
+
+use crate::Field;
+
+/// A dense polynomial `c[0] + c[1]·x + … + c[d]·x^d` over `F`.
+///
+/// The coefficient vector never ends in a zero (except for the zero
+/// polynomial, which is an empty vector), so `degree` is well-defined.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Poly<F: Field> {
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> Poly<F> {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![F::ONE],
+        }
+    }
+
+    /// Builds a polynomial from low-to-high coefficients, trimming trailing
+    /// zeros.
+    pub fn from_coeffs(mut coeffs: Vec<F>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The monic polynomial `∏ (x - r)` over the given roots.
+    ///
+    /// This is exactly the error-locator polynomial the decoder must
+    /// reconstruct from power sums; tests use it as the ground truth.
+    pub fn from_roots(roots: &[F]) -> Self {
+        let mut coeffs = vec![F::ONE];
+        for &r in roots {
+            // Multiply by (x - r): new[i] = old[i-1] - r·old[i].
+            coeffs.push(F::ZERO);
+            for i in (1..coeffs.len()).rev() {
+                let lower = coeffs[i - 1];
+                coeffs[i] = lower - r * coeffs[i];
+            }
+            coeffs[0] = -r * coeffs[0];
+            debug_assert_eq!(*coeffs.last().unwrap(), F::ONE);
+        }
+        Poly { coeffs }
+    }
+
+    /// Low-to-high coefficient slice. Empty iff the polynomial is zero.
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: F) -> F {
+        eval_horner(&self.coeffs, x)
+    }
+
+    /// Divides by `(x - root)` in place via synthetic division, returning the
+    /// remainder (zero iff `root` is an actual root).
+    pub fn deflate(&mut self, root: F) -> F {
+        if self.coeffs.is_empty() {
+            return F::ZERO;
+        }
+        let remainder = deflate_in_place(&mut self.coeffs, root);
+        self.coeffs.pop();
+        remainder
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Self::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * F::from_u64(i as u64))
+            .collect();
+        Self::from_coeffs(coeffs)
+    }
+
+    /// Polynomial addition (used in tests and cross-checks).
+    pub fn add(&self, other: &Self) -> Self {
+        let mut coeffs = vec![F::ZERO; self.coeffs.len().max(other.coeffs.len())];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    /// Schoolbook polynomial multiplication (used in tests and cross-checks).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![F::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Self::from_coeffs(coeffs)
+    }
+}
+
+/// Evaluates the polynomial given by low-to-high `coeffs` at `x` (Horner).
+///
+/// Exposed separately so the decoder's hot loop can work on a raw coefficient
+/// slice without constructing a [`Poly`].
+#[inline]
+pub fn eval_horner<F: Field>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Evaluates a *monic* polynomial of degree `coeffs.len()` whose non-leading
+/// low-to-high coefficients are `coeffs` (the implicit leading coefficient is
+/// one). This is the decoder's representation: Newton's identities produce
+/// the `m` non-leading coefficients of a monic degree-`m` locator.
+#[inline]
+pub fn eval_monic<F: Field>(coeffs: &[F], x: F) -> F {
+    let mut acc = F::ONE;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Synthetic division of the polynomial in `coeffs` (low-to-high) by
+/// `(x - root)`, in place. After the call, `coeffs[1..]` holds the quotient
+/// (low-to-high, one degree lower, with the original length retained —
+/// callers truncate) and the returned value is the remainder.
+///
+/// Layout detail: quotient coefficient `q[i]` lands in `coeffs[i + 1]`.
+#[inline]
+fn deflate_in_place<F: Field>(coeffs: &mut [F], root: F) -> F {
+    // Standard synthetic division runs high-to-low: b_k = a_k + root · b_{k+1}.
+    let mut carry = F::ZERO;
+    for c in coeffs.iter_mut().rev() {
+        let b = *c + root * carry;
+        *c = carry;
+        carry = b;
+    }
+    carry
+}
+
+/// Divides the *monic* polynomial with non-leading coefficients `coeffs`
+/// (low-to-high, implicit leading one) by `(x - root)`, in place, and
+/// returns the remainder.
+///
+/// On return, `coeffs` holds the non-leading coefficients of the (still
+/// monic, one degree lower) quotient; its length shrinks by one. The
+/// remainder is zero iff `root` was a root. This is the decoder's
+/// multiplicity-aware root removal: after confirming a logged identifier is
+/// a root, dividing it out ensures a duplicate identifier is only reported
+/// missing as many times as it is actually missing.
+#[inline]
+pub fn deflate_monic<F: Field>(coeffs: &mut Vec<F>, root: F) -> F {
+    // Synthetic division, high to low: b_k = a_k + root · b_{k+1}, with the
+    // implicit leading a_m = 1. Quotient coefficient of x^k is b_{k+1}.
+    let mut carry = F::ONE;
+    for c in coeffs.iter_mut().rev() {
+        let b = *c + root * carry;
+        *c = carry;
+        carry = b;
+    }
+    // The slice now holds [b_1, …, b_m]; b_m = 1 is the quotient's implicit
+    // leading coefficient, so drop it. The remainder is b_0.
+    let leading = coeffs.pop();
+    debug_assert!(leading.is_none() || leading == Some(F::ONE));
+    carry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp16, Fp32};
+
+    fn p32(v: u64) -> Fp32 {
+        Fp32::from_u64(v)
+    }
+
+    #[test]
+    fn from_roots_expands_correctly() {
+        // (x-1)(x-2) = x^2 - 3x + 2
+        let p = Poly::from_roots(&[p32(1), p32(2)]);
+        assert_eq!(p.coeffs(), &[p32(2), -p32(3), p32(1)]);
+        assert_eq!(p.degree(), Some(2));
+    }
+
+    #[test]
+    fn from_roots_empty_is_one() {
+        let p = Poly::<Fp32>::from_roots(&[]);
+        assert_eq!(p, Poly::one());
+        assert_eq!(p.eval(p32(12345)), Fp32::ONE);
+    }
+
+    #[test]
+    fn eval_at_roots_is_zero() {
+        let roots = [p32(17), p32(42), p32(42), p32(4_000_000_000)];
+        let p = Poly::from_roots(&roots);
+        for &r in &roots {
+            assert_eq!(p.eval(r), Fp32::ZERO);
+        }
+        assert_ne!(p.eval(p32(5)), Fp32::ZERO);
+    }
+
+    #[test]
+    fn deflate_removes_one_multiplicity() {
+        let roots = [p32(7), p32(7), p32(9)];
+        let mut p = Poly::from_roots(&roots);
+        assert_eq!(p.deflate(p32(7)), Fp32::ZERO);
+        assert_eq!(p, Poly::from_roots(&[p32(7), p32(9)]));
+        assert_eq!(p.deflate(p32(7)), Fp32::ZERO);
+        assert_eq!(p, Poly::from_roots(&[p32(9)]));
+        // 7 is no longer a root.
+        assert_ne!(p.eval(p32(7)), Fp32::ZERO);
+    }
+
+    #[test]
+    fn deflate_non_root_returns_remainder() {
+        let mut p = Poly::from_roots(&[p32(3)]);
+        let rem = p.deflate(p32(4));
+        // (x - 3) = 1·(x - 4) + 1
+        assert_eq!(rem, Fp32::ONE);
+    }
+
+    #[test]
+    fn eval_monic_matches_poly_eval() {
+        let roots = [p32(11), p32(13), p32(1_000_003)];
+        let p = Poly::from_roots(&roots);
+        // strip the leading 1
+        let non_leading = &p.coeffs()[..p.coeffs().len() - 1];
+        for x in [0u64, 1, 11, 13, 999_999_999] {
+            assert_eq!(eval_monic(non_leading, p32(x)), p.eval(p32(x)));
+        }
+    }
+
+    #[test]
+    fn deflate_monic_matches_poly_deflate() {
+        let roots = [p32(21), p32(22), p32(23)];
+        let p = Poly::from_roots(&roots);
+        let mut non_leading: Vec<Fp32> = p.coeffs()[..3].to_vec();
+        let rem = deflate_monic(&mut non_leading, p32(22));
+        assert_eq!(rem, Fp32::ZERO);
+        let expected = Poly::from_roots(&[p32(21), p32(23)]);
+        assert_eq!(&non_leading[..], &expected.coeffs()[..2]);
+    }
+
+    #[test]
+    fn deflate_monic_non_root_remainder() {
+        // x - 3 divided by (x - 4) leaves remainder 1.
+        let mut coeffs = vec![-p32(3)];
+        let rem = deflate_monic(&mut coeffs, p32(4));
+        assert_eq!(rem, Fp32::ONE);
+        assert!(coeffs.is_empty());
+        // Degree-0 monic polynomial (the constant 1): remainder is 1.
+        let mut empty: Vec<Fp32> = vec![];
+        assert_eq!(deflate_monic(&mut empty, p32(7)), Fp32::ONE);
+    }
+
+    #[test]
+    fn derivative_power_rule() {
+        // d/dx (x^3 + 2x + 5) = 3x^2 + 2
+        let p = Poly::from_coeffs(vec![p32(5), p32(2), p32(0), p32(1)]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[p32(2), p32(0), p32(3)]);
+        assert_eq!(Poly::<Fp32>::one().derivative(), Poly::zero());
+        assert_eq!(Poly::<Fp32>::zero().derivative(), Poly::zero());
+    }
+
+    #[test]
+    fn mul_and_add_are_ring_ops() {
+        let a = Poly::from_roots(&[p32(1), p32(2)]);
+        let b = Poly::from_roots(&[p32(3)]);
+        let ab = a.mul(&b);
+        assert_eq!(ab, Poly::from_roots(&[p32(1), p32(2), p32(3)]));
+        let sum = a.add(&b);
+        for x in 0..10u64 {
+            assert_eq!(sum.eval(p32(x)), a.eval(p32(x)) + b.eval(p32(x)));
+        }
+        assert_eq!(a.mul(&Poly::zero()), Poly::zero());
+    }
+
+    #[test]
+    fn trailing_zero_trim() {
+        let p = Poly::from_coeffs(vec![Fp16::ONE, Fp16::ZERO, Fp16::ZERO]);
+        assert_eq!(p.degree(), Some(0));
+        let z = Poly::from_coeffs(vec![Fp16::ZERO; 5]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+    }
+
+    #[test]
+    fn horner_empty_is_zero() {
+        assert_eq!(eval_horner::<Fp32>(&[], p32(99)), Fp32::ZERO);
+        assert_eq!(eval_monic::<Fp32>(&[], p32(99)), Fp32::ONE);
+    }
+}

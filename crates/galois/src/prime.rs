@@ -1,0 +1,230 @@
+//! Primality testing and prime search.
+//!
+//! The quACK performs "all power sum arithmetic … modulo the largest prime
+//! that can be expressed in `b` bits" (paper §3.2). The moduli for the widths
+//! the paper evaluates are hard-coded in this crate's root, but sidecar
+//! deployments may negotiate other identifier widths, so we also expose a
+//! deterministic Miller–Rabin test and [`largest_prime_below`].
+
+/// Multiplies `a * b mod m` without overflow using 128-bit intermediates.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+#[inline]
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Witnesses sufficient for a *deterministic* Miller–Rabin test over all
+/// 64-bit integers (Sinclair's 7-witness set).
+const WITNESSES: [u64; 7] = [2, 325, 9_375, 28_178, 450_775, 9_780_504, 1_795_265_022];
+
+/// Deterministic primality test for any `u64`.
+///
+/// Uses trial division by small primes followed by Miller–Rabin with a
+/// witness set proven exhaustive for the full 64-bit range.
+///
+/// ```
+/// use sidecar_galois::prime::is_prime;
+/// assert!(is_prime(65_521));
+/// assert!(!is_prime(65_522));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for &a in &WITNESSES {
+        let a = a % n;
+        if a == 0 {
+            continue;
+        }
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns the largest prime strictly less than `bound`, or `None` if there
+/// is none (i.e. `bound <= 2`).
+///
+/// ```
+/// use sidecar_galois::prime::largest_prime_below;
+/// assert_eq!(largest_prime_below(1 << 16), Some(65_521));
+/// assert_eq!(largest_prime_below(3), Some(2));
+/// assert_eq!(largest_prime_below(2), None);
+/// ```
+pub fn largest_prime_below(bound: u64) -> Option<u64> {
+    let mut candidate = bound.checked_sub(1)?;
+    while candidate >= 2 {
+        if is_prime(candidate) {
+            return Some(candidate);
+        }
+        candidate -= 1;
+    }
+    None
+}
+
+/// Finds the smallest primitive root (generator of the multiplicative group)
+/// of the prime field `F_p`.
+///
+/// Only intended for moduli small enough that factoring `p - 1` by trial
+/// division is fast; the 16-bit table construction uses it.
+///
+/// # Panics
+///
+/// Panics if `p < 3` or `p` is not prime.
+pub fn primitive_root(p: u64) -> u64 {
+    assert!(
+        p >= 3 && is_prime(p),
+        "primitive_root requires an odd prime"
+    );
+    let factors = distinct_prime_factors(p - 1);
+    'g: for g in 2..p {
+        for &q in &factors {
+            if pow_mod(g, (p - 1) / q, p) == 1 {
+                continue 'g;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime field has a primitive root");
+}
+
+/// Returns the distinct prime factors of `n` by trial division.
+fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            factors.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
+        );
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime(4_294_967_291)); // 2^32 - 5
+        assert!(is_prime(16_777_213)); // 2^24 - 3
+        assert!(is_prime(18_446_744_073_709_551_557)); // 2^64 - 59
+        assert!(!is_prime(4_294_967_295)); // 2^32 - 1 = 3·5·17·257·65537
+        assert!(!is_prime(18_446_744_073_709_551_615)); // 2^64 - 1
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic pseudoprimes that fool weaker tests.
+        for n in [
+            561u64,
+            1105,
+            1729,
+            2465,
+            2821,
+            6601,
+            8911,
+            825_265,
+            321_197_185,
+        ] {
+            assert!(!is_prime(n), "{n} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn largest_prime_below_edges() {
+        assert_eq!(largest_prime_below(0), None);
+        assert_eq!(largest_prime_below(1), None);
+        assert_eq!(largest_prime_below(2), None);
+        assert_eq!(largest_prime_below(3), Some(2));
+        assert_eq!(largest_prime_below(1 << 8), Some(251));
+    }
+
+    #[test]
+    fn primitive_root_of_65521() {
+        let g = primitive_root(65_521);
+        // The root must have full order: g^((p-1)/q) != 1 for all prime q | p-1.
+        // 65520 = 2^4 · 3^2 · 5 · 7 · 13.
+        for q in [2u64, 3, 5, 7, 13] {
+            assert_ne!(pow_mod(g, 65_520 / q, 65_521), 1);
+        }
+        assert_eq!(pow_mod(g, 65_520, 65_521), 1);
+    }
+
+    #[test]
+    fn primitive_root_small_fields() {
+        assert_eq!(primitive_root(3), 2);
+        assert_eq!(primitive_root(5), 2);
+        assert_eq!(primitive_root(7), 3);
+        assert_eq!(primitive_root(23), 5);
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for base in [0u64, 1, 2, 7, 65_520] {
+            for exp in 0..20u64 {
+                let mut naive = 1u64;
+                for _ in 0..exp {
+                    naive = naive * base % 65_521;
+                }
+                assert_eq!(pow_mod(base, exp, 65_521), naive);
+            }
+        }
+    }
+}

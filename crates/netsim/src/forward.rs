@@ -1,0 +1,195 @@
+//! A plain store-and-forward router.
+//!
+//! This is the paper's baseline middlebox: it "act\[s\] as \[a\] regular router
+//! for packets between the end hosts — \[it\] can withhold or delay packets,
+//! but \[it\] cannot modify the packets or make decisions based on their
+//! contents" (§2). Sidecar-enabled proxies in the `sidecar-proto` crate
+//! observe the same constraint while additionally running a sidecar beside
+//! the forwarding path.
+
+use crate::node::{Context, IfaceId, Node};
+use crate::packet::{Packet, PacketKind};
+use crate::time::SimDuration;
+use std::any::Any;
+
+/// Per-direction forwarding statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForwardStats {
+    /// Data packets forwarded.
+    pub data: u64,
+    /// ACK packets forwarded.
+    pub acks: u64,
+    /// Sidecar packets forwarded.
+    pub sidecar: u64,
+    /// Bytes forwarded.
+    pub bytes: u64,
+}
+
+impl ForwardStats {
+    fn record(&mut self, pkt: &Packet) {
+        match pkt.kind {
+            PacketKind::Data => self.data += 1,
+            PacketKind::Ack => self.acks += 1,
+            PacketKind::Sidecar => self.sidecar += 1,
+        }
+        self.bytes += pkt.size as u64;
+    }
+
+    /// Total packets forwarded.
+    pub fn packets(&self) -> u64 {
+        self.data + self.acks + self.sidecar
+    }
+}
+
+/// A two-interface router forwarding between interface 0 and interface 1,
+/// optionally adding a fixed per-packet processing delay.
+pub struct Forwarder {
+    processing_delay: SimDuration,
+    /// Stats for the 0→1 direction.
+    pub stats_01: ForwardStats,
+    /// Stats for the 1→0 direction.
+    pub stats_10: ForwardStats,
+    /// Packets waiting out their processing delay (token = slot index;
+    /// slots are tombstoned after dispatch so memory stays bounded by the
+    /// packets currently in flight inside the forwarder).
+    pending: Vec<Option<(IfaceId, Packet)>>,
+}
+
+impl Forwarder {
+    /// A forwarder with zero processing delay.
+    pub fn new() -> Self {
+        Self::with_delay(SimDuration::ZERO)
+    }
+
+    /// A forwarder that holds each packet for `processing_delay` before
+    /// re-emitting it.
+    pub fn with_delay(processing_delay: SimDuration) -> Self {
+        Forwarder {
+            processing_delay,
+            stats_01: ForwardStats::default(),
+            stats_10: ForwardStats::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed() -> Box<Self> {
+        Box::new(Self::new())
+    }
+
+    fn out_iface(in_iface: IfaceId) -> IfaceId {
+        match in_iface {
+            IfaceId(0) => IfaceId(1),
+            IfaceId(1) => IfaceId(0),
+            other => panic!("forwarder has two interfaces, got {other:?}"),
+        }
+    }
+}
+
+impl Default for Forwarder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Node for Forwarder {
+    fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        let out = Self::out_iface(iface);
+        match iface {
+            IfaceId(0) => self.stats_01.record(&packet),
+            _ => self.stats_10.record(&packet),
+        }
+        if self.processing_delay == SimDuration::ZERO {
+            ctx.send(out, packet);
+        } else {
+            // Reuse a tombstoned slot if one exists, else append.
+            let slot = self.pending.iter().position(Option::is_none);
+            let token = match slot {
+                Some(i) => {
+                    self.pending[i] = Some((out, packet));
+                    i as u64
+                }
+                None => {
+                    self.pending.push(Some((out, packet)));
+                    (self.pending.len() - 1) as u64
+                }
+            };
+            ctx.set_timer_after(self.processing_delay, token);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        let idx = token as usize;
+        if let Some(Some((out, packet))) = self.pending.get_mut(idx).map(Option::take) {
+            ctx.send(out, packet);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "forwarder"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::transport::{CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode};
+    use crate::world::World;
+
+    #[test]
+    fn transport_works_through_a_forwarder() {
+        let mut w = World::new(11);
+        let s = w.add_node(SenderNode::boxed(SenderConfig {
+            total_packets: Some(300),
+            cc: CcAlgorithm::NewReno,
+            ..SenderConfig::default()
+        }));
+        let fwd = w.add_node(Forwarder::boxed());
+        let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+        // Sender ⇄ forwarder ⇄ receiver. Forwarder iface 0 faces sender.
+        w.connect(s, fwd, LinkConfig::default(), LinkConfig::default());
+        w.connect(fwd, r, LinkConfig::default(), LinkConfig::default());
+        w.run_until_idle(10_000_000);
+        let sender = w.node_as::<SenderNode>(s);
+        assert!(sender.core().is_complete());
+        let f = w.node_as::<Forwarder>(fwd);
+        assert_eq!(f.stats_01.data, 300);
+        assert!(f.stats_10.acks > 0);
+        assert_eq!(f.stats_01.packets(), 300);
+    }
+
+    #[test]
+    fn processing_delay_inflates_rtt() {
+        let rtt_with = |delay_ms: u64| {
+            let mut w = World::new(12);
+            let s = w.add_node(SenderNode::boxed(SenderConfig {
+                total_packets: Some(100),
+                ..SenderConfig::default()
+            }));
+            let fwd = w.add_node(Box::new(Forwarder::with_delay(SimDuration::from_millis(
+                delay_ms,
+            ))));
+            let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+            w.connect(s, fwd, LinkConfig::default(), LinkConfig::default());
+            w.connect(fwd, r, LinkConfig::default(), LinkConfig::default());
+            w.run_until_idle(10_000_000);
+            w.node_as::<SenderNode>(s).core().rtt().srtt()
+        };
+        let fast = rtt_with(0);
+        let slow = rtt_with(20);
+        // 20 ms processing in each direction adds ≈40 ms to the RTT.
+        assert!(
+            slow > fast + SimDuration::from_millis(30),
+            "{fast} vs {slow}"
+        );
+    }
+}

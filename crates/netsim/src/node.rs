@@ -1,0 +1,186 @@
+//! The [`Node`] trait and the [`Context`] handed to node callbacks.
+//!
+//! Nodes are sans-IO state machines: callbacks receive a [`Context`] that
+//! *records* intended actions (packet sends, timer arms) which the world
+//! applies after the callback returns. This keeps the borrow graph simple,
+//! keeps nodes unit-testable without a world, and makes every effect of a
+//! callback observable in tests.
+
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Index of a node within its world.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Index of an interface within one node's interface list (assigned in
+/// `connect` order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IfaceId(pub usize);
+
+/// Index of a unidirectional link within the world.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// An action a node requested during a callback.
+#[derive(Debug)]
+pub enum Action {
+    /// Transmit `packet` out of interface `iface`.
+    Send {
+        /// Egress interface.
+        iface: IfaceId,
+        /// The packet to transmit.
+        packet: Packet,
+    },
+    /// Fire [`Node::on_timer`] with `token` at time `at`.
+    Timer {
+        /// Absolute fire time.
+        at: SimTime,
+        /// Opaque token echoed back to the node.
+        token: u64,
+    },
+}
+
+/// Execution context for one node callback.
+///
+/// Timers are one-shot and cannot be cancelled; re-arming is cheap and stale
+/// timers should be ignored by checking node state on fire (lazy
+/// cancellation — the idiom smoltcp and QUIC stacks use for loss timers).
+pub struct Context<'a> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Context<'a> {
+    /// Builds a context; used by the world and by node unit tests.
+    pub fn new(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<Action>,
+    ) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            actions,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node being called back (useful for logging in shared impls).
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queues `packet` for transmission out of `iface`.
+    pub fn send(&mut self, iface: IfaceId, packet: Packet) {
+        self.actions.push(Action::Send { iface, packet });
+    }
+
+    /// Arms a one-shot timer at absolute time `at`.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        debug_assert!(at >= self.now, "timer in the past");
+        self.actions.push(Action::Timer { at, token });
+    }
+
+    /// Arms a one-shot timer `delay` from now.
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.actions.push(Action::Timer { at, token });
+    }
+}
+
+/// A simulated network element: host, proxy, router, sink…
+///
+/// Implementations must be deterministic functions of (state, inputs, rng).
+pub trait Node: Any {
+    /// Called once when the simulation starts; arm initial timers and send
+    /// initial packets here.
+    fn on_start(&mut self, _ctx: &mut Context) {}
+
+    /// A packet arrived on `iface`.
+    fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context);
+
+    /// A timer armed with `token` fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Context) {}
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "node"
+    }
+
+    /// Downcast support (stats extraction after a run).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Packet};
+
+    struct Echoer {
+        seen: usize,
+    }
+
+    impl Node for Echoer {
+        fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
+            self.seen += 1;
+            ctx.send(iface, packet);
+            ctx.set_timer_after(SimDuration::from_millis(1), 7);
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn context_records_actions() {
+        let mut rng = SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut ctx = Context::new(SimTime::from_nanos(100), NodeId(3), &mut rng, &mut actions);
+        assert_eq!(ctx.now(), SimTime::from_nanos(100));
+        assert_eq!(ctx.node_id(), NodeId(3));
+
+        let mut node = Echoer { seen: 0 };
+        let pkt = Packet::data(FlowId(0), 1, 0xAB, 100, SimTime::ZERO);
+        node.on_packet(IfaceId(0), pkt, &mut ctx);
+        assert_eq!(node.seen, 1);
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                iface: IfaceId(0),
+                ..
+            }
+        ));
+        match actions[1] {
+            Action::Timer { at, token } => {
+                assert_eq!(at, SimTime::from_nanos(100) + SimDuration::from_millis(1));
+                assert_eq!(token, 7);
+            }
+            _ => panic!("expected timer"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Packets: the unit of transfer between simulated nodes.
+//!
+//! A packet models an E2E-encrypted datagram. Mirroring the paper's threat
+//! model (§2: proxies "cannot modify the packets or make decisions based on
+//! their contents"), the fields split into two groups:
+//!
+//! * **Opaque-but-visible** — what a real middlebox can see on the wire:
+//!   the pseudo-random [`identifier`](Packet::id) (a window of encrypted
+//!   header bytes, §3.2), the size, and nothing else. Sidecars key off
+//!   `id` only.
+//! * **Ground truth** — `seq`, `flow`, and the typed payload, standing in
+//!   for the *encrypted* contents only end hosts can decrypt. Simulator
+//!   bookkeeping and end-host logic may use them; in-network node
+//!   implementations must not (the sidecar crate upholds this by
+//!   convention, tested in its integration suite).
+
+use crate::time::SimTime;
+
+/// Identifies a flow (one transport connection direction).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+/// Coarse packet class, used for stats and queue accounting. A real
+/// middlebox can approximate this from size/direction; nothing
+/// protocol-specific leaks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// Transport data (MTU-sized in the paper's scenarios).
+    Data,
+    /// End-to-end transport acknowledgment (encrypted; only hosts parse it).
+    Ack,
+    /// Sidecar protocol datagram (quACKs and sidecar control), spoken
+    /// between sidecars in the clear.
+    Sidecar,
+}
+
+/// The decrypted payload, accessible to end hosts (and, for
+/// [`PacketKind::Sidecar`], to sidecars — the sidecar protocol is not
+/// end-to-end encrypted).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Payload {
+    /// No payload beyond the (simulated) data bytes.
+    None,
+    /// Transport data carrying application data unit `unit` (a unit is one
+    /// MTU-sized chunk; retransmissions of a unit travel in fresh packets
+    /// with fresh packet numbers and fresh identifiers, QUIC-style).
+    Data {
+        /// Application data-unit number.
+        unit: u64,
+    },
+    /// An end-to-end acknowledgment.
+    Ack(AckInfo),
+    /// An opaque sidecar-protocol message; the sidecar crate defines the
+    /// encoding (`proto` discriminates message types).
+    Sidecar {
+        /// Sidecar message type tag.
+        proto: u8,
+        /// Serialized message body.
+        bytes: Vec<u8>,
+    },
+}
+
+/// QUIC-style acknowledgment contents: the largest received packet number
+/// plus ranges of received packet numbers below it.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AckInfo {
+    /// Largest packet number being acknowledged.
+    pub largest: u64,
+    /// Inclusive `(start, end)` ranges of received packet numbers, sorted
+    /// descending by `end`, the first containing `largest`.
+    pub ranges: Vec<(u64, u64)>,
+    /// Whether this ACK was triggered by the receiver's ECN/loss heuristics
+    /// (immediate) rather than the ack-frequency schedule.
+    pub immediate: bool,
+}
+
+impl AckInfo {
+    /// Whether `seq` is covered by this ACK.
+    pub fn acks(&self, seq: u64) -> bool {
+        self.ranges.iter().any(|&(s, e)| (s..=e).contains(&seq))
+    }
+}
+
+/// A simulated packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Flow this packet belongs to (ground truth).
+    pub flow: FlowId,
+    /// Packet class.
+    pub kind: PacketKind,
+    /// On-the-wire size in bytes, including all headers.
+    pub size: u32,
+    /// The opaque identifier a sidecar extracts from the encrypted header
+    /// (§3.2). Pseudo-random; the only per-packet value in-network code may
+    /// key on.
+    pub id: u64,
+    /// Transport-level packet number (ground truth; encrypted on the wire).
+    pub seq: u64,
+    /// When the packet was (first) transmitted by its origin host.
+    pub sent_at: SimTime,
+    /// Decrypted payload (end hosts only, except `Payload::Sidecar`).
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// A data packet of `size` bytes (data unit defaults to the packet
+    /// number; use [`Packet::data_unit`] for retransmissions).
+    pub fn data(flow: FlowId, seq: u64, id: u64, size: u32, sent_at: SimTime) -> Self {
+        Self::data_unit(flow, seq, seq, id, size, sent_at)
+    }
+
+    /// A data packet carrying an explicit data unit.
+    pub fn data_unit(
+        flow: FlowId,
+        seq: u64,
+        unit: u64,
+        id: u64,
+        size: u32,
+        sent_at: SimTime,
+    ) -> Self {
+        Packet {
+            flow,
+            kind: PacketKind::Data,
+            size,
+            id,
+            seq,
+            sent_at,
+            payload: Payload::Data { unit },
+        }
+    }
+
+    /// An end-to-end ACK packet.
+    pub fn ack(flow: FlowId, id: u64, ack: AckInfo, size: u32, sent_at: SimTime) -> Self {
+        Packet {
+            flow,
+            kind: PacketKind::Ack,
+            size,
+            id,
+            seq: 0,
+            sent_at,
+            payload: Payload::Ack(ack),
+        }
+    }
+
+    /// A sidecar-protocol packet.
+    pub fn sidecar(flow: FlowId, proto: u8, bytes: Vec<u8>, size: u32, sent_at: SimTime) -> Self {
+        Packet {
+            flow,
+            kind: PacketKind::Sidecar,
+            size,
+            id: 0,
+            seq: 0,
+            sent_at,
+            payload: Payload::Sidecar { proto, bytes },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_range_queries() {
+        let ack = AckInfo {
+            largest: 100,
+            ranges: vec![(90, 100), (50, 60), (10, 10)],
+            immediate: false,
+        };
+        assert!(ack.acks(100));
+        assert!(ack.acks(90));
+        assert!(ack.acks(55));
+        assert!(ack.acks(10));
+        assert!(!ack.acks(89));
+        assert!(!ack.acks(0));
+        assert!(!ack.acks(101));
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let d = Packet::data(FlowId(1), 42, 0xABCD, 1500, SimTime::from_nanos(5));
+        assert_eq!(d.kind, PacketKind::Data);
+        assert_eq!(d.seq, 42);
+        assert_eq!(d.payload, Payload::Data { unit: 42 });
+        let r = Packet::data_unit(FlowId(1), 50, 42, 0xEE, 1500, SimTime::ZERO);
+        assert_eq!(r.seq, 50);
+        assert_eq!(r.payload, Payload::Data { unit: 42 });
+
+        let a = Packet::ack(FlowId(1), 7, AckInfo::default(), 40, SimTime::ZERO);
+        assert_eq!(a.kind, PacketKind::Ack);
+        assert!(matches!(a.payload, Payload::Ack(_)));
+
+        let s = Packet::sidecar(FlowId(1), 3, vec![1, 2, 3], 90, SimTime::ZERO);
+        assert_eq!(s.kind, PacketKind::Sidecar);
+        assert!(matches!(s.payload, Payload::Sidecar { proto: 3, .. }));
+    }
+}

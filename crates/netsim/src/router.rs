@@ -1,0 +1,222 @@
+//! A multi-interface router with per-flow static routes.
+//!
+//! [`crate::Forwarder`] handles the two-interface line topologies the
+//! sidecar protocols live on; `FlowRouter` generalizes to fan-in/fan-out
+//! topologies (several flows sharing a bottleneck, multipath splits) so
+//! experiments can study sharing and fairness. Like every in-network
+//! element here it never inspects payloads — routes are keyed only on the
+//! (simulator-level) flow id and ingress interface.
+
+use crate::node::{Context, IfaceId, Node};
+use crate::packet::{FlowId, Packet};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A static-routing node: `(flow, ingress interface) → egress interface`.
+pub struct FlowRouter {
+    routes: HashMap<(FlowId, IfaceId), IfaceId>,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped for want of a route.
+    pub unroutable: u64,
+}
+
+impl FlowRouter {
+    /// Creates a router with no routes.
+    pub fn new() -> Self {
+        FlowRouter {
+            routes: HashMap::new(),
+            forwarded: 0,
+            unroutable: 0,
+        }
+    }
+
+    /// Adds a unidirectional route; returns `self` for chaining.
+    pub fn route(mut self, flow: FlowId, from: IfaceId, to: IfaceId) -> Self {
+        self.add_route(flow, from, to);
+        self
+    }
+
+    /// Adds a unidirectional route.
+    pub fn add_route(&mut self, flow: FlowId, from: IfaceId, to: IfaceId) {
+        assert_ne!(from, to, "route would loop back out its ingress");
+        let prev = self.routes.insert((flow, from), to);
+        assert!(prev.is_none(), "duplicate route for {flow:?} from {from:?}");
+    }
+
+    /// Adds the symmetric pair of routes for one flow traversing the router
+    /// between two interfaces (data one way, ACKs the other).
+    pub fn add_duplex_route(&mut self, flow: FlowId, a: IfaceId, b: IfaceId) {
+        self.add_route(flow, a, b);
+        self.add_route(flow, b, a);
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(self) -> Box<Self> {
+        Box::new(self)
+    }
+}
+
+impl Default for FlowRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Node for FlowRouter {
+    fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match self.routes.get(&(packet.flow, iface)) {
+            Some(&out) => {
+                self.forwarded += 1;
+                ctx.send(out, packet);
+            }
+            None => {
+                self.unroutable += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "flow-router"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::time::SimDuration;
+    use crate::transport::{CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode};
+    use crate::world::World;
+
+    /// Two flows share one bottleneck link through a router pair.
+    fn shared_bottleneck(seed: u64, cc: CcAlgorithm, total: u64) -> (f64, f64, u64) {
+        let mut w = World::new(seed);
+        let f1 = FlowId(1);
+        let f2 = FlowId(2);
+        let s1 = w.add_node(SenderNode::boxed(SenderConfig {
+            flow: f1,
+            total_packets: Some(total),
+            cc,
+            id_seed: seed ^ 1,
+            ..SenderConfig::default()
+        }));
+        let s2 = w.add_node(SenderNode::boxed(SenderConfig {
+            flow: f2,
+            total_packets: Some(total),
+            cc,
+            id_seed: seed ^ 2,
+            ..SenderConfig::default()
+        }));
+        let mut mux = FlowRouter::new();
+        // Interfaces in connect order: 0 = s1, 1 = s2, 2 = bottleneck.
+        mux.add_duplex_route(f1, IfaceId(0), IfaceId(2));
+        mux.add_duplex_route(f2, IfaceId(1), IfaceId(2));
+        let mux = w.add_node(mux.boxed());
+        let mut demux = FlowRouter::new();
+        // 0 = bottleneck, 1 = r1, 2 = r2.
+        demux.add_duplex_route(f1, IfaceId(0), IfaceId(1));
+        demux.add_duplex_route(f2, IfaceId(0), IfaceId(2));
+        let demux = w.add_node(demux.boxed());
+        let r1 = w.add_node(ReceiverNode::boxed(ReceiverConfig {
+            flow: f1,
+            ..ReceiverConfig::default()
+        }));
+        let r2 = w.add_node(ReceiverNode::boxed(ReceiverConfig {
+            flow: f2,
+            ..ReceiverConfig::default()
+        }));
+
+        let edge = LinkConfig {
+            rate_bps: 1_000_000_000,
+            delay: SimDuration::from_millis(2),
+            ..LinkConfig::default()
+        };
+        let bottleneck = LinkConfig {
+            rate_bps: 50_000_000,
+            delay: SimDuration::from_millis(10),
+            queue_packets: 128,
+            ..LinkConfig::default()
+        };
+        w.connect(s1, mux, edge.clone(), edge.clone());
+        w.connect(s2, mux, edge.clone(), edge.clone());
+        w.connect(mux, demux, bottleneck.clone(), bottleneck);
+        w.connect(demux, r1, edge.clone(), edge.clone());
+        w.connect(demux, r2, edge.clone(), edge);
+        w.run_until_idle(100_000_000);
+
+        let t1 = w
+            .node_as::<SenderNode>(s1)
+            .stats()
+            .completed_at
+            .expect("flow 1 completed")
+            .as_secs_f64();
+        let t2 = w
+            .node_as::<SenderNode>(s2)
+            .stats()
+            .completed_at
+            .expect("flow 2 completed")
+            .as_secs_f64();
+        let unroutable =
+            w.node_as::<FlowRouter>(mux).unroutable + w.node_as::<FlowRouter>(demux).unroutable;
+        (t1, t2, unroutable)
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_fairly() {
+        let (t1, t2, unroutable) = shared_bottleneck(3, CcAlgorithm::NewReno, 1500);
+        assert_eq!(unroutable, 0);
+        // Jain-style fairness: completion times within 2x of each other.
+        let ratio = t1.max(t2) / t1.min(t2);
+        assert!(ratio < 2.0, "unfair split: {t1:.3}s vs {t2:.3}s");
+        // And the pair saturates the bottleneck reasonably: two 1500-packet
+        // flows at 1500 B over 50 Mbit/s need ≥ 0.72 s of busy time.
+        assert!(t1.max(t2) > 0.7, "faster than the link allows?");
+        assert!(t1.max(t2) < 3.0, "bottleneck badly underutilized");
+    }
+
+    #[test]
+    fn unroutable_flows_are_dropped_and_counted() {
+        let mut w = World::new(9);
+        let s = w.add_node(SenderNode::boxed(SenderConfig {
+            flow: FlowId(7),
+            total_packets: Some(10),
+            ..SenderConfig::default()
+        }));
+        // Router with no routes at all.
+        let router = w.add_node(FlowRouter::new().boxed());
+        let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+        w.connect(s, router, LinkConfig::default(), LinkConfig::default());
+        w.connect(router, r, LinkConfig::default(), LinkConfig::default());
+        // The flow can never complete; run for a bounded sim time.
+        w.run_until(crate::time::SimTime::ZERO + SimDuration::from_millis(500));
+        let router = w.node_as::<FlowRouter>(router);
+        assert_eq!(router.forwarded, 0);
+        assert!(router.unroutable > 0);
+        let recv = w.node_as::<ReceiverNode>(r);
+        assert_eq!(recv.stats().received_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate route")]
+    fn duplicate_routes_rejected() {
+        let mut r = FlowRouter::new();
+        r.add_route(FlowId(1), IfaceId(0), IfaceId(1));
+        r.add_route(FlowId(1), IfaceId(0), IfaceId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop back")]
+    fn self_routes_rejected() {
+        let mut r = FlowRouter::new();
+        r.add_route(FlowId(1), IfaceId(0), IfaceId(0));
+    }
+}

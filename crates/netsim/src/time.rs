@@ -1,0 +1,280 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+//!
+//! The simulator is fully deterministic, so time is a plain counter — no
+//! wall clocks anywhere. Nanosecond resolution comfortably covers both the
+//! paper's microsecond-scale quACK costs and its millisecond-scale RTTs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "duration_since of a later time");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Constructs from float seconds (rounds down; reporting/config only).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration: {s}");
+        SimDuration((s * 1e9) as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales by an integer factor, saturating.
+    pub const fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Checked scaling by a float factor (RTO backoff etc.).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        assert!(k >= 0.0 && k.is_finite(), "invalid scale: {k}");
+        SimDuration((self.0 as f64 * k) as u64)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "negative duration");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// Transmission (serialization) time of `bytes` at `bits_per_sec`.
+pub fn transmission_time(bytes: u32, bits_per_sec: u64) -> SimDuration {
+    assert!(bits_per_sec > 0, "link rate must be positive");
+    // ns = bits * 1e9 / rate, computed in u128 to avoid overflow.
+    let bits = bytes as u128 * 8;
+    SimDuration::from_nanos((bits * 1_000_000_000 / bits_per_sec as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_millis(60).as_nanos(), 60_000_000);
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!((t1 - t0), SimDuration::from_millis(10));
+        assert_eq!(t1.saturating_sub(SimDuration::from_secs(1)), SimTime::ZERO);
+        let mut t = t1;
+        t += SimDuration::from_millis(5);
+        assert_eq!(t.as_nanos(), 15_000_000);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_millis(15));
+        assert!((SimDuration::from_secs(1) / SimDuration::from_millis(250) - 4.0).abs() < 1e-12);
+        assert_eq!(
+            d.max(SimDuration::from_millis(20)),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(d.min(SimDuration::from_millis(20)), d);
+    }
+
+    #[test]
+    fn transmission_time_examples() {
+        // 1500 B at 200 Mbit/s = 60 us (the paper's §4.3 back-of-envelope).
+        assert_eq!(
+            transmission_time(1500, 200_000_000),
+            SimDuration::from_micros(60)
+        );
+        // 1 byte at 8 bit/s = 1 s.
+        assert_eq!(transmission_time(1, 8), SimDuration::from_secs(1));
+        assert_eq!(transmission_time(0, 1_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_nanos(500).to_string(), "500ns");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_millis(60).to_string(), "60.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+        assert_eq!(SimTime::from_nanos(1_500_000).to_string(), "0.001500s");
+    }
+}

@@ -1,0 +1,263 @@
+//! Event tracing: an optional, bounded record of everything the world did.
+//!
+//! Inspired by smoltcp's pcap option: flip tracing on and every packet
+//! arrival, drop, and timer firing is recorded with its timestamp, giving
+//! tests and debugging sessions a causal, human-readable account of a run.
+//! Traces are bounded (ring semantics) so long simulations cannot exhaust
+//! memory.
+
+use crate::node::{IfaceId, NodeId};
+use crate::packet::PacketKind;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Why a packet never reached its destination.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The link's loss model fired.
+    Loss,
+    /// The link's drop-tail queue was full.
+    QueueFull,
+}
+
+/// One recorded simulation event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A packet was delivered to a node.
+    Arrival {
+        /// When it arrived.
+        at: SimTime,
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving interface.
+        iface: IfaceId,
+        /// Packet class.
+        kind: PacketKind,
+        /// Opaque identifier.
+        id: u64,
+        /// Packet number (ground truth).
+        seq: u64,
+        /// Bytes on the wire.
+        size: u32,
+    },
+    /// A packet was dropped in transit.
+    Drop {
+        /// When the drop happened (at offer time).
+        at: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+        /// Egress interface.
+        iface: IfaceId,
+        /// Packet class.
+        kind: PacketKind,
+        /// Opaque identifier.
+        id: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A timer fired on a node.
+    Timer {
+        /// When.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+        /// The token it armed.
+        token: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Timer { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded event recorder.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events offered (including ones evicted from the ring).
+    pub total_recorded: u64,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.total_recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events matching a predicate.
+    pub fn filtered<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| pred(e))
+    }
+
+    /// Counts retained drops by reason.
+    pub fn drop_counts(&self) -> (u64, u64) {
+        let mut loss = 0;
+        let mut queue = 0;
+        for e in &self.events {
+            if let TraceEvent::Drop { reason, .. } = e {
+                match reason {
+                    DropReason::Loss => loss += 1,
+                    DropReason::QueueFull => queue += 1,
+                }
+            }
+        }
+        (loss, queue)
+    }
+
+    /// Renders the retained events as one line each (tcpdump-flavoured).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Arrival {
+                    at,
+                    node,
+                    iface,
+                    kind,
+                    id,
+                    seq,
+                    size,
+                } => {
+                    out.push_str(&format!(
+                        "{at} node{} if{} ← {kind:?} id={id:#010x} pn={seq} {size}B\n",
+                        node.0, iface.0
+                    ));
+                }
+                TraceEvent::Drop {
+                    at,
+                    node,
+                    iface,
+                    kind,
+                    id,
+                    reason,
+                } => {
+                    out.push_str(&format!(
+                        "{at} node{} if{} ✗ {kind:?} id={id:#010x} ({reason:?})\n",
+                        node.0, iface.0
+                    ));
+                }
+                TraceEvent::Timer { at, node, token } => {
+                    out.push_str(&format!("{at} node{} ⏰ token={token}\n", node.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(ns: u64) -> TraceEvent {
+        TraceEvent::Arrival {
+            at: SimTime::from_nanos(ns),
+            node: NodeId(1),
+            iface: IfaceId(0),
+            kind: PacketKind::Data,
+            id: 0xAB,
+            seq: 7,
+            size: 1500,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.record(arrival(1));
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.total_recorded, 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.record(arrival(i));
+        }
+        assert_eq!(t.total_recorded, 5);
+        let times: Vec<u64> = t.events().map(|e| e.at().as_nanos()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_counting_and_render() {
+        let mut t = Trace::with_capacity(16);
+        t.record(arrival(1));
+        t.record(TraceEvent::Drop {
+            at: SimTime::from_nanos(2),
+            node: NodeId(0),
+            iface: IfaceId(1),
+            kind: PacketKind::Data,
+            id: 0xCD,
+            reason: DropReason::Loss,
+        });
+        t.record(TraceEvent::Drop {
+            at: SimTime::from_nanos(3),
+            node: NodeId(0),
+            iface: IfaceId(1),
+            kind: PacketKind::Ack,
+            id: 0xEF,
+            reason: DropReason::QueueFull,
+        });
+        t.record(TraceEvent::Timer {
+            at: SimTime::from_nanos(4),
+            node: NodeId(2),
+            token: 9,
+        });
+        assert_eq!(t.drop_counts(), (1, 1));
+        let text = t.render();
+        assert!(text.contains("← Data"));
+        assert!(text.contains("(Loss)"));
+        assert!(text.contains("(QueueFull)"));
+        assert!(text.contains("⏰ token=9"));
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(
+            t.filtered(|e| matches!(e, TraceEvent::Drop { .. })).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! Pluggable congestion control for the simulated transport.
+//!
+//! The base protocol ships NewReno and CUBIC (the two algorithms smoltcp
+//! also implements) plus a fixed-window control used by benchmarks and by
+//! the congestion-control-division protocol's proxy segment. Windows are
+//! counted in packets (MTU-sized segments), which keeps invariants crisp at
+//! the fidelity this reproduction needs.
+
+use super::rtt::RttEstimator;
+use crate::time::{SimDuration, SimTime};
+
+/// Congestion-control algorithm driving a sender's window.
+pub trait CongestionControl: Send {
+    /// Current congestion window, in packets (always ≥ 1).
+    fn cwnd(&self) -> u64;
+
+    /// `acked` packets newly acknowledged.
+    fn on_ack(&mut self, acked: u64, now: SimTime, rtt: &RttEstimator);
+
+    /// One congestion event (at most once per round trip; the sender
+    /// deduplicates).
+    fn on_congestion_event(&mut self, now: SimTime);
+
+    /// Retransmission timeout: collapse the window.
+    fn on_rto(&mut self);
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which congestion controller to instantiate (config-friendly handle).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CcAlgorithm {
+    /// TCP NewReno-style AIMD.
+    NewReno,
+    /// CUBIC (RFC 8312-style window growth).
+    Cubic,
+    /// A BBR-flavoured model-based controller: paces to a measured
+    /// bottleneck-bandwidth × min-RTT product and ignores individual
+    /// losses. The strongest *end-to-end* baseline against
+    /// congestion-control division on noncongestive-loss paths.
+    Bbr,
+    /// A fixed window of the given size: no reaction to loss. Used by
+    /// microbenchmarks and as the "rate dictated by the sidecar" mode.
+    Fixed(u64),
+}
+
+impl CcAlgorithm {
+    /// Instantiates the controller with the given initial window.
+    pub fn build(self, initial_cwnd: u64) -> Box<dyn CongestionControl> {
+        match self {
+            CcAlgorithm::NewReno => Box::new(NewReno::new(initial_cwnd)),
+            CcAlgorithm::Cubic => Box::new(Cubic::new(initial_cwnd)),
+            CcAlgorithm::Bbr => Box::new(Bbr::new(initial_cwnd)),
+            CcAlgorithm::Fixed(w) => Box::new(FixedWindow::new(w)),
+        }
+    }
+}
+
+/// TCP NewReno: slow start then AIMD congestion avoidance.
+#[derive(Clone, Debug)]
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl NewReno {
+    /// Creates NewReno with the given initial window (packets).
+    pub fn new(initial_cwnd: u64) -> Self {
+        NewReno {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: f64::INFINITY,
+        }
+    }
+
+    /// Whether the controller is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(1.0) as u64
+    }
+
+    fn on_ack(&mut self, acked: u64, _now: SimTime, _rtt: &RttEstimator) {
+        if self.in_slow_start() {
+            self.cwnd += acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance: ~1 packet per RTT.
+            self.cwnd += acked as f64 / self.cwnd;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+}
+
+/// CUBIC (RFC 8312): window growth `W(t) = C·(t − K)³ + W_max` after a
+/// congestion event, with a Reno-friendly region for low-BDP paths.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+    k: f64,
+    epoch_start: Option<SimTime>,
+    /// Reno-friendly window estimate.
+    w_est: f64,
+}
+
+/// CUBIC constant `C` (units: packets/sec³).
+const CUBIC_C: f64 = 0.4;
+/// Multiplicative decrease factor `β`.
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// Creates CUBIC with the given initial window (packets).
+    pub fn new(initial_cwnd: u64) -> Self {
+        Cubic {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+        }
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(1.0) as u64
+    }
+
+    fn on_ack(&mut self, acked: u64, now: SimTime, rtt: &RttEstimator) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        let epoch_start = *self.epoch_start.get_or_insert_with(|| {
+            // Fresh congestion-avoidance epoch (e.g. after slow start
+            // exited without a loss event).
+            self.w_max = self.cwnd;
+            self.k = 0.0;
+            self.w_est = self.cwnd;
+            now
+        });
+        let t = (now - epoch_start).as_secs_f64();
+        let target = CUBIC_C * (t - self.k).powi(3) + self.w_max;
+        // Reno-friendly estimate: standard AIMD growth.
+        let _ = rtt;
+        self.w_est += acked as f64 * 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) / self.cwnd;
+        let target = target.max(self.w_est);
+        if target > self.cwnd {
+            // Approach the cubic target over roughly one RTT.
+            self.cwnd += (target - self.cwnd) / self.cwnd * acked as f64;
+        } else {
+            // Minimal growth in the concave plateau.
+            self.cwnd += acked as f64 * 0.01 / self.cwnd;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.w_max = self.cwnd;
+        self.cwnd = (self.cwnd * CUBIC_BETA).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.k = ((self.w_max * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
+        self.epoch_start = None;
+        self.w_est = self.cwnd;
+    }
+
+    fn on_rto(&mut self) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * CUBIC_BETA).max(2.0);
+        self.cwnd = 1.0;
+        self.k = ((self.w_max * (1.0 - CUBIC_BETA)) / CUBIC_C).cbrt();
+        self.epoch_start = None;
+        self.w_est = self.cwnd;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+/// A BBR-flavoured model-based controller.
+///
+/// Keeps a windowed-max estimate of the delivery rate (packets/s) and a
+/// min-RTT, and sets `cwnd = gain × rate × min_rtt`. Individual losses are
+/// ignored (only the model matters), which is exactly why BBR-like senders
+/// tolerate noncongestive loss that collapses AIMD — making this the
+/// fairest end-to-end baseline for the §2.1 division experiments.
+///
+/// Simplifications vs. real BBR: window-based rather than paced, a single
+/// 2× startup gain with growth-plateau detection, and a fixed 1.05×
+/// steady-state gain instead of the ProbeBW gain cycle.
+#[derive(Clone, Debug)]
+pub struct Bbr {
+    cwnd: f64,
+    /// (sample_time, delivery-rate packets/s), pruned to the sample window.
+    rate_samples: std::collections::VecDeque<(SimTime, f64)>,
+    /// Delivered-count bookkeeping for rate sampling.
+    last_ack_at: Option<SimTime>,
+    delivered_since_sample: u64,
+    /// Best observed rate (windowed max).
+    btl_rate: f64,
+    /// Startup plateau detection.
+    in_startup: bool,
+    prev_btl_rate: f64,
+    stagnant_rounds: u32,
+}
+
+/// How long rate samples stay in the max filter.
+const BBR_SAMPLE_WINDOW: SimDuration = SimDuration::from_millis(2_500);
+
+impl Bbr {
+    /// Creates the controller with the given initial window (packets).
+    pub fn new(initial_cwnd: u64) -> Self {
+        Bbr {
+            cwnd: initial_cwnd.max(4) as f64,
+            rate_samples: std::collections::VecDeque::new(),
+            last_ack_at: None,
+            delivered_since_sample: 0,
+            btl_rate: 0.0,
+            in_startup: true,
+            prev_btl_rate: 0.0,
+            stagnant_rounds: 0,
+        }
+    }
+
+    /// Whether the controller is still in startup.
+    pub fn in_startup(&self) -> bool {
+        self.in_startup
+    }
+
+    /// The current bottleneck-rate estimate in packets/s.
+    pub fn bottleneck_rate(&self) -> f64 {
+        self.btl_rate
+    }
+
+    fn refresh_btl_rate(&mut self, now: SimTime) {
+        let horizon = now.saturating_sub(BBR_SAMPLE_WINDOW);
+        while self
+            .rate_samples
+            .front()
+            .is_some_and(|&(at, _)| at < horizon)
+        {
+            self.rate_samples.pop_front();
+        }
+        self.btl_rate = self
+            .rate_samples
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(0.0, f64::max);
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(4.0) as u64
+    }
+
+    fn on_ack(&mut self, acked: u64, now: SimTime, rtt: &RttEstimator) {
+        self.delivered_since_sample += acked;
+        let Some(last) = self.last_ack_at else {
+            self.last_ack_at = Some(now);
+            self.delivered_since_sample = 0;
+            return;
+        };
+        // Accumulate at least a few ms per sample to keep quantization down.
+        let elapsed = now - last;
+        if elapsed < SimDuration::from_millis(2) {
+            return;
+        }
+        let rate = self.delivered_since_sample as f64 / elapsed.as_secs_f64();
+        self.last_ack_at = Some(now);
+        self.delivered_since_sample = 0;
+        self.rate_samples.push_back((now, rate));
+        self.refresh_btl_rate(now);
+
+        let min_rtt = rtt
+            .min_rtt()
+            .unwrap_or_else(|| rtt.srtt())
+            .as_secs_f64()
+            .max(1e-4);
+        let bdp = (self.btl_rate * min_rtt).max(4.0);
+        if self.in_startup {
+            // Exponential growth until the rate estimate plateaus for three
+            // consecutive samples.
+            self.cwnd = (self.cwnd * 1.5).min(bdp * 2.89).max(self.cwnd);
+            if self.btl_rate < self.prev_btl_rate * 1.25 {
+                self.stagnant_rounds += 1;
+                if self.stagnant_rounds >= 3 {
+                    self.in_startup = false;
+                }
+            } else {
+                self.stagnant_rounds = 0;
+                self.prev_btl_rate = self.btl_rate;
+            }
+        } else {
+            // Steady state: sit slightly above the BDP to keep probing.
+            self.cwnd = bdp * 1.25;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        // Model-based: individual loss events do not move the window.
+    }
+
+    fn on_rto(&mut self) {
+        // A real timeout invalidates the model; restart conservatively.
+        self.cwnd = 4.0;
+        self.in_startup = true;
+        self.stagnant_rounds = 0;
+        self.rate_samples.clear();
+        self.btl_rate = 0.0;
+        self.prev_btl_rate = 0.0;
+        self.last_ack_at = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+}
+
+/// A constant congestion window: sends at `window` packets in flight
+/// regardless of loss. The sidecar's congestion-control-division proxy uses
+/// this as the externally-steered mode (the sidecar adjusts the window).
+#[derive(Clone, Debug)]
+pub struct FixedWindow {
+    window: u64,
+}
+
+impl FixedWindow {
+    /// Creates a fixed window of `window` packets (≥ 1).
+    pub fn new(window: u64) -> Self {
+        FixedWindow {
+            window: window.max(1),
+        }
+    }
+
+    /// Externally steers the window (sidecar hook).
+    pub fn set_window(&mut self, window: u64) {
+        self.window = window.max(1);
+    }
+}
+
+impl CongestionControl for FixedWindow {
+    fn cwnd(&self) -> u64 {
+        self.window
+    }
+
+    fn on_ack(&mut self, _acked: u64, _now: SimTime, _rtt: &RttEstimator) {}
+
+    fn on_congestion_event(&mut self, _now: SimTime) {}
+
+    fn on_rto(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn rtt_60ms() -> RttEstimator {
+        let mut r = RttEstimator::default();
+        r.on_sample(SimDuration::from_millis(60));
+        r
+    }
+
+    #[test]
+    fn newreno_slow_start_doubles_per_rtt() {
+        let mut cc = NewReno::new(10);
+        assert!(cc.in_slow_start());
+        // Acking a full window in slow start doubles it.
+        cc.on_ack(10, SimTime::ZERO, &rtt_60ms());
+        assert_eq!(cc.cwnd(), 20);
+    }
+
+    #[test]
+    fn newreno_halves_on_congestion() {
+        let mut cc = NewReno::new(64);
+        cc.on_congestion_event(SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 32);
+        assert!(!cc.in_slow_start());
+        // Congestion avoidance: one full window of acks grows cwnd by ~1.
+        let before = cc.cwnd();
+        cc.on_ack(before, SimTime::ZERO, &rtt_60ms());
+        assert_eq!(cc.cwnd(), before + 1);
+    }
+
+    #[test]
+    fn newreno_rto_collapses_to_one() {
+        let mut cc = NewReno::new(64);
+        cc.on_rto();
+        assert_eq!(cc.cwnd(), 1);
+        // Recovers through slow start up to ssthresh = 32.
+        for _ in 0..10 {
+            let w = cc.cwnd();
+            cc.on_ack(w, SimTime::ZERO, &rtt_60ms());
+        }
+        assert!(!cc.in_slow_start());
+        assert!(cc.cwnd() >= 32);
+    }
+
+    #[test]
+    fn newreno_floor_is_one_packet() {
+        let mut cc = NewReno::new(1);
+        cc.on_congestion_event(SimTime::ZERO);
+        cc.on_rto();
+        assert!(cc.cwnd() >= 1);
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta_and_regrows() {
+        let mut cc = Cubic::new(100);
+        // Leave slow start via a congestion event.
+        cc.on_congestion_event(SimTime::ZERO);
+        let after_loss = cc.cwnd();
+        assert_eq!(after_loss, 70); // 100 · 0.7
+                                    // Grow for a simulated 10 seconds of acks.
+        let rtt = rtt_60ms();
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += SimDuration::from_millis(60);
+            cc.on_ack(after_loss, now, &rtt);
+        }
+        // Must regain (and eventually exceed) the pre-loss window.
+        assert!(cc.cwnd() > 100, "cubic regrowth stalled at {}", cc.cwnd());
+    }
+
+    #[test]
+    fn cubic_rto_collapses() {
+        let mut cc = Cubic::new(50);
+        cc.on_rto();
+        assert_eq!(cc.cwnd(), 1);
+    }
+
+    #[test]
+    fn cubic_slow_start_grows() {
+        let mut cc = Cubic::new(2);
+        cc.on_ack(2, SimTime::ZERO, &rtt_60ms());
+        assert_eq!(cc.cwnd(), 4);
+    }
+
+    #[test]
+    fn bbr_converges_to_bdp_and_ignores_loss() {
+        let mut cc = Bbr::new(10);
+        let mut rtt = RttEstimator::default();
+        rtt.on_sample(SimDuration::from_millis(50));
+        // Synthetic steady feed: 100 packets acked every 50 ms ⇒ rate
+        // 2000 pkt/s, BDP = 100 packets.
+        let mut now = SimTime::ZERO;
+        for _ in 0..60 {
+            now += SimDuration::from_millis(50);
+            cc.on_ack(100, now, &rtt);
+        }
+        assert!(!cc.in_startup(), "startup should have exited");
+        let rate = cc.bottleneck_rate();
+        assert!((1500.0..2500.0).contains(&rate), "rate {rate}");
+        let w = cc.cwnd();
+        assert!((100..=160).contains(&(w as i64)), "cwnd {w} ≉ 1.25×BDP");
+        // Congestion events are ignored — the window does not move.
+        cc.on_congestion_event(now);
+        assert_eq!(cc.cwnd(), w);
+        // RTO restarts the model.
+        cc.on_rto();
+        assert_eq!(cc.cwnd(), 4);
+        assert!(cc.in_startup());
+    }
+
+    #[test]
+    fn bbr_startup_grows_quickly() {
+        let mut cc = Bbr::new(10);
+        let rtt = rtt_60ms();
+        let w0 = cc.cwnd();
+        for i in 1..=6u64 {
+            let now = SimTime::ZERO + SimDuration::from_millis(i * 60);
+            // Growing ack volume mimics an unfilled pipe.
+            cc.on_ack(cc.cwnd(), now, &rtt);
+        }
+        assert!(cc.cwnd() > w0, "{} !> {w0}", cc.cwnd());
+    }
+
+    #[test]
+    fn fixed_window_ignores_everything() {
+        let mut cc = FixedWindow::new(42);
+        cc.on_ack(100, SimTime::ZERO, &rtt_60ms());
+        cc.on_congestion_event(SimTime::ZERO);
+        cc.on_rto();
+        assert_eq!(cc.cwnd(), 42);
+        cc.set_window(7);
+        assert_eq!(cc.cwnd(), 7);
+        cc.set_window(0);
+        assert_eq!(cc.cwnd(), 1);
+    }
+
+    #[test]
+    fn builder_dispatches() {
+        assert_eq!(CcAlgorithm::NewReno.build(10).name(), "newreno");
+        assert_eq!(CcAlgorithm::Cubic.build(10).name(), "cubic");
+        let f = CcAlgorithm::Fixed(5).build(10);
+        assert_eq!(f.name(), "fixed");
+        assert_eq!(f.cwnd(), 5);
+    }
+}

@@ -1,0 +1,399 @@
+//! The receiving side of the "paranoid" base transport.
+//!
+//! [`ReceiverCore`] tracks received packet numbers as merged ranges
+//! (QUIC-style) and builds ACKs on a configurable frequency — the knob the
+//! ACK-reduction protocol turns down (paper §2.2: the client "can also
+//! transmit fewer ACKs using the proposed ACK frequency extension in
+//! QUIC").
+
+use crate::packet::{AckInfo, FlowId, Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Configuration of a transport receiver.
+#[derive(Clone, Debug)]
+pub struct ReceiverConfig {
+    /// Flow identifier for ACK packets.
+    pub flow: FlowId,
+    /// Send an ACK after this many ack-eliciting packets (QUIC default 2;
+    /// the ACK-frequency extension raises it).
+    pub ack_every: u32,
+    /// Send a pending ACK no later than this after the packet that created
+    /// it (QUIC `max_ack_delay`).
+    pub max_ack_delay: SimDuration,
+    /// ACK packet size on the wire, bytes.
+    pub ack_size: u32,
+    /// Maximum ACK ranges carried (older history is dropped, QUIC-style).
+    pub max_ranges: usize,
+    /// ACK immediately when a gap in packet numbers is observed (fast loss
+    /// signal), regardless of `ack_every`.
+    pub immediate_on_gap: bool,
+    /// Identifier width for ACK packets' own identifiers.
+    pub id_bits: u32,
+    /// Seed for ACK identifiers.
+    pub id_seed: u64,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            flow: FlowId(0),
+            ack_every: 2,
+            max_ack_delay: SimDuration::from_millis(25),
+            ack_size: 60,
+            max_ranges: 32,
+            immediate_on_gap: true,
+            id_bits: 32,
+            id_seed: 0xACC_5EED,
+        }
+    }
+}
+
+/// Aggregate receiver statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Data packets received (including duplicates).
+    pub received_packets: u64,
+    /// Distinct data units received.
+    pub unique_units: u64,
+    /// Duplicate data units (spurious retransmissions observed).
+    pub duplicate_units: u64,
+    /// ACK packets emitted.
+    pub acks_sent: u64,
+    /// Packets that arrived above a gap (out of order or after loss).
+    pub gaps_observed: u64,
+    /// Time the last new unit arrived.
+    pub last_new_unit_at: Option<SimTime>,
+}
+
+/// A data-packet observation drained by sidecar wrappers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReceiverEvent {
+    /// Packet number received.
+    pub pn: u64,
+    /// Its opaque identifier.
+    pub id: u64,
+}
+
+/// The sans-IO transport receiver.
+pub struct ReceiverCore {
+    cfg: ReceiverConfig,
+    /// Received packet numbers as inclusive ranges, sorted ascending,
+    /// disjoint and non-adjacent.
+    ranges: Vec<(u64, u64)>,
+    units_seen: HashSet<u64>,
+    unacked: u32,
+    /// Earliest unsent-ACK deadline, if an ACK is pending.
+    ack_deadline: Option<SimTime>,
+    id_state: u64,
+    id_mask: u64,
+    stats: ReceiverStats,
+    events: Vec<ReceiverEvent>,
+}
+
+impl ReceiverCore {
+    /// Creates a receiver.
+    pub fn new(cfg: ReceiverConfig) -> Self {
+        let id_mask = if cfg.id_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cfg.id_bits) - 1
+        };
+        let id_state = cfg.id_seed;
+        ReceiverCore {
+            cfg,
+            ranges: Vec::new(),
+            units_seen: HashSet::new(),
+            unacked: 0,
+            ack_deadline: None,
+            id_state,
+            id_mask,
+            stats: ReceiverStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReceiverConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+
+    /// Drains data-packet observations (sidecar hook).
+    pub fn drain_events(&mut self) -> Vec<ReceiverEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Handles one data packet; returns an ACK packet if one is due now.
+    pub fn on_data(&mut self, pkt: &Packet, now: SimTime) -> Option<Packet> {
+        let unit = match pkt.payload {
+            Payload::Data { unit } => unit,
+            // Not transport data; ignore.
+            _ => return None,
+        };
+        self.stats.received_packets += 1;
+        self.events.push(ReceiverEvent {
+            pn: pkt.seq,
+            id: pkt.id,
+        });
+        if self.units_seen.insert(unit) {
+            self.stats.unique_units += 1;
+            self.stats.last_new_unit_at = Some(now);
+        } else {
+            self.stats.duplicate_units += 1;
+        }
+        let gap = self.record_pn(pkt.seq);
+        if gap {
+            self.stats.gaps_observed += 1;
+        }
+        self.unacked += 1;
+        let immediate = (self.cfg.immediate_on_gap && gap) || self.unacked >= self.cfg.ack_every;
+        if immediate {
+            Some(self.build_ack(now, gap))
+        } else {
+            if self.ack_deadline.is_none() {
+                self.ack_deadline = Some(now + self.cfg.max_ack_delay);
+            }
+            None
+        }
+    }
+
+    /// If a delayed ACK is due at `now`, build it.
+    pub fn poll_delayed_ack(&mut self, now: SimTime) -> Option<Packet> {
+        match self.ack_deadline {
+            Some(deadline) if now >= deadline => Some(self.build_ack(now, false)),
+            _ => None,
+        }
+    }
+
+    /// Deadline of the pending delayed ACK, if any.
+    pub fn ack_deadline(&self) -> Option<SimTime> {
+        self.ack_deadline
+    }
+
+    /// The highest packet number received, if any.
+    pub fn largest_pn(&self) -> Option<u64> {
+        self.ranges.last().map(|&(_, e)| e)
+    }
+
+    /// Number of distinct packet-number ranges currently tracked.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Inserts `pn` into the range set; returns whether the packet revealed
+    /// a gap (arrived non-contiguously above the previous largest).
+    fn record_pn(&mut self, pn: u64) -> bool {
+        let gap = match self.ranges.last() {
+            Some(&(_, e)) => pn > e + 1,
+            None => pn > 0,
+        };
+        // Find insertion point.
+        match self.ranges.binary_search_by(|&(s, e)| {
+            if pn < s {
+                std::cmp::Ordering::Greater
+            } else if pn > e {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => return false, // duplicate pn; no new gap
+            Err(idx) => {
+                // Try to extend neighbors.
+                let extends_prev = idx > 0 && self.ranges[idx - 1].1 + 1 == pn;
+                let extends_next = idx < self.ranges.len() && self.ranges[idx].0 == pn + 1;
+                match (extends_prev, extends_next) {
+                    (true, true) => {
+                        self.ranges[idx - 1].1 = self.ranges[idx].1;
+                        self.ranges.remove(idx);
+                    }
+                    (true, false) => self.ranges[idx - 1].1 = pn,
+                    (false, true) => self.ranges[idx].0 = pn,
+                    (false, false) => self.ranges.insert(idx, (pn, pn)),
+                }
+            }
+        }
+        gap
+    }
+
+    /// Builds an ACK covering everything received.
+    fn build_ack(&mut self, now: SimTime, immediate: bool) -> Packet {
+        self.unacked = 0;
+        self.ack_deadline = None;
+        self.stats.acks_sent += 1;
+        let largest = self.largest_pn().unwrap_or(0);
+        // Newest ranges first, truncated.
+        let ranges: Vec<(u64, u64)> = self
+            .ranges
+            .iter()
+            .rev()
+            .take(self.cfg.max_ranges)
+            .copied()
+            .collect();
+        let info = AckInfo {
+            largest,
+            ranges,
+            immediate,
+        };
+        let id = self.next_id();
+        Packet::ack(self.cfg.flow, id, info, self.cfg.ack_size, now)
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.id_state = self.id_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.id_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & self.id_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(pn: u64) -> Packet {
+        Packet::data(FlowId(0), pn, pn * 13 + 5, 1500, SimTime::ZERO)
+    }
+
+    fn recv() -> ReceiverCore {
+        ReceiverCore::new(ReceiverConfig::default())
+    }
+
+    #[test]
+    fn acks_every_second_packet() {
+        let mut r = recv();
+        assert!(r.on_data(&data(0), SimTime::ZERO).is_none());
+        let ack = r.on_data(&data(1), SimTime::ZERO).unwrap();
+        match ack.payload {
+            Payload::Ack(info) => {
+                assert_eq!(info.largest, 1);
+                assert_eq!(info.ranges, vec![(0, 1)]);
+                assert!(!info.immediate);
+            }
+            _ => panic!("not an ack"),
+        }
+        assert_eq!(r.stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn gap_triggers_immediate_ack() {
+        let mut r = recv();
+        let _ = r.on_data(&data(0), SimTime::ZERO);
+        // pn 2 skips pn 1.
+        let ack = r.on_data(&data(2), SimTime::ZERO).unwrap();
+        match ack.payload {
+            Payload::Ack(info) => {
+                assert!(info.immediate);
+                assert_eq!(info.ranges, vec![(2, 2), (0, 0)]);
+            }
+            _ => panic!("not an ack"),
+        }
+        assert_eq!(r.stats().gaps_observed, 1);
+    }
+
+    #[test]
+    fn ranges_merge_when_holes_fill() {
+        let mut r = recv();
+        for pn in [0u64, 2, 4] {
+            let _ = r.on_data(&data(pn), SimTime::ZERO);
+        }
+        assert_eq!(r.range_count(), 3);
+        let _ = r.on_data(&data(1), SimTime::ZERO);
+        assert_eq!(r.range_count(), 2);
+        let _ = r.on_data(&data(3), SimTime::ZERO);
+        assert_eq!(r.range_count(), 1);
+        assert_eq!(r.largest_pn(), Some(4));
+    }
+
+    #[test]
+    fn duplicates_counted_not_reranged() {
+        let mut r = recv();
+        let _ = r.on_data(&data(0), SimTime::ZERO);
+        let _ = r.on_data(&data(0), SimTime::ZERO);
+        assert_eq!(r.stats().received_packets, 2);
+        assert_eq!(r.stats().unique_units, 1);
+        assert_eq!(r.stats().duplicate_units, 1);
+        assert_eq!(r.range_count(), 1);
+    }
+
+    #[test]
+    fn delayed_ack_fires_at_deadline() {
+        let mut r = recv();
+        let t0 = SimTime::ZERO;
+        assert!(r.on_data(&data(0), t0).is_none());
+        let deadline = r.ack_deadline().unwrap();
+        assert_eq!(deadline, t0 + SimDuration::from_millis(25));
+        assert!(r
+            .poll_delayed_ack(t0 + SimDuration::from_millis(10))
+            .is_none());
+        let ack = r.poll_delayed_ack(deadline).unwrap();
+        assert!(matches!(ack.payload, Payload::Ack(_)));
+        // Deadline cleared.
+        assert!(r.ack_deadline().is_none());
+        assert!(r
+            .poll_delayed_ack(deadline + SimDuration::from_millis(1))
+            .is_none());
+    }
+
+    #[test]
+    fn ack_frequency_extension_reduces_acks() {
+        let mut frequent = recv();
+        let mut reduced = ReceiverCore::new(ReceiverConfig {
+            ack_every: 32, // §4.3: "the receiver could quACK e.g. every n = 32 packets"
+            ..ReceiverConfig::default()
+        });
+        for pn in 0..64u64 {
+            let _ = frequent.on_data(&data(pn), SimTime::ZERO);
+            let _ = reduced.on_data(&data(pn), SimTime::ZERO);
+        }
+        assert_eq!(frequent.stats().acks_sent, 32);
+        assert_eq!(reduced.stats().acks_sent, 2);
+    }
+
+    #[test]
+    fn range_cap_drops_oldest_history() {
+        let mut r = ReceiverCore::new(ReceiverConfig {
+            max_ranges: 2,
+            ack_every: 1,
+            ..ReceiverConfig::default()
+        });
+        // Every other pn: ranges (0,0), (2,2), (4,4)…
+        let mut last_ack = None;
+        for pn in [0u64, 2, 4, 6] {
+            last_ack = r.on_data(&data(pn), SimTime::ZERO);
+        }
+        match last_ack.unwrap().payload {
+            Payload::Ack(info) => {
+                assert_eq!(info.ranges, vec![(6, 6), (4, 4)]);
+                assert_eq!(info.largest, 6);
+            }
+            _ => panic!("not an ack"),
+        }
+    }
+
+    #[test]
+    fn receiver_events_capture_identifiers() {
+        let mut r = recv();
+        let _ = r.on_data(&data(0), SimTime::ZERO);
+        let _ = r.on_data(&data(1), SimTime::ZERO);
+        let events = r.drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], ReceiverEvent { pn: 0, id: 5 });
+        assert_eq!(events[1], ReceiverEvent { pn: 1, id: 18 });
+        assert!(r.drain_events().is_empty());
+    }
+
+    #[test]
+    fn non_data_payloads_ignored() {
+        let mut r = recv();
+        let ack_pkt = Packet::ack(FlowId(0), 1, AckInfo::default(), 60, SimTime::ZERO);
+        assert!(r.on_data(&ack_pkt, SimTime::ZERO).is_none());
+        assert_eq!(r.stats().received_packets, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! RTT estimation (RFC 6298 smoothed RTT / RTT variance).
+
+use crate::time::SimDuration;
+
+/// Smoothed round-trip-time estimator with RFC 6298 constants
+/// (`α = 1/8`, `β = 1/4`) and a conservative initial RTO.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: Option<SimDuration>,
+    latest: Option<SimDuration>,
+    /// Lower bound on the retransmission timeout (granularity clamp).
+    min_rto: SimDuration,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(SimDuration::from_millis(10))
+    }
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO floor.
+    pub fn new(min_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: None,
+            latest: None,
+            min_rto,
+        }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+    }
+
+    /// The smoothed RTT, or a 100 ms default before any sample (QUIC's
+    /// `kInitialRtt` is 333 ms; we deal in shorter simulated paths).
+    pub fn srtt(&self) -> SimDuration {
+        self.srtt.unwrap_or(SimDuration::from_millis(100))
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn has_sample(&self) -> bool {
+        self.srtt.is_some()
+    }
+
+    /// Minimum RTT seen.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// Retransmission timeout: `srtt + max(4·rttvar, floor)`, clamped below
+    /// by the configured minimum.
+    pub fn rto(&self) -> SimDuration {
+        let base = self.srtt() + (self.rttvar * 4).max(SimDuration::from_millis(1));
+        base.max(self.min_rto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert!(!e.has_sample());
+        assert_eq!(e.srtt(), SimDuration::from_millis(100));
+        e.on_sample(SimDuration::from_millis(60));
+        assert!(e.has_sample());
+        assert_eq!(e.srtt(), SimDuration::from_millis(60));
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(60)));
+        assert_eq!(e.latest(), Some(SimDuration::from_millis(60)));
+    }
+
+    #[test]
+    fn smoothing_converges_toward_stable_rtt() {
+        let mut e = RttEstimator::default();
+        e.on_sample(SimDuration::from_millis(200));
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt_ms = e.srtt().as_nanos() / 1_000_000;
+        assert!((50..=55).contains(&srtt_ms), "srtt {srtt_ms}ms");
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn rto_exceeds_srtt_and_respects_floor() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(200));
+        e.on_sample(SimDuration::from_millis(10));
+        assert!(e.rto() >= SimDuration::from_millis(200));
+        let mut fast = RttEstimator::new(SimDuration::from_millis(1));
+        fast.on_sample(SimDuration::from_millis(100));
+        assert!(fast.rto() > fast.srtt());
+    }
+
+    #[test]
+    fn variance_grows_with_jittery_samples() {
+        let mut steady = RttEstimator::new(SimDuration::from_nanos(1));
+        let mut jittery = RttEstimator::new(SimDuration::from_nanos(1));
+        for i in 0..50u64 {
+            steady.on_sample(SimDuration::from_millis(50));
+            jittery.on_sample(SimDuration::from_millis(if i % 2 == 0 { 20 } else { 80 }));
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+}

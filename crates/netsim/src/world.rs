@@ -1,0 +1,520 @@
+//! The [`World`]: topology plus the discrete-event loop.
+//!
+//! A world owns nodes, links, and one event queue. Events are totally
+//! ordered by `(time, insertion sequence)`, and all randomness flows from
+//! the world seed, so a `(topology, seed)` pair reproduces a run exactly —
+//! the property every protocol experiment and regression test in this
+//! reproduction leans on.
+
+use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
+use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{DropReason, Trace, TraceEvent};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One end of a duplex attachment: which link an interface transmits into
+/// and who receives.
+#[derive(Copy, Clone, Debug)]
+struct IfaceEnd {
+    link: LinkId,
+    peer: NodeId,
+    peer_iface: IfaceId,
+}
+
+enum EventKind {
+    Arrival {
+        node: NodeId,
+        iface: IfaceId,
+        packet: Packet,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+}
+
+struct ScheduledEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A complete simulated network.
+pub struct World {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    node_ifaces: Vec<Vec<IfaceEnd>>,
+    links: Vec<Link>,
+    queue: BinaryHeap<ScheduledEvent>,
+    now: SimTime,
+    rng: SimRng,
+    event_seq: u64,
+    started: bool,
+    events_processed: u64,
+    trace: Trace,
+}
+
+impl World {
+    /// Creates an empty world with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            nodes: Vec::new(),
+            node_ifaces: Vec::new(),
+            links: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            event_seq: 0,
+            started: false,
+            events_processed: 0,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Enables event tracing, keeping the most recent `capacity` events
+    /// (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        assert!(!self.started, "topology is frozen once the world runs");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.node_ifaces.push(Vec::new());
+        id
+    }
+
+    /// Connects `a` and `b` with a duplex pair of unidirectional links
+    /// (`a→b` configured by `ab`, `b→a` by `ba`). Returns the new interface
+    /// ids on `a` and `b` respectively.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ab: LinkConfig,
+        ba: LinkConfig,
+    ) -> (IfaceId, IfaceId) {
+        assert!(!self.started, "topology is frozen once the world runs");
+        let link_ab = LinkId(self.links.len());
+        self.links.push(Link::new(ab));
+        let link_ba = LinkId(self.links.len());
+        self.links.push(Link::new(ba));
+        let iface_a = IfaceId(self.node_ifaces[a.0].len());
+        let iface_b = IfaceId(self.node_ifaces[b.0].len());
+        self.node_ifaces[a.0].push(IfaceEnd {
+            link: link_ab,
+            peer: b,
+            peer_iface: iface_b,
+        });
+        self.node_ifaces[b.0].push(IfaceEnd {
+            link: link_ba,
+            peer: a,
+            peer_iface: iface_a,
+        });
+        (iface_a, iface_b)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (loop-progress metric for tests).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Statistics of the `a→b` link returned by `connect` as seen from
+    /// node `a`'s interface.
+    pub fn link_stats(&self, node: NodeId, iface: IfaceId) -> &LinkStats {
+        let end = &self.node_ifaces[node.0][iface.0];
+        &self.links[end.link.0].stats
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type.
+    pub fn node_as<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type.
+    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Runs `on_start` on every node if not yet done.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Arrival {
+                node,
+                iface,
+                packet,
+            } => {
+                self.trace.record(TraceEvent::Arrival {
+                    at: self.now,
+                    node,
+                    iface,
+                    kind: packet.kind,
+                    id: packet.id,
+                    seq: packet.seq,
+                    size: packet.size,
+                });
+                self.dispatch(node, |n, ctx| n.on_packet(iface, packet, ctx));
+            }
+            EventKind::Timer { node, token } => {
+                self.trace.record(TraceEvent::Timer {
+                    at: self.now,
+                    node,
+                    token,
+                });
+                self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or simulated time would exceed
+    /// `deadline`; returns the time of the last processed event.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        // Clamp the clock forward to the deadline so subsequent scheduling
+        // is relative to it.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Runs until no events remain (natural quiescence). `max_events` guards
+    /// against livelock in buggy protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_events` is exceeded — a deterministic signal that a
+    /// protocol is spinning.
+    pub fn run_until_idle(&mut self, max_events: u64) -> SimTime {
+        self.ensure_started();
+        let mut budget = max_events;
+        while self.step() {
+            budget = budget
+                .checked_sub(1)
+                .unwrap_or_else(|| panic!("simulation exceeded {max_events} events; livelock?"));
+        }
+        self.now
+    }
+
+    /// Dispatches a callback on one node, then applies its actions.
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context),
+    {
+        let mut node = self.nodes[id.0].take().expect("re-entrant dispatch");
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Context::new(self.now, id, &mut self.rng, &mut actions);
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+        for action in actions {
+            match action {
+                Action::Send { iface, packet } => self.transmit(id, iface, packet),
+                Action::Timer { at, token } => {
+                    let seq = self.next_seq();
+                    self.queue.push(ScheduledEvent {
+                        at: at.max(self.now),
+                        seq,
+                        kind: EventKind::Timer { node: id, token },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Pushes a packet into the link behind `(node, iface)`.
+    fn transmit(&mut self, node: NodeId, iface: IfaceId, packet: Packet) {
+        let end = *self.node_ifaces[node.0]
+            .get(iface.0)
+            .unwrap_or_else(|| panic!("node {node:?} has no interface {iface:?}"));
+        let link = &mut self.links[end.link.0];
+        match link.offer(self.now, packet.size, &mut self.rng) {
+            LinkOutcome::Deliver(at) => {
+                let seq = self.next_seq();
+                self.queue.push(ScheduledEvent {
+                    at,
+                    seq,
+                    kind: EventKind::Arrival {
+                        node: end.peer,
+                        iface: end.peer_iface,
+                        packet,
+                    },
+                });
+            }
+            outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
+                // The packet evaporates; link stats recorded it, and the
+                // trace (if enabled) remembers what and why.
+                self.trace.record(TraceEvent::Drop {
+                    at: self.now,
+                    node,
+                    iface,
+                    kind: packet.kind,
+                    id: packet.id,
+                    reason: if outcome == LinkOutcome::DropQueue {
+                        DropReason::QueueFull
+                    } else {
+                        DropReason::Loss
+                    },
+                });
+            }
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.event_seq;
+        self.event_seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LossModel;
+    use crate::packet::{FlowId, PacketKind, Payload};
+    use crate::time::SimDuration;
+    use std::any::Any;
+
+    /// Sends `total` packets, one per `interval`.
+    struct Blaster {
+        total: u64,
+        sent: u64,
+        interval: SimDuration,
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.set_timer_after(SimDuration::ZERO, 0);
+        }
+
+        fn on_packet(&mut self, _iface: IfaceId, _packet: Packet, _ctx: &mut Context) {}
+
+        fn on_timer(&mut self, _token: u64, ctx: &mut Context) {
+            if self.sent < self.total {
+                let pkt = Packet::data(FlowId(0), self.sent, self.sent * 7 + 1, 1500, ctx.now());
+                ctx.send(IfaceId(0), pkt);
+                self.sent += 1;
+                ctx.set_timer_after(self.interval, 0);
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts arrivals and records sequence order.
+    #[derive(Default)]
+    struct Sink {
+        received: Vec<u64>,
+        last_arrival: Option<SimTime>,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
+            assert_eq!(packet.kind, PacketKind::Data);
+            assert!(matches!(packet.payload, Payload::Data { .. }));
+            self.received.push(packet.seq);
+            self.last_arrival = Some(ctx.now());
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn blaster_world(seed: u64, loss: LossModel, total: u64) -> (World, NodeId, NodeId) {
+        let mut w = World::new(seed);
+        let src = w.add_node(Box::new(Blaster {
+            total,
+            sent: 0,
+            interval: SimDuration::from_micros(100),
+        }));
+        let dst = w.add_node(Box::new(Sink::default()));
+        let cfg = LinkConfig {
+            loss,
+            ..LinkConfig::default()
+        };
+        w.connect(src, dst, cfg, LinkConfig::default());
+        (w, src, dst)
+    }
+
+    #[test]
+    fn lossless_delivery_in_order() {
+        let (mut w, src, dst) = blaster_world(1, LossModel::None, 100);
+        w.run_until_idle(100_000);
+        let sink = w.node_as::<Sink>(dst);
+        assert_eq!(sink.received.len(), 100);
+        assert!(sink.received.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(w.link_stats(src, IfaceId(0)).delivered, 100);
+    }
+
+    #[test]
+    fn conservation_under_loss() {
+        let (mut w, src, dst) = blaster_world(2, LossModel::Bernoulli { p: 0.3 }, 1000);
+        w.run_until_idle(1_000_000);
+        let stats = w.link_stats(src, IfaceId(0)).clone();
+        let sink = w.node_as::<Sink>(dst);
+        // Every offered packet is delivered or dropped — none lost track of.
+        assert_eq!(stats.offered, 1000);
+        assert_eq!(
+            stats.delivered + stats.dropped_loss + stats.dropped_queue,
+            stats.offered
+        );
+        assert_eq!(sink.received.len() as u64, stats.delivered);
+        // With p=0.3 over 1000 packets, deliveries land far from both ends.
+        assert!((500..900).contains(&(stats.delivered as usize)));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let (mut w, _, dst) = blaster_world(seed, LossModel::Bernoulli { p: 0.2 }, 500);
+            w.run_until_idle(1_000_000);
+            let sink = w.node_as::<Sink>(dst);
+            (sink.received.clone(), w.now(), w.events_processed())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).0, run(78).0);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut w, _, dst) = blaster_world(3, LossModel::None, 1000);
+        // 1000 packets at 100 us intervals = 100 ms of sending; the first
+        // arrival lands just after 1 ms (12 us serialization + 1 ms delay).
+        // Stop at 5 ms: roughly 40 arrivals.
+        let deadline = SimTime::from_nanos(5_000_000);
+        w.run_until(deadline);
+        assert_eq!(w.now(), deadline);
+        let early = w.node_as::<Sink>(dst).received.len();
+        assert!(early > 0 && early < 60, "got {early}");
+        // Resume to completion.
+        w.run_until_idle(1_000_000);
+        assert_eq!(w.node_as::<Sink>(dst).received.len(), 1000);
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Sink::default()));
+        let b = w.add_node(Box::new(Sink::default()));
+        w.connect(a, b, LinkConfig::default(), LinkConfig::default());
+        assert!(!w.step()); // no events at all
+    }
+
+    #[test]
+    #[should_panic(expected = "node type mismatch")]
+    fn downcast_mismatch_panics() {
+        let mut w = World::new(0);
+        let a = w.add_node(Box::new(Sink::default()));
+        let _ = w.node_as::<Blaster>(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn livelock_guard_fires() {
+        /// A node that reschedules itself forever.
+        struct Spinner;
+        impl Node for Spinner {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+            fn on_packet(&mut self, _: IfaceId, _: Packet, _: &mut Context) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Context) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(0);
+        w.add_node(Box::new(Spinner));
+        w.run_until_idle(10_000);
+    }
+}

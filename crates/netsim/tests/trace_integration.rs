@@ -1,0 +1,102 @@
+//! Integration: the world trace captures a faithful causal record of a
+//! transport flow.
+
+use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_netsim::trace::TraceEvent;
+use sidecar_netsim::transport::{ReceiverConfig, ReceiverNode, SenderConfig, SenderNode};
+use sidecar_netsim::world::World;
+use sidecar_netsim::PacketKind;
+
+#[test]
+fn trace_records_arrivals_drops_and_timers() {
+    let mut w = World::new(5);
+    w.enable_trace(100_000);
+    let s = w.add_node(SenderNode::boxed(SenderConfig {
+        total_packets: Some(200),
+        ..SenderConfig::default()
+    }));
+    let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+    w.connect(
+        s,
+        r,
+        LinkConfig {
+            loss: LossModel::Bernoulli { p: 0.05 },
+            ..LinkConfig::default()
+        },
+        LinkConfig::default(),
+    );
+    w.run_until_idle(10_000_000);
+
+    let trace = w.trace();
+    assert!(trace.is_enabled());
+
+    // Data arrivals at the receiver match the receiver's own count.
+    let receiver_stats = w.node_as::<ReceiverNode>(r).stats().clone();
+    let data_arrivals = trace
+        .filtered(|e| {
+            matches!(
+                e,
+                TraceEvent::Arrival { node, kind: PacketKind::Data, .. } if *node == r
+            )
+        })
+        .count() as u64;
+    assert_eq!(data_arrivals, receiver_stats.received_packets);
+
+    // Loss drops in the trace match the data link's stats.
+    let link_stats = w.link_stats(s, sidecar_netsim::IfaceId(0)).clone();
+    let (loss_drops, queue_drops) = trace.drop_counts();
+    assert_eq!(loss_drops, link_stats.dropped_loss);
+    assert_eq!(queue_drops, link_stats.dropped_queue);
+    assert!(loss_drops > 0, "5% loss over 200+ packets must drop some");
+
+    // ACKs flowed back.
+    let ack_arrivals = trace
+        .filtered(|e| {
+            matches!(
+                e,
+                TraceEvent::Arrival { node, kind: PacketKind::Ack, .. } if *node == s
+            )
+        })
+        .count();
+    assert!(ack_arrivals > 0);
+
+    // Events are time-ordered.
+    let times: Vec<_> = trace.events().map(|e| e.at()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+    // The rendering mentions drops with their reason.
+    let text = trace.render();
+    assert!(text.contains("(Loss)"));
+    assert!(text.contains("← Data"));
+}
+
+#[test]
+fn bounded_trace_evicts_oldest() {
+    let mut w = World::new(6);
+    w.enable_trace(50);
+    let s = w.add_node(SenderNode::boxed(SenderConfig {
+        total_packets: Some(300),
+        ..SenderConfig::default()
+    }));
+    let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+    w.connect(s, r, LinkConfig::default(), LinkConfig::default());
+    w.run_until_idle(10_000_000);
+    let trace = w.trace();
+    assert_eq!(trace.events().count(), 50);
+    assert!(trace.total_recorded > 600, "{}", trace.total_recorded);
+}
+
+#[test]
+fn disabled_trace_costs_nothing_and_records_nothing() {
+    let mut w = World::new(7);
+    let s = w.add_node(SenderNode::boxed(SenderConfig {
+        total_packets: Some(50),
+        ..SenderConfig::default()
+    }));
+    let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+    w.connect(s, r, LinkConfig::default(), LinkConfig::default());
+    w.run_until_idle(10_000_000);
+    assert!(!w.trace().is_enabled());
+    assert_eq!(w.trace().events().count(), 0);
+    assert_eq!(w.trace().total_recorded, 0);
+}

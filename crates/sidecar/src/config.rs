@@ -1,0 +1,97 @@
+//! Sidecar protocol parameters (paper §3.2).
+//!
+//! "The receiver may configure several protocol parameters: (1) a threshold
+//! number of missing packets t, (2) the number of bits b used in the
+//! identifier, (3) the communication frequency of quACKs."
+
+use sidecar_netsim::time::SimDuration;
+use sidecar_quack::wire::WireFormat;
+
+/// When the quACK producer emits (paper §4.3 discusses the choice per
+/// protocol).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuackFrequency {
+    /// Every fixed interval (congestion-control division: "once per RTT").
+    Interval(SimDuration),
+    /// Every `n` received packets (ACK reduction: "every n = 32 packets,
+    /// similar to TCP which ACKs every other packet").
+    EveryPackets(u32),
+    /// Dynamically tuned by the consumer via sidecar control messages,
+    /// starting from the contained interval (in-network retransmission:
+    /// "the interval … should ideally depend on the loss ratio").
+    Adaptive(SimDuration),
+}
+
+/// Full parameter set negotiated between two sidecars.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SidecarConfig {
+    /// Threshold `t`: maximum decodable missing packets per quACK window.
+    pub threshold: usize,
+    /// Identifier width `b` in bits.
+    pub id_bits: u32,
+    /// Count width `c` in bits (0 = count omitted, supplied out of band).
+    pub count_bits: u32,
+    /// Emission schedule.
+    pub frequency: QuackFrequency,
+    /// Grace period before a decoded-missing packet is declared lost
+    /// (§3.3 "Re-ordered packets": "buffer missing packets for a period of
+    /// time before actually deleting them").
+    pub reorder_grace: SimDuration,
+}
+
+impl SidecarConfig {
+    /// The paper's headline configuration: `t = 20`, `b = 32`, `c = 16`,
+    /// one quACK per 60 ms RTT (§4.1, §4.3).
+    pub fn paper_default() -> Self {
+        SidecarConfig {
+            threshold: 20,
+            id_bits: 32,
+            count_bits: 16,
+            frequency: QuackFrequency::Interval(SimDuration::from_millis(60)),
+            reorder_grace: SimDuration::from_millis(10),
+        }
+    }
+
+    /// The wire format implied by these parameters.
+    pub fn wire_format(&self) -> WireFormat {
+        WireFormat {
+            id_bits: self.id_bits,
+            threshold: self.threshold,
+            count_bits: self.count_bits,
+        }
+    }
+
+    /// Size of one encoded quACK in bytes.
+    pub fn quack_bytes(&self) -> usize {
+        self.wire_format().encoded_bytes()
+    }
+}
+
+impl Default for SidecarConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_82_bytes() {
+        let cfg = SidecarConfig::paper_default();
+        assert_eq!(cfg.quack_bytes(), 82);
+        assert_eq!(cfg.threshold, 20);
+        assert_eq!(cfg.id_bits, 32);
+    }
+
+    #[test]
+    fn count_omission_shrinks_quack() {
+        // §4.3 (ACK reduction): "to reduce the quACK size, we can omit c".
+        let cfg = SidecarConfig {
+            count_bits: 0,
+            ..SidecarConfig::paper_default()
+        };
+        assert_eq!(cfg.quack_bytes(), 80);
+    }
+}

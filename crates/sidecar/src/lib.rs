@@ -1,0 +1,40 @@
+//! Sidecar protocols: PEP-style performance enhancements for E2E-encrypted
+//! ("paranoid") transports, built on the quACK.
+//!
+//! Reproduces §2 of [Sidecar (HotNets '22)]: a *sidecar protocol* is spoken
+//! between sidecars on hosts and proxies, loosely coupled to the unchanged
+//! base transport. Proxies stay regular routers — they "can withhold or
+//! delay packets, but they cannot modify the packets or make decisions
+//! based on their contents"; the sidecar only ever reads the opaque
+//! per-packet identifier.
+//!
+//! * [`endpoint`] — [`QuackProducer`]/[`QuackConsumer`] state machines with
+//!   all the §3.3 practical considerations (threshold reset, reorder grace,
+//!   in-flight truncation, epoch resets, dropped/stale quACK handling).
+//! * [`messages`] — the sidecar wire vocabulary (quACK, configure, reset,
+//!   hello).
+//! * [`negotiate`] — the offer/accept handshake turning a `Hello` into an
+//!   agreed parameter set (§3.2's `t`, `b`, `c` and the schedule).
+//! * [`protocols`] — the three protocols of Table 1 as runnable simulation
+//!   scenarios with baselines:
+//!   [`protocols::ccd`] (congestion-control division, §2.1),
+//!   [`protocols::ack_reduction`] (§2.2), and
+//!   [`protocols::retx`] (in-network retransmission, §2.3).
+//!
+//! [Sidecar (HotNets '22)]: https://doi.org/10.1145/3563766.3564113
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod endpoint;
+pub mod messages;
+pub mod negotiate;
+pub mod protocols;
+
+pub use config::{QuackFrequency, SidecarConfig};
+pub use endpoint::{
+    ConfirmedLoss, ConsumerStats, LogEntry, ProcessError, QuackConsumer, QuackProducer, QuackReport,
+};
+pub use messages::{MessageError, SidecarMessage};
+pub use negotiate::{accept_hello, offer, Capabilities, NegotiationError};

@@ -1,0 +1,245 @@
+//! Sidecar protocol wire messages.
+//!
+//! Sidecars "communicate with each other by sending quACKs … They can also
+//! configure sidecar protocol parameters with each other such as the
+//! communication frequency and properties of the quACK" (paper §2). This
+//! module defines the small message vocabulary and a compact binary
+//! encoding; messages travel in [`sidecar_netsim::Payload::Sidecar`]
+//! datagrams (the sidecar protocol is spoken in the clear between
+//! consenting sidecars — it never touches the E2E-encrypted base protocol).
+
+use sidecar_netsim::time::SimDuration;
+
+/// Message-type tags (the `proto` byte of `Payload::Sidecar`).
+pub mod tag {
+    /// A quACK payload.
+    pub const QUACK: u8 = 1;
+    /// A configuration update (e.g. new emission interval).
+    pub const CONFIGURE: u8 = 2;
+    /// A reset announcement (threshold exceeded; new epoch).
+    pub const RESET: u8 = 3;
+    /// A parameter offer opening (or re-opening) a sidecar session.
+    pub const HELLO: u8 = 4;
+}
+
+/// A decoded sidecar message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SidecarMessage {
+    /// An encoded quACK (opaque to the simulator; decoded by the consumer
+    /// with the negotiated [`crate::SidecarConfig`]). `epoch` guards against
+    /// mixing sums across resets.
+    Quack {
+        /// Reset epoch the quACK belongs to.
+        epoch: u32,
+        /// Wire-encoded quACK (`b·t + c` bits).
+        bytes: Vec<u8>,
+    },
+    /// Consumer-to-producer tuning: change the emission interval
+    /// (in-network retransmission adapts this to the loss ratio, §2.3).
+    Configure {
+        /// New emission interval.
+        interval: SimDuration,
+    },
+    /// Either side announces a reset to a new epoch (§3.3 "Exceeding the
+    /// threshold").
+    Reset {
+        /// The new epoch number.
+        epoch: u32,
+    },
+    /// A parameter offer: the quACK properties and emission schedule the
+    /// offering sidecar wants to use (§3.2's three parameters). The
+    /// responder either adopts it (within its capabilities, see
+    /// [`crate::negotiate::accept_hello`]) or the session does not start.
+    Hello {
+        /// Proposed threshold `t`.
+        threshold: u32,
+        /// Proposed identifier width `b` in bits.
+        id_bits: u8,
+        /// Proposed count width `c` in bits.
+        count_bits: u8,
+        /// Proposed emission interval (0 = per-packet schedule).
+        interval: SimDuration,
+    },
+}
+
+/// Encoding/decoding failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageError {
+    /// The tag byte is not a known message type.
+    UnknownTag(u8),
+    /// The body is too short for the message type.
+    Truncated,
+}
+
+impl core::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MessageError::UnknownTag(t) => write!(f, "unknown sidecar message tag {t}"),
+            MessageError::Truncated => write!(f, "truncated sidecar message"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+impl SidecarMessage {
+    /// Serializes to `(tag, body)` for a sidecar datagram.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            SidecarMessage::Quack { epoch, bytes } => {
+                let mut body = Vec::with_capacity(4 + bytes.len());
+                body.extend_from_slice(&epoch.to_be_bytes());
+                body.extend_from_slice(bytes);
+                (tag::QUACK, body)
+            }
+            SidecarMessage::Configure { interval } => {
+                (tag::CONFIGURE, interval.as_nanos().to_be_bytes().to_vec())
+            }
+            SidecarMessage::Reset { epoch } => (tag::RESET, epoch.to_be_bytes().to_vec()),
+            SidecarMessage::Hello {
+                threshold,
+                id_bits,
+                count_bits,
+                interval,
+            } => {
+                let mut body = Vec::with_capacity(14);
+                body.extend_from_slice(&threshold.to_be_bytes());
+                body.push(*id_bits);
+                body.push(*count_bits);
+                body.extend_from_slice(&interval.as_nanos().to_be_bytes());
+                (tag::HELLO, body)
+            }
+        }
+    }
+
+    /// Parses a sidecar datagram body.
+    pub fn decode(tag_byte: u8, body: &[u8]) -> Result<Self, MessageError> {
+        match tag_byte {
+            tag::QUACK => {
+                if body.len() < 4 {
+                    return Err(MessageError::Truncated);
+                }
+                let epoch = u32::from_be_bytes(body[..4].try_into().expect("4 bytes"));
+                Ok(SidecarMessage::Quack {
+                    epoch,
+                    bytes: body[4..].to_vec(),
+                })
+            }
+            tag::CONFIGURE => {
+                let ns: [u8; 8] = body.try_into().map_err(|_| MessageError::Truncated)?;
+                Ok(SidecarMessage::Configure {
+                    interval: SimDuration::from_nanos(u64::from_be_bytes(ns)),
+                })
+            }
+            tag::RESET => {
+                let e: [u8; 4] = body.try_into().map_err(|_| MessageError::Truncated)?;
+                Ok(SidecarMessage::Reset {
+                    epoch: u32::from_be_bytes(e),
+                })
+            }
+            tag::HELLO => {
+                if body.len() != 14 {
+                    return Err(MessageError::Truncated);
+                }
+                Ok(SidecarMessage::Hello {
+                    threshold: u32::from_be_bytes(body[..4].try_into().expect("4 bytes")),
+                    id_bits: body[4],
+                    count_bits: body[5],
+                    interval: SimDuration::from_nanos(u64::from_be_bytes(
+                        body[6..14].try_into().expect("8 bytes"),
+                    )),
+                })
+            }
+            other => Err(MessageError::UnknownTag(other)),
+        }
+    }
+
+    /// On-the-wire size of the sidecar datagram body plus a nominal
+    /// UDP/IP-style header overhead used for link accounting.
+    pub fn wire_size(&self) -> u32 {
+        const HEADER_OVERHEAD: u32 = 28; // IPv4 + UDP
+        let (_, body) = self.encode();
+        HEADER_OVERHEAD + body.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quack_roundtrip() {
+        let msg = SidecarMessage::Quack {
+            epoch: 7,
+            bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        };
+        let (t, body) = msg.encode();
+        assert_eq!(t, tag::QUACK);
+        assert_eq!(SidecarMessage::decode(t, &body).unwrap(), msg);
+    }
+
+    #[test]
+    fn configure_roundtrip() {
+        let msg = SidecarMessage::Configure {
+            interval: SimDuration::from_millis(120),
+        };
+        let (t, body) = msg.encode();
+        assert_eq!(SidecarMessage::decode(t, &body).unwrap(), msg);
+    }
+
+    #[test]
+    fn reset_roundtrip() {
+        let msg = SidecarMessage::Reset { epoch: 42 };
+        let (t, body) = msg.encode();
+        assert_eq!(SidecarMessage::decode(t, &body).unwrap(), msg);
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = SidecarMessage::Hello {
+            threshold: 20,
+            id_bits: 32,
+            count_bits: 16,
+            interval: SimDuration::from_millis(60),
+        };
+        let (t, body) = msg.encode();
+        assert_eq!(t, tag::HELLO);
+        assert_eq!(body.len(), 14);
+        assert_eq!(SidecarMessage::decode(t, &body).unwrap(), msg);
+        assert_eq!(
+            SidecarMessage::decode(tag::HELLO, &body[..13]),
+            Err(MessageError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(
+            SidecarMessage::decode(99, &[]),
+            Err(MessageError::UnknownTag(99))
+        );
+        assert_eq!(
+            SidecarMessage::decode(tag::QUACK, &[1, 2]),
+            Err(MessageError::Truncated)
+        );
+        assert_eq!(
+            SidecarMessage::decode(tag::CONFIGURE, &[0; 7]),
+            Err(MessageError::Truncated)
+        );
+        assert_eq!(
+            SidecarMessage::decode(tag::RESET, &[0; 5]),
+            Err(MessageError::Truncated)
+        );
+        assert!(MessageError::UnknownTag(99).to_string().contains("99"));
+    }
+
+    #[test]
+    fn paper_quack_wire_size() {
+        // An 82-byte quACK plus epoch and headers.
+        let msg = SidecarMessage::Quack {
+            epoch: 0,
+            bytes: vec![0; 82],
+        };
+        assert_eq!(msg.wire_size(), 28 + 4 + 82);
+    }
+}

@@ -1,0 +1,265 @@
+//! Parameter negotiation: turning a [`SidecarMessage::Hello`] offer into an
+//! agreed [`SidecarConfig`].
+//!
+//! "Sidecars … can also configure sidecar protocol parameters with each
+//! other such as the communication frequency and properties of the quACK"
+//! (paper §2). PEP assistance is *opt-in* ("hosts would accept that
+//! assistance or not"), so the model is offer/accept: the quACK consumer
+//! offers the §3.2 parameter triple `(t, b, c)` plus a schedule; the
+//! producer accepts it if it falls within its advertised capabilities, or
+//! declines and no session forms. No renegotiation mid-epoch — a parameter
+//! change is a new epoch with fresh sums.
+
+use crate::config::{QuackFrequency, SidecarConfig};
+use crate::messages::SidecarMessage;
+use sidecar_netsim::time::SimDuration;
+
+/// What a sidecar is willing to do, advertised out of band (e.g. proxy
+/// discovery) or hard-configured.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Capabilities {
+    /// Largest threshold `t` this side will maintain (bounds per-packet
+    /// cost: `t` modular multiplications per packet).
+    pub max_threshold: usize,
+    /// Identifier widths this side implements.
+    pub id_bits: &'static [u32],
+    /// Fastest emission interval this side will sustain.
+    pub min_interval: SimDuration,
+    /// Grace period this side applies to missing verdicts.
+    pub reorder_grace: SimDuration,
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities {
+            max_threshold: 256,
+            id_bits: &[16, 24, 32, 64],
+            min_interval: SimDuration::from_millis(1),
+            reorder_grace: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Why an offer was declined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NegotiationError {
+    /// Offered threshold exceeds the responder's maximum.
+    ThresholdTooLarge {
+        /// Offered `t`.
+        offered: u32,
+        /// Responder's cap.
+        max: usize,
+    },
+    /// The responder does not implement the offered identifier width.
+    UnsupportedWidth(u8),
+    /// Offered count width cannot be represented (> 32 bits).
+    CountWidthTooLarge(u8),
+    /// Offered interval is faster than the responder will sustain.
+    IntervalTooFast,
+    /// A zero threshold cannot decode anything.
+    ZeroThreshold,
+}
+
+impl core::fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NegotiationError::ThresholdTooLarge { offered, max } => {
+                write!(f, "offered threshold {offered} exceeds capability {max}")
+            }
+            NegotiationError::UnsupportedWidth(b) => {
+                write!(f, "identifier width {b} not implemented")
+            }
+            NegotiationError::CountWidthTooLarge(c) => {
+                write!(f, "count width {c} exceeds 32 bits")
+            }
+            NegotiationError::IntervalTooFast => write!(f, "offered interval too fast"),
+            NegotiationError::ZeroThreshold => write!(f, "threshold must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {}
+
+/// Builds the `Hello` offer announcing `config`'s parameters.
+pub fn offer(config: &SidecarConfig) -> SidecarMessage {
+    let interval = match config.frequency {
+        QuackFrequency::Interval(d) | QuackFrequency::Adaptive(d) => d,
+        QuackFrequency::EveryPackets(_) => SimDuration::ZERO,
+    };
+    SidecarMessage::Hello {
+        threshold: config.threshold as u32,
+        id_bits: config.id_bits as u8,
+        count_bits: config.count_bits as u8,
+        interval,
+    }
+}
+
+/// Validates a received `Hello` against local capabilities; on success
+/// returns the [`SidecarConfig`] both sides now share.
+///
+/// A zero `interval` in the offer means a packet-count schedule; the
+/// accepted config records it as `EveryPackets(1)` and the actual cadence
+/// rides on when the producer's `observe` trips (offer/accept only pins the
+/// quACK *shape*, which is what the sums depend on).
+pub fn accept_hello(
+    capabilities: &Capabilities,
+    hello: &SidecarMessage,
+) -> Result<SidecarConfig, NegotiationError> {
+    let SidecarMessage::Hello {
+        threshold,
+        id_bits,
+        count_bits,
+        interval,
+    } = hello
+    else {
+        panic!("accept_hello requires a Hello message");
+    };
+    if *threshold == 0 {
+        return Err(NegotiationError::ZeroThreshold);
+    }
+    if *threshold as usize > capabilities.max_threshold {
+        return Err(NegotiationError::ThresholdTooLarge {
+            offered: *threshold,
+            max: capabilities.max_threshold,
+        });
+    }
+    if !capabilities.id_bits.contains(&(*id_bits as u32)) {
+        return Err(NegotiationError::UnsupportedWidth(*id_bits));
+    }
+    if *count_bits > 32 {
+        return Err(NegotiationError::CountWidthTooLarge(*count_bits));
+    }
+    let frequency = if *interval == SimDuration::ZERO {
+        QuackFrequency::EveryPackets(1)
+    } else {
+        if *interval < capabilities.min_interval {
+            return Err(NegotiationError::IntervalTooFast);
+        }
+        QuackFrequency::Interval(*interval)
+    };
+    Ok(SidecarConfig {
+        threshold: *threshold as usize,
+        id_bits: *id_bits as u32,
+        count_bits: *count_bits as u32,
+        frequency,
+        reorder_grace: capabilities.reorder_grace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_accept_roundtrip() {
+        let config = SidecarConfig::paper_default();
+        let hello = offer(&config);
+        let accepted = accept_hello(&Capabilities::default(), &hello).unwrap();
+        assert_eq!(accepted.threshold, config.threshold);
+        assert_eq!(accepted.id_bits, config.id_bits);
+        assert_eq!(accepted.count_bits, config.count_bits);
+        assert_eq!(accepted.frequency, config.frequency);
+        // The agreed wire shape is identical on both sides.
+        assert_eq!(accepted.wire_format(), config.wire_format());
+    }
+
+    #[test]
+    fn packet_count_schedules_survive_the_wire() {
+        let config = SidecarConfig {
+            frequency: QuackFrequency::EveryPackets(2),
+            ..SidecarConfig::paper_default()
+        };
+        let hello = offer(&config);
+        let accepted = accept_hello(&Capabilities::default(), &hello).unwrap();
+        assert!(matches!(
+            accepted.frequency,
+            QuackFrequency::EveryPackets(_)
+        ));
+    }
+
+    #[test]
+    fn rejections() {
+        let caps = Capabilities {
+            max_threshold: 20,
+            id_bits: &[32],
+            min_interval: SimDuration::from_millis(10),
+            reorder_grace: SimDuration::from_millis(5),
+        };
+        let base = SidecarConfig::paper_default();
+
+        let too_big = offer(&SidecarConfig {
+            threshold: 21,
+            ..base
+        });
+        assert_eq!(
+            accept_hello(&caps, &too_big).unwrap_err(),
+            NegotiationError::ThresholdTooLarge {
+                offered: 21,
+                max: 20
+            }
+        );
+
+        let wrong_width = offer(&SidecarConfig {
+            id_bits: 16,
+            ..base
+        });
+        assert_eq!(
+            accept_hello(&caps, &wrong_width).unwrap_err(),
+            NegotiationError::UnsupportedWidth(16)
+        );
+
+        let too_fast = offer(&SidecarConfig {
+            frequency: QuackFrequency::Interval(SimDuration::from_millis(1)),
+            ..base
+        });
+        assert_eq!(
+            accept_hello(&caps, &too_fast).unwrap_err(),
+            NegotiationError::IntervalTooFast
+        );
+
+        let zero_t = SidecarMessage::Hello {
+            threshold: 0,
+            id_bits: 32,
+            count_bits: 16,
+            interval: SimDuration::from_millis(60),
+        };
+        assert_eq!(
+            accept_hello(&caps, &zero_t).unwrap_err(),
+            NegotiationError::ZeroThreshold
+        );
+
+        let wide_count = SidecarMessage::Hello {
+            threshold: 10,
+            id_bits: 32,
+            count_bits: 64,
+            interval: SimDuration::from_millis(60),
+        };
+        assert_eq!(
+            accept_hello(&caps, &wide_count).unwrap_err(),
+            NegotiationError::CountWidthTooLarge(64)
+        );
+        assert!(NegotiationError::CountWidthTooLarge(64)
+            .to_string()
+            .contains("64"));
+    }
+
+    #[test]
+    fn responder_grace_is_local_policy() {
+        // Grace never travels: each side applies its own reordering slack.
+        let caps = Capabilities {
+            reorder_grace: SimDuration::from_millis(42),
+            ..Capabilities::default()
+        };
+        let accepted = accept_hello(&caps, &offer(&SidecarConfig::paper_default())).unwrap();
+        assert_eq!(accepted.reorder_grace, SimDuration::from_millis(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a Hello")]
+    fn non_hello_panics() {
+        let _ = accept_hello(
+            &Capabilities::default(),
+            &SidecarMessage::Reset { epoch: 1 },
+        );
+    }
+}

@@ -1,0 +1,515 @@
+//! §2.2 ACK reduction (paper Fig. 3).
+//!
+//! The client transmits drastically fewer end-to-end ACKs (via the QUIC
+//! ACK-frequency knob), reducing upstream congestion; the proxy's sidecar
+//! quACKs frequently on the client's behalf — "the sidecar protocol
+//! effectively treats the quACKs as client ACKs". The server moves its
+//! *sending window* forward on quACK confirmations (one proxy-RTT away)
+//! while the rare end-to-end ACKs continue to drive retransmission and
+//! final delivery confirmation.
+//!
+//! The client "does not need to participate in the sidecar protocol at
+//! all" — it is a completely unmodified receiver.
+
+use crate::config::{QuackFrequency, SidecarConfig};
+use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
+use crate::messages::SidecarMessage;
+use crate::protocols::ScenarioReport;
+use sidecar_galois::Fp32;
+use sidecar_netsim::link::LinkConfig;
+use sidecar_netsim::node::{Context, IfaceId, Node};
+use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{
+    CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderCore, SenderNode,
+};
+use sidecar_netsim::world::World;
+use sidecar_netsim::Forwarder;
+use std::any::Any;
+
+const TOKEN_RTO: u64 = 1;
+const TOKEN_GRACE: u64 = 2;
+
+/// The ACK-reduction proxy: a regular router whose sidecar quACKs every
+/// `n` data packets toward the server (paper: "every other packet such as
+/// in TCP, much more frequently than in the protocol for congestion
+/// control").
+pub struct AckRedProxy {
+    producer: QuackProducer<Fp32>,
+    /// QuACK datagrams emitted.
+    pub quacks_sent: u64,
+    /// QuACK bytes emitted.
+    pub quack_bytes: u64,
+}
+
+impl AckRedProxy {
+    /// Creates the proxy; `cfg.frequency` should be
+    /// [`QuackFrequency::EveryPackets`].
+    pub fn new(cfg: SidecarConfig) -> Self {
+        AckRedProxy {
+            producer: QuackProducer::new(cfg),
+            quacks_sent: 0,
+            quack_bytes: 0,
+        }
+    }
+}
+
+impl Node for AckRedProxy {
+    fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match iface {
+            // From the server: observe and forward to the client; quACK on
+            // schedule.
+            IfaceId(0) => {
+                let mut emit = false;
+                if packet.kind == PacketKind::Data {
+                    emit = self.producer.observe(packet.id);
+                }
+                if let Payload::Sidecar { proto, ref bytes } = packet.payload {
+                    if let Ok(SidecarMessage::Reset { epoch }) =
+                        SidecarMessage::decode(proto, bytes)
+                    {
+                        self.producer.reset(epoch);
+                        return;
+                    }
+                }
+                ctx.send(IfaceId(1), packet);
+                if emit {
+                    let msg = self.producer.emit();
+                    let size = msg.wire_size();
+                    let (proto, body) = msg.encode();
+                    self.quacks_sent += 1;
+                    self.quack_bytes += size as u64;
+                    ctx.send(
+                        IfaceId(0),
+                        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
+                    );
+                }
+            }
+            // From the client: forward upstream untouched.
+            IfaceId(1) => ctx.send(IfaceId(0), packet),
+            other => panic!("ack-reduction proxy has 2 interfaces, got {other:?}"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ackred-proxy"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The server end host: unchanged transport sender plus a sidecar library
+/// that releases the congestion window on quACK confirmations.
+pub struct AckRedServer {
+    transport: SenderCore,
+    sidecar: QuackConsumer<Fp32>,
+    /// Packets released from window accounting by quACKs.
+    pub window_releases: u64,
+}
+
+impl AckRedServer {
+    /// Creates the server.
+    pub fn new(transport: SenderConfig, sidecar: SidecarConfig, segment_rtt: SimDuration) -> Self {
+        AckRedServer {
+            transport: SenderCore::new(transport),
+            sidecar: QuackConsumer::new(sidecar, segment_rtt),
+            window_releases: 0,
+        }
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> &sidecar_netsim::transport::SenderStats {
+        self.transport.stats()
+    }
+
+    /// The transport core.
+    pub fn core(&self) -> &SenderCore {
+        &self.transport
+    }
+
+    fn pump(&mut self, ctx: &mut Context) {
+        for pkt in self.transport.poll_send(ctx.now()) {
+            self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+            ctx.send(IfaceId(0), pkt);
+        }
+        if let Some(deadline) = self.transport.next_timeout() {
+            ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
+        }
+    }
+
+    fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
+        match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
+            Ok(report) => {
+                // "Enable the server to move its sending window ahead more
+                // quickly": confirmed-at-proxy packets stop occupying cwnd,
+                // and the confirmations drive window growth in place of the
+                // thinned end-to-end ACKs (which still own retransmission).
+                for &(_, pn) in &report.received {
+                    self.transport.mark_window_released(pn);
+                    self.window_releases += 1;
+                }
+                self.transport
+                    .sidecar_ack_credit(report.received.len() as u64, ctx.now());
+                if let Some(deadline) = self.sidecar.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+                let epoch = self.sidecar.epoch() + 1;
+                let _ = self.sidecar.reset(epoch);
+                let msg = SidecarMessage::Reset { epoch };
+                let size = msg.wire_size();
+                let (proto, body) = msg.encode();
+                ctx.send(
+                    IfaceId(0),
+                    Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
+                );
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+impl Node for AckRedServer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match packet.payload {
+            Payload::Ack(ref info) => {
+                self.transport.on_ack(info, ctx.now());
+                self.pump(ctx);
+            }
+            Payload::Sidecar { proto, ref bytes } => {
+                if let Ok(SidecarMessage::Quack { epoch, bytes }) =
+                    SidecarMessage::decode(proto, bytes)
+                {
+                    self.handle_quack(epoch, &bytes, ctx);
+                    self.pump(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOKEN_RTO => {
+                if let Some(deadline) = self.transport.next_timeout() {
+                    if ctx.now() >= deadline {
+                        self.transport.on_rto(ctx.now());
+                    }
+                }
+                self.pump(ctx);
+            }
+            TOKEN_GRACE => {
+                // Packets the proxy never saw: leave them to e2e loss
+                // detection (§2.2: "use the less frequent end-to-end ACKs
+                // when retransmission is necessary").
+                let _ = self.sidecar.poll_expired(ctx.now());
+                if let Some(deadline) = self.sidecar.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ackred-server"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Scenario parameters for the ACK-reduction experiment.
+#[derive(Clone, Debug)]
+pub struct AckReductionScenario {
+    /// Data units the server must deliver.
+    pub total_packets: u64,
+    /// Server↔proxy segment.
+    pub upstream: LinkConfig,
+    /// Proxy↔client segment (the client's scarce uplink lives here).
+    pub downstream: LinkConfig,
+    /// Sidecar parameters (frequency should be `EveryPackets`).
+    pub sidecar: SidecarConfig,
+    /// Client ACK frequency in the sidecar run (high = few ACKs).
+    pub reduced_ack_every: u32,
+    /// Client max ACK delay when reduced (the QUIC ACK-frequency extension
+    /// raises both knobs together).
+    pub reduced_max_ack_delay: SimDuration,
+    /// Client ACK frequency in the baseline run (QUIC default 2).
+    pub normal_ack_every: u32,
+    /// Server congestion control.
+    pub cc: CcAlgorithm,
+}
+
+impl Default for AckReductionScenario {
+    fn default() -> Self {
+        AckReductionScenario {
+            total_packets: 2_000,
+            // Fig. 3 geometry: the proxy sits near the client; the long,
+            // bottlenecked segment is server↔proxy. QuACK-released window
+            // space therefore only admits packets onto the segment the
+            // congestion window already governs — the short last hop can
+            // never be flooded by releases.
+            upstream: LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(25),
+                ..LinkConfig::default()
+            },
+            downstream: LinkConfig {
+                rate_bps: 100_000_000,
+                delay: SimDuration::from_millis(2),
+                ..LinkConfig::default()
+            },
+            sidecar: SidecarConfig {
+                // §4.3: "the receiver could quACK e.g., every n = 32
+                // packets"; we default to every 2 like TCP's ACK-every-other
+                // on the short segment.
+                frequency: QuackFrequency::EveryPackets(2),
+                reorder_grace: SimDuration::from_millis(20),
+                ..SidecarConfig::paper_default()
+            },
+            reduced_ack_every: 32,
+            reduced_max_ack_delay: SimDuration::from_millis(150),
+            normal_ack_every: 2,
+            cc: CcAlgorithm::NewReno,
+        }
+    }
+}
+
+impl AckReductionScenario {
+    /// The sidecar run: reduced client ACKs + proxy quACKs.
+    pub fn run_sidecar(&self, seed: u64) -> ScenarioReport {
+        let mut w = World::new(seed);
+        let server = w.add_node(Box::new(AckRedServer::new(
+            SenderConfig {
+                total_packets: Some(self.total_packets),
+                cc: self.cc,
+                id_seed: seed ^ 0xAC4ED,
+                // PTO must absorb the client's raised ACK delay, or every
+                // delayed ACK reads as a timeout.
+                peer_max_ack_delay: self.reduced_max_ack_delay + SimDuration::from_millis(50),
+                ..SenderConfig::default()
+            },
+            self.sidecar,
+            self.upstream.delay * 2 + SimDuration::from_millis(5),
+        )));
+        let proxy = w.add_node(Box::new(AckRedProxy::new(self.sidecar)));
+        let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {
+            ack_every: self.reduced_ack_every,
+            max_ack_delay: self.reduced_max_ack_delay,
+            // The QUIC ACK-frequency extension's "Ignore Order" flag:
+            // reordering does not trigger immediate ACKs.
+            immediate_on_gap: false,
+            ..ReceiverConfig::default()
+        }));
+        w.connect(server, proxy, self.upstream.clone(), self.upstream.clone());
+        w.connect(
+            proxy,
+            client,
+            self.downstream.clone(),
+            self.downstream.clone(),
+        );
+        // Periodic sidecar timers never let the event queue drain; run to a
+        // generous deadline instead.
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+
+        let srv = w.node_as::<AckRedServer>(server);
+        let stats = srv.stats().clone();
+        let mtu = srv.core().config().mtu;
+        let px = w.node_as::<AckRedProxy>(proxy);
+        let cl = w.node_as::<ReceiverNode>(client);
+        ScenarioReport {
+            completion: stats.completed_at,
+            goodput_bps: stats.goodput_bps(mtu),
+            server_sent: stats.sent_packets,
+            server_retransmissions: stats.retransmissions,
+            client_acks: cl.stats().acks_sent,
+            sidecar_messages: px.quacks_sent,
+            sidecar_bytes: px.quack_bytes,
+            proxy_retransmissions: 0,
+        }
+    }
+
+    /// A baseline run with a plain forwarder and the given client ACK
+    /// frequency.
+    pub fn run_baseline(&self, seed: u64, ack_every: u32) -> ScenarioReport {
+        let mut w = World::new(seed);
+        let reduced = ack_every >= self.reduced_ack_every;
+        let max_ack_delay = if reduced {
+            self.reduced_max_ack_delay
+        } else {
+            ReceiverConfig::default().max_ack_delay
+        };
+        let server = w.add_node(SenderNode::boxed(SenderConfig {
+            total_packets: Some(self.total_packets),
+            cc: self.cc,
+            id_seed: seed ^ 0xAC4ED,
+            peer_max_ack_delay: max_ack_delay + SimDuration::from_millis(50),
+            ..SenderConfig::default()
+        }));
+        let proxy = w.add_node(Forwarder::boxed());
+        let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {
+            ack_every,
+            max_ack_delay,
+            immediate_on_gap: !reduced,
+            ..ReceiverConfig::default()
+        }));
+        w.connect(server, proxy, self.upstream.clone(), self.upstream.clone());
+        w.connect(
+            proxy,
+            client,
+            self.downstream.clone(),
+            self.downstream.clone(),
+        );
+        // Periodic sidecar timers never let the event queue drain; run to a
+        // generous deadline instead.
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+
+        let srv = w.node_as::<SenderNode>(server);
+        let stats = srv.stats().clone();
+        let mtu = srv.core().config().mtu;
+        let cl = w.node_as::<ReceiverNode>(client);
+        ScenarioReport {
+            completion: stats.completed_at,
+            goodput_bps: stats.goodput_bps(mtu),
+            server_sent: stats.sent_packets,
+            server_retransmissions: stats.retransmissions,
+            client_acks: cl.stats().acks_sent,
+            ..ScenarioReport::default()
+        }
+    }
+
+    /// Baseline with normal (frequent) client ACKs.
+    pub fn run_baseline_normal(&self, seed: u64) -> ScenarioReport {
+        self.run_baseline(seed, self.normal_ack_every)
+    }
+
+    /// Baseline with reduced client ACKs but *no* sidecar (naive).
+    pub fn run_baseline_reduced(&self, seed: u64) -> ScenarioReport {
+        self.run_baseline(seed, self.reduced_ack_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_run_completes() {
+        let scenario = AckReductionScenario {
+            total_packets: 800,
+            ..AckReductionScenario::default()
+        };
+        let report = scenario.run_sidecar(1);
+        assert!(report.completion.is_some(), "{report:?}");
+        assert!(report.sidecar_messages > 0);
+    }
+
+    #[test]
+    fn client_acks_drastically_reduced() {
+        let scenario = AckReductionScenario {
+            total_packets: 1_000,
+            ..AckReductionScenario::default()
+        };
+        let side = scenario.run_sidecar(2);
+        let normal = scenario.run_baseline_normal(2);
+        // The paper's point: ~n/2 ACKs collapse to ~n/32.
+        assert!(
+            side.client_acks * 8 < normal.client_acks,
+            "sidecar acks {} vs normal {}",
+            side.client_acks,
+            normal.client_acks
+        );
+    }
+
+    #[test]
+    fn sidecar_recovers_goodput_lost_to_naive_reduction() {
+        let scenario = AckReductionScenario {
+            total_packets: 1_500,
+            ..AckReductionScenario::default()
+        };
+        let side = scenario.run_sidecar(3);
+        let naive = scenario.run_baseline_reduced(3);
+        let normal = scenario.run_baseline_normal(3);
+        // Naive ACK thinning slows the window; the sidecar must claw back
+        // most of the difference.
+        assert!(
+            side.completion_secs() <= naive.completion_secs(),
+            "sidecar {:.3}s vs naive {:.3}s",
+            side.completion_secs(),
+            naive.completion_secs()
+        );
+        // And stay within 2x of the full-ACK baseline.
+        assert!(
+            side.completion_secs() < normal.completion_secs() * 2.0,
+            "sidecar {:.3}s vs normal {:.3}s",
+            side.completion_secs(),
+            normal.completion_secs()
+        );
+    }
+
+    #[test]
+    fn window_releases_happen() {
+        let scenario = AckReductionScenario {
+            total_packets: 500,
+            ..AckReductionScenario::default()
+        };
+        let mut w = World::new(5);
+        let server = w.add_node(Box::new(AckRedServer::new(
+            SenderConfig {
+                total_packets: Some(500),
+                ..SenderConfig::default()
+            },
+            scenario.sidecar,
+            SimDuration::from_millis(15),
+        )));
+        let proxy = w.add_node(Box::new(AckRedProxy::new(scenario.sidecar)));
+        let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {
+            ack_every: 32,
+            ..ReceiverConfig::default()
+        }));
+        w.connect(
+            server,
+            proxy,
+            scenario.upstream.clone(),
+            scenario.upstream.clone(),
+        );
+        w.connect(
+            proxy,
+            client,
+            scenario.downstream.clone(),
+            scenario.downstream.clone(),
+        );
+        // Periodic sidecar timers never let the event queue drain; run to a
+        // generous deadline instead.
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+        let srv = w.node_as::<AckRedServer>(server);
+        assert!(srv.window_releases > 0);
+        assert!(srv.core().is_complete());
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let scenario = AckReductionScenario {
+            total_packets: 400,
+            ..AckReductionScenario::default()
+        };
+        assert_eq!(scenario.run_sidecar(8), scenario.run_sidecar(8));
+    }
+}

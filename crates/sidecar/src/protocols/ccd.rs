@@ -1,0 +1,720 @@
+//! §2.1 Congestion-control division (paper Fig. 1b).
+//!
+//! The end-to-end path is divided at the proxy into two segments, each with
+//! its own control loop — PEP-style connection splitting *without touching
+//! the E2E-encrypted connection*:
+//!
+//! * the **client** sidecar quACKs once per RTT to the **proxy**, which
+//!   paces its downstream forwarding buffer accordingly ("the proxy can
+//!   drain a buffer of unforwarded QUIC packets at a slower rate if it
+//!   detects a large number of packets have yet to be received");
+//! * the **proxy** sidecar quACKs once per RTT to the **server**, which
+//!   steers its congestion window from that feedback instead of waiting for
+//!   end-to-end ACKs ("the server no longer needs to rely on end-to-end
+//!   ACKs to make decisions to increase the cwnd, though these ACKs still
+//!   govern the retransmission logic").
+//!
+//! End hosts change only by "installing a library" — here, composing the
+//!   unchanged transport cores with a sidecar.
+
+use crate::config::SidecarConfig;
+use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
+use crate::messages::SidecarMessage;
+use crate::protocols::ScenarioReport;
+use sidecar_galois::Fp32;
+use sidecar_netsim::link::LinkConfig;
+use sidecar_netsim::node::{Context, IfaceId, Node};
+use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{
+    CcAlgorithm, ReceiverConfig, ReceiverCore, ReceiverNode, SenderConfig, SenderCore, SenderNode,
+};
+use sidecar_netsim::world::World;
+use sidecar_netsim::Forwarder;
+use std::any::Any;
+use std::collections::VecDeque;
+
+const TOKEN_EMIT: u64 = 1;
+const TOKEN_GRACE: u64 = 2;
+const TOKEN_DRAIN: u64 = 3;
+const TOKEN_RTO: u64 = 4;
+const TOKEN_DELAYED_ACK: u64 = 5;
+
+/// Sends a sidecar message out `iface`.
+fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Context) -> u32 {
+    let size = msg.wire_size();
+    let (proto, body) = msg.encode();
+    ctx.send(
+        iface,
+        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
+    );
+    size
+}
+
+/// The client end host: unchanged transport receiver plus a quACK-producing
+/// sidecar library.
+pub struct CcdClient {
+    transport: ReceiverCore,
+    sidecar: QuackProducer<Fp32>,
+    interval: SimDuration,
+    /// QuACK datagrams emitted.
+    pub quacks_sent: u64,
+    /// QuACK bytes emitted.
+    pub quack_bytes: u64,
+}
+
+impl CcdClient {
+    /// Creates the client. `interval` is the quACK period (≈ one RTT).
+    pub fn new(transport: ReceiverConfig, sidecar: SidecarConfig, interval: SimDuration) -> Self {
+        CcdClient {
+            transport: ReceiverCore::new(transport),
+            sidecar: QuackProducer::new(sidecar),
+            interval,
+            quacks_sent: 0,
+            quack_bytes: 0,
+        }
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> &sidecar_netsim::transport::ReceiverStats {
+        self.transport.stats()
+    }
+}
+
+impl Node for CcdClient {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer_after(self.interval, TOKEN_EMIT);
+    }
+
+    fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match packet.payload {
+            Payload::Sidecar { proto, ref bytes } => {
+                if let Ok(SidecarMessage::Reset { epoch }) = SidecarMessage::decode(proto, bytes) {
+                    self.sidecar.reset(epoch);
+                }
+            }
+            _ if packet.kind == PacketKind::Data => {
+                self.sidecar.observe(packet.id);
+                if let Some(ack) = self.transport.on_data(&packet, ctx.now()) {
+                    ctx.send(IfaceId(0), ack);
+                } else if let Some(deadline) = self.transport.ack_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_DELAYED_ACK);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOKEN_EMIT => {
+                let msg = self.sidecar.emit();
+                self.quacks_sent += 1;
+                self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+                ctx.set_timer_after(self.interval, TOKEN_EMIT);
+            }
+            TOKEN_DELAYED_ACK => {
+                if let Some(ack) = self.transport.poll_delayed_ack(ctx.now()) {
+                    ctx.send(IfaceId(0), ack);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ccd-client"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// AIMD pacing-rate controller driven by quACK feedback.
+#[derive(Clone, Debug)]
+struct RateController {
+    rate_bps: f64,
+    min_bps: f64,
+    max_bps: f64,
+}
+
+impl RateController {
+    fn new(initial_bps: f64, min_bps: f64, max_bps: f64) -> Self {
+        RateController {
+            rate_bps: initial_bps,
+            min_bps,
+            max_bps,
+        }
+    }
+
+    /// One quACK's verdict: `received` packets confirmed, `missing` newly
+    /// missing.
+    fn on_feedback(&mut self, received: usize, missing: usize) {
+        let total = received + missing;
+        if total == 0 {
+            return;
+        }
+        let loss = missing as f64 / total as f64;
+        if loss > 0.01 {
+            self.rate_bps *= 0.8;
+        } else {
+            self.rate_bps *= 1.1;
+        }
+        self.rate_bps = self.rate_bps.clamp(self.min_bps, self.max_bps);
+    }
+}
+
+/// The division proxy: a regular router for the base protocol that paces
+/// its downstream egress, produces quACKs upstream, and consumes the
+/// client's quACKs (paper Fig. 1b).
+pub struct CcdProxy {
+    /// QuACK producer toward the server (covers the server→proxy segment).
+    upstream_producer: QuackProducer<Fp32>,
+    /// QuACK consumer for client quACKs (covers the proxy→client segment).
+    downstream_consumer: QuackConsumer<Fp32>,
+    /// Pacing buffer of data packets awaiting the downstream segment.
+    buffer: VecDeque<Packet>,
+    /// Buffer capacity; overflow drops (creating segment-1 backpressure).
+    buffer_cap: usize,
+    rate: RateController,
+    /// Local tag counter for the downstream mirror log.
+    next_tag: u64,
+    /// Emission interval toward the server.
+    interval: SimDuration,
+    /// Whether a drain timer is outstanding.
+    drain_armed: bool,
+    /// QuACKs emitted upstream.
+    pub quacks_sent: u64,
+    /// QuACK bytes emitted upstream.
+    pub quack_bytes: u64,
+    /// Packets dropped by the pacing buffer.
+    pub buffer_drops: u64,
+}
+
+impl CcdProxy {
+    /// Creates the proxy.
+    pub fn new(
+        sidecar: SidecarConfig,
+        interval: SimDuration,
+        initial_rate_bps: f64,
+        buffer_cap: usize,
+        downstream_rtt: SimDuration,
+    ) -> Self {
+        CcdProxy {
+            upstream_producer: QuackProducer::new(sidecar),
+            downstream_consumer: QuackConsumer::new(sidecar, downstream_rtt),
+            buffer: VecDeque::new(),
+            buffer_cap,
+            rate: RateController::new(initial_rate_bps, 1_000_000.0, 10_000_000_000.0),
+            next_tag: 0,
+            interval,
+            drain_armed: false,
+            quacks_sent: 0,
+            quack_bytes: 0,
+            buffer_drops: 0,
+        }
+    }
+
+    /// The current paced rate (bits/s).
+    pub fn pacing_rate_bps(&self) -> f64 {
+        self.rate.rate_bps
+    }
+
+    fn arm_drain(&mut self, pkt_size: u32, ctx: &mut Context) {
+        let gap = SimDuration::from_secs_f64(pkt_size as f64 * 8.0 / self.rate.rate_bps);
+        self.drain_armed = true;
+        ctx.set_timer_after(gap, TOKEN_DRAIN);
+    }
+
+    fn drain_one(&mut self, ctx: &mut Context) {
+        self.drain_armed = false;
+        if let Some(pkt) = self.buffer.pop_front() {
+            // Forwarding downstream: mirror the identifier for the
+            // proxy→client segment (tag is a local counter — the proxy
+            // never reads protocol fields).
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.downstream_consumer.record_sent(pkt.id, tag, ctx.now());
+            let size = pkt.size;
+            ctx.send(IfaceId(1), pkt);
+            if !self.buffer.is_empty() {
+                self.arm_drain(size, ctx);
+            }
+        }
+    }
+
+    fn handle_client_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
+        match self
+            .downstream_consumer
+            .process_quack(ctx.now(), epoch, bytes)
+        {
+            Ok(report) => {
+                self.rate
+                    .on_feedback(report.received.len(), report.newly_missing.len());
+                if let Some(deadline) = self.downstream_consumer.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+                // Heavy downstream loss: slash the rate and reset the
+                // segment sidecar.
+                self.rate.rate_bps = (self.rate.rate_bps * 0.5).max(self.rate.min_bps);
+                let epoch = self.downstream_consumer.epoch() + 1;
+                let _ = self.downstream_consumer.reset(epoch);
+                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(1), ctx);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+impl Node for CcdProxy {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer_after(self.interval, TOKEN_EMIT);
+    }
+
+    fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match iface {
+            // From the server: observe + enqueue for paced downstream
+            // forwarding.
+            IfaceId(0) => {
+                if packet.kind == PacketKind::Data {
+                    if self.buffer.len() >= self.buffer_cap {
+                        // Drop *without* observing: the server's sidecar
+                        // sees it as missing on segment 1 and slows down.
+                        self.buffer_drops += 1;
+                        return;
+                    }
+                    self.upstream_producer.observe(packet.id);
+                    let size = packet.size;
+                    self.buffer.push_back(packet);
+                    if !self.drain_armed {
+                        self.arm_drain(size, ctx);
+                    }
+                } else {
+                    // Control/sidecar traffic from the server side.
+                    if let Payload::Sidecar { proto, ref bytes } = packet.payload {
+                        if let Ok(SidecarMessage::Reset { epoch }) =
+                            SidecarMessage::decode(proto, bytes)
+                        {
+                            self.upstream_producer.reset(epoch);
+                            return;
+                        }
+                    }
+                    ctx.send(IfaceId(1), packet);
+                }
+            }
+            // From the client: consume quACKs, forward the rest upstream.
+            IfaceId(1) => match packet.payload {
+                Payload::Sidecar { proto, ref bytes } => {
+                    if let Ok(SidecarMessage::Quack { epoch, bytes }) =
+                        SidecarMessage::decode(proto, bytes)
+                    {
+                        self.handle_client_quack(epoch, &bytes, ctx);
+                    }
+                }
+                _ => ctx.send(IfaceId(0), packet),
+            },
+            other => panic!("ccd proxy has 2 interfaces, got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOKEN_EMIT => {
+                let msg = self.upstream_producer.emit();
+                self.quacks_sent += 1;
+                self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+                ctx.set_timer_after(self.interval, TOKEN_EMIT);
+            }
+            TOKEN_DRAIN => self.drain_one(ctx),
+            TOKEN_GRACE => {
+                // Confirmed downstream losses: the client will recover via
+                // the end-to-end protocol; the proxy only meters its rate.
+                let _ = self.downstream_consumer.poll_expired(ctx.now());
+                if let Some(deadline) = self.downstream_consumer.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ccd-proxy"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The server end host: unchanged transport sender whose congestion window
+/// is steered by the proxy's quACKs (the "library install" of §2.1).
+pub struct CcdServer {
+    transport: SenderCore,
+    sidecar: QuackConsumer<Fp32>,
+    /// Sidecar-controlled window (packets).
+    window: f64,
+    max_window: f64,
+}
+
+impl CcdServer {
+    /// Creates the server.
+    pub fn new(transport: SenderConfig, sidecar: SidecarConfig, segment_rtt: SimDuration) -> Self {
+        let initial = transport.initial_cwnd as f64;
+        let mut core = SenderCore::new(transport);
+        core.set_cwnd_cap(Some(initial as u64));
+        CcdServer {
+            transport: core,
+            sidecar: QuackConsumer::new(sidecar, segment_rtt),
+            window: initial,
+            max_window: 10_000.0,
+        }
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> &sidecar_netsim::transport::SenderStats {
+        self.transport.stats()
+    }
+
+    /// The transport core (for report extraction).
+    pub fn core(&self) -> &SenderCore {
+        &self.transport
+    }
+
+    /// The current sidecar-steered window.
+    pub fn window(&self) -> u64 {
+        self.window as u64
+    }
+
+    fn pump(&mut self, ctx: &mut Context) {
+        for pkt in self.transport.poll_send(ctx.now()) {
+            // Mirror every transmission into the segment-1 sidecar.
+            self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+            ctx.send(IfaceId(0), pkt);
+        }
+        if let Some(deadline) = self.transport.next_timeout() {
+            ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
+        }
+    }
+
+    fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
+        match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
+            Ok(report) => {
+                // AIMD on segment-1 feedback (§2.1: grow without e2e ACKs,
+                // "decrease the congestion window" on segment loss).
+                if report.newly_missing.is_empty() {
+                    self.window += report.received.len() as f64 * 0.5;
+                } else {
+                    self.window *= 0.7;
+                }
+                self.window = self.window.clamp(2.0, self.max_window);
+                self.transport.set_cwnd_cap(Some(self.window as u64));
+                if let Some(deadline) = self.sidecar.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+                self.window = (self.window * 0.5).max(2.0);
+                self.transport.set_cwnd_cap(Some(self.window as u64));
+                let epoch = self.sidecar.epoch() + 1;
+                let _ = self.sidecar.reset(epoch);
+                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+impl Node for CcdServer {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
+        match packet.payload {
+            Payload::Ack(ref info) => {
+                self.transport.on_ack(info, ctx.now());
+                self.pump(ctx);
+            }
+            Payload::Sidecar { proto, ref bytes } => {
+                if let Ok(SidecarMessage::Quack { epoch, bytes }) =
+                    SidecarMessage::decode(proto, bytes)
+                {
+                    self.handle_quack(epoch, &bytes, ctx);
+                    self.pump(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOKEN_RTO => {
+                if let Some(deadline) = self.transport.next_timeout() {
+                    if ctx.now() >= deadline {
+                        self.transport.on_rto(ctx.now());
+                    }
+                }
+                self.pump(ctx);
+            }
+            TOKEN_GRACE => {
+                // Confirmed segment-1 losses: keep the mirror tidy; e2e
+                // reliability handles retransmission.
+                let _ = self.sidecar.poll_expired(ctx.now());
+                if let Some(deadline) = self.sidecar.next_grace_deadline() {
+                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ccd-server"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Scenario parameters for the congestion-control-division experiment.
+#[derive(Clone, Debug)]
+pub struct CcdScenario {
+    /// Data units the server must deliver.
+    pub total_packets: u64,
+    /// Server↔proxy segment (fast, clean).
+    pub upstream: LinkConfig,
+    /// Proxy↔client segment (slow and/or lossy).
+    pub downstream: LinkConfig,
+    /// Sidecar parameters.
+    pub sidecar: SidecarConfig,
+    /// QuACK interval on both segments (≈ per segment RTT).
+    pub quack_interval: SimDuration,
+    /// Proxy pacing-buffer capacity.
+    pub buffer_cap: usize,
+    /// Baseline congestion control (the sidecar run uses window steering).
+    pub baseline_cc: CcAlgorithm,
+}
+
+impl Default for CcdScenario {
+    fn default() -> Self {
+        CcdScenario {
+            total_packets: 2_000,
+            upstream: LinkConfig {
+                rate_bps: 200_000_000,
+                delay: SimDuration::from_millis(10),
+                ..LinkConfig::default()
+            },
+            downstream: LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(20),
+                loss: sidecar_netsim::link::LossModel::Bernoulli { p: 0.01 },
+                queue_packets: 256,
+                ..LinkConfig::default()
+            },
+            sidecar: SidecarConfig {
+                threshold: 50,
+                reorder_grace: SimDuration::from_millis(10),
+                ..SidecarConfig::paper_default()
+            },
+            quack_interval: SimDuration::from_millis(30),
+            buffer_cap: 2_048,
+            baseline_cc: CcAlgorithm::NewReno,
+        }
+    }
+}
+
+impl CcdScenario {
+    /// Runs the sidecar (division) variant.
+    pub fn run_sidecar(&self, seed: u64) -> ScenarioReport {
+        let mut w = World::new(seed);
+        let server = w.add_node(Box::new(CcdServer::new(
+            SenderConfig {
+                total_packets: Some(self.total_packets),
+                cc: CcAlgorithm::Fixed(u64::MAX / 2), // window fully sidecar-steered
+                id_seed: seed ^ 0xCCD,
+                ..SenderConfig::default()
+            },
+            self.sidecar,
+            self.upstream.delay * 2 + SimDuration::from_millis(5),
+        )));
+        let proxy = w.add_node(Box::new(CcdProxy::new(
+            self.sidecar,
+            self.quack_interval,
+            self.downstream.rate_bps as f64 * 0.9,
+            self.buffer_cap,
+            self.downstream.delay * 2 + SimDuration::from_millis(5),
+        )));
+        let client = w.add_node(Box::new(CcdClient::new(
+            ReceiverConfig::default(),
+            self.sidecar,
+            self.quack_interval,
+        )));
+        w.connect(server, proxy, self.upstream.clone(), self.upstream.clone());
+        w.connect(
+            proxy,
+            client,
+            self.downstream.clone(),
+            self.downstream.clone(),
+        );
+        // Periodic sidecar timers never let the event queue drain; run to a
+        // generous deadline instead.
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+
+        let srv = w.node_as::<CcdServer>(server);
+        let stats = srv.stats().clone();
+        let mtu = srv.core().config().mtu;
+        let px = w.node_as::<CcdProxy>(proxy);
+        let cl = w.node_as::<CcdClient>(client);
+        ScenarioReport {
+            completion: stats.completed_at,
+            goodput_bps: stats.goodput_bps(mtu),
+            server_sent: stats.sent_packets,
+            server_retransmissions: stats.retransmissions,
+            client_acks: cl.stats().acks_sent,
+            sidecar_messages: px.quacks_sent + cl.quacks_sent,
+            sidecar_bytes: px.quack_bytes + cl.quack_bytes,
+            proxy_retransmissions: 0,
+        }
+    }
+
+    /// Runs the baseline: plain forwarder, e2e congestion control.
+    pub fn run_baseline(&self, seed: u64) -> ScenarioReport {
+        let mut w = World::new(seed);
+        let server = w.add_node(SenderNode::boxed(SenderConfig {
+            total_packets: Some(self.total_packets),
+            cc: self.baseline_cc,
+            id_seed: seed ^ 0xCCD,
+            ..SenderConfig::default()
+        }));
+        let proxy = w.add_node(Forwarder::boxed());
+        let client = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+        w.connect(server, proxy, self.upstream.clone(), self.upstream.clone());
+        w.connect(
+            proxy,
+            client,
+            self.downstream.clone(),
+            self.downstream.clone(),
+        );
+        // Periodic sidecar timers never let the event queue drain; run to a
+        // generous deadline instead.
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+
+        let srv = w.node_as::<SenderNode>(server);
+        let stats = srv.stats().clone();
+        let mtu = srv.core().config().mtu;
+        let cl = w.node_as::<ReceiverNode>(client);
+        ScenarioReport {
+            completion: stats.completed_at,
+            goodput_bps: stats.goodput_bps(mtu),
+            server_sent: stats.sent_packets,
+            server_retransmissions: stats.retransmissions,
+            client_acks: cl.stats().acks_sent,
+            ..ScenarioReport::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_controller_aimd_behaviour() {
+        let mut rc = RateController::new(10e6, 1e6, 100e6);
+        // Clean feedback grows multiplicatively.
+        rc.on_feedback(100, 0);
+        assert!((rc.rate_bps - 11e6).abs() < 1.0);
+        // Lossy feedback backs off.
+        rc.on_feedback(80, 20);
+        assert!((rc.rate_bps - 8.8e6).abs() < 1.0);
+        // Clamped at both ends.
+        for _ in 0..200 {
+            rc.on_feedback(0, 100);
+        }
+        assert_eq!(rc.rate_bps, 1e6);
+        for _ in 0..200 {
+            rc.on_feedback(100, 0);
+        }
+        assert_eq!(rc.rate_bps, 100e6);
+        // No feedback, no movement.
+        let before = rc.rate_bps;
+        rc.on_feedback(0, 0);
+        assert_eq!(rc.rate_bps, before);
+        // Sub-threshold loss (1 in 1000 < 1%) still counts as clean.
+        let mut rc = RateController::new(10e6, 1e6, 100e6);
+        rc.on_feedback(999, 1);
+        assert!(rc.rate_bps > 10e6);
+    }
+
+    #[test]
+    fn sidecar_division_completes() {
+        let scenario = CcdScenario {
+            total_packets: 800,
+            ..CcdScenario::default()
+        };
+        let report = scenario.run_sidecar(1);
+        assert!(report.completion.is_some(), "{report:?}");
+        assert!(report.sidecar_messages > 0);
+    }
+
+    #[test]
+    fn division_beats_e2e_newreno_on_lossy_downstream() {
+        let scenario = CcdScenario {
+            total_packets: 1_500,
+            ..CcdScenario::default()
+        };
+        let side = scenario.run_sidecar(3);
+        let base = scenario.run_baseline(3);
+        assert!(
+            side.completion_secs() < base.completion_secs(),
+            "sidecar {:.3}s vs baseline {:.3}s",
+            side.completion_secs(),
+            base.completion_secs()
+        );
+    }
+
+    #[test]
+    fn proxy_rate_adapts_downward_under_loss() {
+        let scenario = CcdScenario {
+            total_packets: 1_000,
+            downstream: LinkConfig {
+                rate_bps: 20_000_000,
+                delay: SimDuration::from_millis(20),
+                loss: sidecar_netsim::link::LossModel::Bernoulli { p: 0.05 },
+                ..LinkConfig::default()
+            },
+            ..CcdScenario::default()
+        };
+        // Just verify it completes and the controller stayed sane.
+        let report = scenario.run_sidecar(4);
+        assert!(report.completion.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let scenario = CcdScenario {
+            total_packets: 500,
+            ..CcdScenario::default()
+        };
+        assert_eq!(scenario.run_sidecar(9), scenario.run_sidecar(9));
+        assert_eq!(scenario.run_baseline(9), scenario.run_baseline(9));
+    }
+}

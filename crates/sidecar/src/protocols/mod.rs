@@ -1,0 +1,45 @@
+//! The three sidecar protocols of paper Table 1, as runnable scenarios.
+//!
+//! | Protocol | Proxy role | Server role | Client role |
+//! |---|---|---|---|
+//! | Congestion-control division (§2.1) | send and receive quACKs; pace the downstream segment | receive quACKs; steer the congestion window | send quACKs |
+//! | ACK reduction (§2.2) | send quACKs | receive quACKs; move the sending window | none |
+//! | In-network retransmission (§2.3) | send and receive quACKs; buffer and retransmit; tune frequency to the loss ratio | none | none |
+//!
+//! Every scenario comes with a baseline twin (plain forwarding, unmodified
+//! hosts) so the benchmarks can report sidecar-vs-baseline shapes.
+
+pub mod ack_reduction;
+pub mod ccd;
+pub mod retx;
+
+use sidecar_netsim::time::SimTime;
+
+/// Metrics common to all protocol scenarios.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioReport {
+    /// Flow completion time, if the flow finished.
+    pub completion: Option<SimTime>,
+    /// Application goodput in bits/s over the completed flow.
+    pub goodput_bps: Option<f64>,
+    /// Packets transmitted by the server (including retransmissions).
+    pub server_sent: u64,
+    /// End-to-end retransmissions by the server.
+    pub server_retransmissions: u64,
+    /// ACK packets sent by the client.
+    pub client_acks: u64,
+    /// Sidecar datagrams (quACKs + control) transmitted.
+    pub sidecar_messages: u64,
+    /// Sidecar bytes transmitted.
+    pub sidecar_bytes: u64,
+    /// In-network retransmissions performed by proxies (retx protocol).
+    pub proxy_retransmissions: u64,
+}
+
+impl ScenarioReport {
+    /// Completion time in seconds (∞ if the flow never finished —
+    /// convenient for table printing).
+    pub fn completion_secs(&self) -> f64 {
+        self.completion.map_or(f64::INFINITY, |t| t.as_secs_f64())
+    }
+}

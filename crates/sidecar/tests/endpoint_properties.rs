@@ -1,0 +1,169 @@
+//! Property-based tests of the sidecar endpoint pair: for arbitrary
+//! delivery patterns, quACK schedules, and quACK losses, the consumer must
+//! eventually report exactly the undelivered packets as lost — never a
+//! delivered one (§3.3's guarantees, end to end).
+
+use proptest::prelude::*;
+use sidecar_galois::Fp32;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_proto::{QuackConsumer, QuackProducer, SidecarConfig, SidecarMessage};
+use std::collections::BTreeSet;
+
+fn cfg(threshold: usize) -> SidecarConfig {
+    SidecarConfig {
+        threshold,
+        reorder_grace: SimDuration::from_millis(1),
+        ..SidecarConfig::paper_default()
+    }
+}
+
+/// Distinct, deterministic identifiers (no collisions, so ground truth is
+/// exact).
+fn id_for(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(1) % 4_294_967_291
+}
+
+/// Drives one full producer/consumer exchange; returns (confirmed lost
+/// tags, resets seen).
+fn drive(
+    delivered: &[bool],
+    quack_every: usize,
+    quack_drop_mask: &[bool],
+    threshold: usize,
+) -> (BTreeSet<u64>, bool) {
+    let mut producer: QuackProducer<Fp32> = QuackProducer::new(cfg(threshold));
+    let mut consumer: QuackConsumer<Fp32> =
+        QuackConsumer::new(cfg(threshold), SimDuration::from_millis(1));
+    let mut lost = BTreeSet::new();
+    let mut reset_seen = false;
+    let mut quack_idx = 0usize;
+    let mut t = SimTime::ZERO;
+
+    let handle_quack = |producer: &mut QuackProducer<Fp32>,
+                        consumer: &mut QuackConsumer<Fp32>,
+                        t: SimTime,
+                        lost: &mut BTreeSet<u64>,
+                        reset_seen: &mut bool,
+                        dropped: bool| {
+        let msg = producer.emit();
+        if dropped {
+            return;
+        }
+        let SidecarMessage::Quack { epoch, bytes } = msg else {
+            unreachable!()
+        };
+        match consumer.process_quack(t, epoch, &bytes) {
+            Ok(_) => {}
+            Err(sidecar_proto::ProcessError::ThresholdExceeded { .. })
+            | Err(sidecar_proto::ProcessError::CountInconsistent) => {
+                // Coordinated reset: leftovers count as lost (the
+                // protocol can no longer vouch for them).
+                *reset_seen = true;
+                let next = consumer.epoch() + 1;
+                for entry in consumer.reset(next) {
+                    lost.insert(entry.tag);
+                }
+                producer.reset(next);
+            }
+            Err(_) => {}
+        }
+        for loss in consumer.poll_expired(t + SimDuration::from_millis(2)) {
+            lost.insert(loss.tag);
+        }
+    };
+
+    for (i, &ok) in delivered.iter().enumerate() {
+        t += SimDuration::from_millis(10);
+        let id = id_for(i);
+        consumer.record_sent(id, i as u64, t);
+        if ok {
+            producer.observe(id);
+        }
+        if (i + 1) % quack_every == 0 {
+            t += SimDuration::from_millis(5);
+            let dropped = quack_drop_mask.get(quack_idx).copied().unwrap_or(false);
+            quack_idx += 1;
+            handle_quack(
+                &mut producer,
+                &mut consumer,
+                t,
+                &mut lost,
+                &mut reset_seen,
+                dropped,
+            );
+        }
+    }
+    // Flush: a sentinel delivered packet breaks any trailing missing run,
+    // then a final (never dropped) quACK and a far-future grace poll settle
+    // every verdict.
+    t += SimDuration::from_millis(10);
+    let sentinel = 4_000_000_000u64;
+    consumer.record_sent(sentinel, u64::MAX, t);
+    producer.observe(sentinel);
+    t += SimDuration::from_millis(5);
+    handle_quack(
+        &mut producer,
+        &mut consumer,
+        t,
+        &mut lost,
+        &mut reset_seen,
+        false,
+    );
+    t += SimDuration::from_secs(10);
+    for loss in consumer.poll_expired(t) {
+        lost.insert(loss.tag);
+    }
+    lost.remove(&u64::MAX);
+    (lost, reset_seen)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With a threshold comfortably above the loss burst size and no quACK
+    /// drops, the confirmed-lost set equals the ground-truth undelivered
+    /// set exactly.
+    #[test]
+    fn losses_reported_exactly(delivered in proptest::collection::vec(prop::bool::weighted(0.9), 1..120),
+                               quack_every in 1usize..8) {
+        let (lost, reset) = drive(&delivered, quack_every, &[], 64);
+        let expected: BTreeSet<u64> = delivered
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| !ok)
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert!(!reset, "threshold 64 should never be exceeded here");
+        prop_assert_eq!(lost, expected);
+    }
+
+    /// Dropped quACKs never change the final verdicts (cumulative sums,
+    /// §3.3 "Dropped quACKs") as long as at least the flush quACK arrives.
+    #[test]
+    fn quack_drops_are_harmless(delivered in proptest::collection::vec(prop::bool::weighted(0.85), 1..100),
+                                quack_every in 1usize..6,
+                                drops in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let (with_drops, r1) = drive(&delivered, quack_every, &drops, 64);
+        let (without_drops, r2) = drive(&delivered, quack_every, &[], 64);
+        prop_assert!(!r1 && !r2);
+        prop_assert_eq!(with_drops, without_drops);
+    }
+
+    /// Delivered packets are never reported lost, even when the threshold
+    /// is tight and resets occur (resets may over-report losses — that is
+    /// their contract — but only for genuinely undelivered packets when no
+    /// reset fires).
+    #[test]
+    fn no_false_losses_without_resets(delivered in proptest::collection::vec(prop::bool::weighted(0.7), 1..80),
+                                      quack_every in 1usize..5,
+                                      threshold in 8usize..32) {
+        let (lost, reset) = drive(&delivered, quack_every, &[], threshold);
+        if !reset {
+            for (i, &ok) in delivered.iter().enumerate() {
+                if ok {
+                    prop_assert!(!lost.contains(&(i as u64)), "delivered packet {i} reported lost");
+                }
+            }
+        }
+    }
+}

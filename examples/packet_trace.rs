@@ -1,0 +1,56 @@
+//! Observability: trace every packet of a small lossy transfer.
+//!
+//! The simulator can record a bounded, tcpdump-flavoured event trace
+//! (arrivals, drops with reasons, timer firings) — the debugging loop for
+//! building new sidecar protocols.
+//!
+//! Run: `cargo run --release --example packet_trace`
+
+use sidecar_repro::netsim::link::{LinkConfig, LossModel};
+use sidecar_repro::netsim::trace::TraceEvent;
+use sidecar_repro::netsim::transport::{ReceiverConfig, ReceiverNode, SenderConfig, SenderNode};
+use sidecar_repro::netsim::world::World;
+
+fn main() {
+    let mut world = World::new(2024);
+    world.enable_trace(10_000);
+
+    let sender = world.add_node(SenderNode::boxed(SenderConfig {
+        total_packets: Some(30),
+        ..SenderConfig::default()
+    }));
+    let receiver = world.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+    world.connect(
+        sender,
+        receiver,
+        LinkConfig {
+            loss: LossModel::Bernoulli { p: 0.15 },
+            ..LinkConfig::default()
+        },
+        LinkConfig::default(),
+    );
+    world.run_until_idle(1_000_000);
+
+    let trace = world.trace();
+    println!("--- first 25 events ---");
+    for line in trace.render().lines().take(25) {
+        println!("{line}");
+    }
+    let (loss, queue) = trace.drop_counts();
+    let drops: Vec<&TraceEvent> = trace
+        .filtered(|e| matches!(e, TraceEvent::Drop { .. }))
+        .collect();
+    println!("--- summary ---");
+    println!(
+        "{} events recorded; {loss} loss drops, {queue} queue drops",
+        trace.total_recorded
+    );
+    if let Some(first_drop) = drops.first() {
+        println!("first casualty at {}", first_drop.at());
+    }
+    let stats = world.node_as::<SenderNode>(sender).stats();
+    println!(
+        "flow finished at {:?} with {} retransmissions",
+        stats.completed_at, stats.retransmissions
+    );
+}

@@ -1,0 +1,72 @@
+//! Congestion-control division over a satellite-style path (paper §1, §2.1).
+//!
+//! The intro's motivating deployment: "an appropriate … congestion-control
+//! scheme for a heavily multiplexed wired network wouldn't be ideal for
+//! paths that include a high-delay satellite link". A ground-station proxy
+//! divides the path: the server fills the fast terrestrial segment from
+//! proxy quACKs while the proxy paces the long lossy satellite hop from
+//! client quACKs — without ever touching the E2E-encrypted transport.
+//!
+//! Run: `cargo run --release --example satellite_pep`
+
+use sidecar_repro::netsim::link::{LinkConfig, LossModel};
+use sidecar_repro::netsim::time::SimDuration;
+use sidecar_repro::proto::protocols::ccd::CcdScenario;
+use sidecar_repro::proto::SidecarConfig;
+
+fn main() {
+    let scenario = CcdScenario {
+        total_packets: 3_000,
+        // Terrestrial segment: fast and clean.
+        upstream: LinkConfig {
+            rate_bps: 500_000_000,
+            delay: SimDuration::from_millis(5),
+            ..LinkConfig::default()
+        },
+        // GEO satellite hop: ~250 ms one way, 40 Mbit/s, noncongestive loss.
+        downstream: LinkConfig {
+            rate_bps: 40_000_000,
+            delay: SimDuration::from_millis(250),
+            loss: LossModel::Bernoulli { p: 0.005 },
+            queue_packets: 2_048,
+            ..LinkConfig::default()
+        },
+        sidecar: SidecarConfig {
+            threshold: 80,
+            reorder_grace: SimDuration::from_millis(50),
+            ..SidecarConfig::paper_default()
+        },
+        // One quACK per satellite RTT.
+        quack_interval: SimDuration::from_millis(500),
+        buffer_cap: 8_192,
+        ..CcdScenario::default()
+    };
+
+    println!("satellite PEP (congestion-control division), 3000 × 1500 B\n");
+    println!("  segment 1: 500 Mbit/s, 5 ms   (server → ground station)");
+    println!("  segment 2:  40 Mbit/s, 250 ms, 0.5% loss (satellite)\n");
+    for seed in [1u64, 2, 3] {
+        let baseline = scenario.run_baseline(seed);
+        let sidecar = scenario.run_sidecar(seed);
+        let base_str = match baseline.completion {
+            Some(t) => format!("{:.2}s", t.as_secs_f64()),
+            // The 120-simulated-second budget ran out: e2e NewReno on a GEO
+            // path with noncongestive loss really is that slow.
+            None => ">120s (unfinished)".to_string(),
+        };
+        let speedup = match baseline.completion {
+            Some(t) => format!("{:.2}x", t.as_secs_f64() / sidecar.completion_secs()),
+            None => format!(">{:.0}x", 120.0 / sidecar.completion_secs()),
+        };
+        println!(
+            "seed {seed}: baseline {base_str:>18}  |  divided {:>6.2}s ({:4.1} Mbit/s)  →  {speedup}",
+            sidecar.completion_secs(),
+            sidecar.goodput_bps.unwrap_or(0.0) / 1e6,
+        );
+    }
+    println!(
+        "\nEnd-to-end NewReno treats every satellite loss as congestion and \
+         stalls at hundreds of ms per recovery; the divided path keeps the \
+         terrestrial segment full and meters the satellite hop locally."
+    );
+}

@@ -1,0 +1,57 @@
+//! In-network retransmission across a lossy last-mile subpath (paper §2.3).
+//!
+//! Two sidecar routers bracket a bursty wireless-style hop (Gilbert–Elliott
+//! loss). The receiver-side router quACKs what made it across; the
+//! sender-side router retransmits the casualties within the ~10 ms subpath
+//! RTT instead of the 60+ ms end-to-end RTT. The end hosts run completely
+//! unmodified.
+//!
+//! Run: `cargo run --release --example wifi_retx`
+
+use sidecar_repro::netsim::link::{LinkConfig, LossModel};
+use sidecar_repro::netsim::time::SimDuration;
+use sidecar_repro::proto::protocols::retx::RetxScenario;
+
+fn main() {
+    let scenario = RetxScenario {
+        total_packets: 2_000,
+        subpath: LinkConfig {
+            rate_bps: 20_000_000,
+            delay: SimDuration::from_millis(5),
+            // Bursty wireless loss: ~1 in 12 packets in the bad state,
+            // ≈1.5% average.
+            loss: LossModel::GilbertElliott {
+                p_good: 0.001,
+                p_bad: 0.08,
+                good_to_bad: 0.02,
+                bad_to_good: 0.08,
+            },
+            ..LinkConfig::default()
+        },
+        ..RetxScenario::default()
+    };
+    let avg_loss = scenario.subpath.loss.mean_loss_rate();
+
+    println!("in-network retransmission over a bursty wireless subpath\n");
+    println!(
+        "  subpath: 20 Mbit/s, 5 ms, Gilbert–Elliott loss (average {:.2}%)\n",
+        avg_loss * 100.0
+    );
+    for seed in [7u64, 8, 9] {
+        let baseline = scenario.run_baseline(seed);
+        let sidecar = scenario.run_sidecar(seed);
+        println!(
+            "seed {seed}: baseline {:>7.2}s, {:>3} e2e retx  |  sidecar {:>7.2}s, {:>3} e2e retx + {:>3} in-network  →  {:.2}x",
+            baseline.completion_secs(),
+            baseline.server_retransmissions,
+            sidecar.completion_secs(),
+            sidecar.server_retransmissions,
+            sidecar.proxy_retransmissions,
+            baseline.completion_secs() / sidecar.completion_secs(),
+        );
+    }
+    println!(
+        "\nLosses are healed a subpath-RTT away instead of an e2e-RTT away; \
+         the quACK frequency self-tunes to the loss ratio (§4.3)."
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration: a full offer/accept negotiation followed by a quACK session
+//! at the negotiated (runtime-chosen) identifier width.
+
+use sidecar_repro::netsim::time::SimDuration;
+use sidecar_repro::proto::QuackFrequency;
+use sidecar_repro::proto::{accept_hello, offer, Capabilities, SidecarConfig, SidecarMessage};
+use sidecar_repro::quack::id::IdentifierGenerator;
+use sidecar_repro::quack::DynQuack;
+
+/// Runs one negotiated session at whatever width the consumer offered.
+fn run_session(offered: SidecarConfig) {
+    // 1. The consumer offers its §3.2 parameter triple…
+    let hello = offer(&offered);
+    // …which travels as a sidecar datagram…
+    let (tag, body) = hello.encode();
+    let received = SidecarMessage::decode(tag, &body).unwrap();
+    // …and the producer accepts within its capabilities.
+    let agreed = accept_hello(&Capabilities::default(), &received).unwrap();
+    assert_eq!(agreed.id_bits, offered.id_bits);
+    assert_eq!(agreed.threshold, offered.threshold);
+
+    // 2. Both sides instantiate runtime-width sketches from the agreement.
+    let mut sender = DynQuack::new(agreed.id_bits, agreed.threshold).unwrap();
+    let mut receiver = DynQuack::new(agreed.id_bits, agreed.threshold).unwrap();
+    let mut ids = IdentifierGenerator::new(agreed.id_bits, 0x5E5510 + agreed.id_bits as u64);
+    let sent = ids.take_ids(300);
+    for &id in &sent {
+        sender.insert(id);
+    }
+    let dropped: Vec<usize> = (0..300).filter(|i| i % 60 == 7).collect();
+    for (i, &id) in sent.iter().enumerate() {
+        if !dropped.contains(&i) {
+            receiver.insert(id);
+        }
+    }
+
+    // 3. The quACK crosses the wire in the agreed format.
+    let wire = receiver.encode(agreed.count_bits);
+    assert_eq!(wire.len(), agreed.quack_bytes());
+    let rx = DynQuack::decode_wire(
+        agreed.id_bits,
+        agreed.threshold,
+        agreed.count_bits,
+        &wire,
+        None,
+    )
+    .unwrap();
+
+    // 4. Decode recovers exactly the drops.
+    let decoded = sender
+        .difference(&rx)
+        .unwrap()
+        .decode_with_log(&sent)
+        .unwrap();
+    assert_eq!(decoded.missing(), &dropped[..], "width {}", agreed.id_bits);
+}
+
+#[test]
+fn negotiated_sessions_at_every_width() {
+    for bits in [16u32, 24, 32, 64] {
+        run_session(SidecarConfig {
+            id_bits: bits,
+            threshold: 10,
+            ..SidecarConfig::paper_default()
+        });
+    }
+}
+
+#[test]
+fn negotiation_failure_prevents_the_session() {
+    // A proxy that only speaks 32-bit identifiers declines a 64-bit offer;
+    // no sketches are built and the base protocol continues unassisted.
+    let caps = Capabilities {
+        id_bits: &[32],
+        ..Capabilities::default()
+    };
+    let hello = offer(&SidecarConfig {
+        id_bits: 64,
+        ..SidecarConfig::paper_default()
+    });
+    assert!(accept_hello(&caps, &hello).is_err());
+}
+
+#[test]
+fn negotiated_packet_count_schedule() {
+    let offered = SidecarConfig {
+        frequency: QuackFrequency::EveryPackets(2),
+        reorder_grace: SimDuration::from_millis(5),
+        ..SidecarConfig::paper_default()
+    };
+    let agreed = accept_hello(&Capabilities::default(), &offer(&offered)).unwrap();
+    assert!(matches!(agreed.frequency, QuackFrequency::EveryPackets(_)));
+    run_session(offered);
+}

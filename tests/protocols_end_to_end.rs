@@ -1,0 +1,149 @@
+//! Integration: the three sidecar protocols as full simulations, checked
+//! for reliability, determinism, and the qualitative wins the paper claims.
+
+use sidecar_repro::netsim::link::{LinkConfig, LossModel};
+use sidecar_repro::netsim::time::SimDuration;
+use sidecar_repro::proto::protocols::ack_reduction::AckReductionScenario;
+use sidecar_repro::proto::protocols::ccd::CcdScenario;
+use sidecar_repro::proto::protocols::retx::RetxScenario;
+
+#[test]
+fn ccd_divides_and_wins_under_downstream_loss() {
+    let scenario = CcdScenario {
+        total_packets: 1_200,
+        downstream: LinkConfig {
+            rate_bps: 50_000_000,
+            delay: SimDuration::from_millis(20),
+            loss: LossModel::Bernoulli { p: 0.01 },
+            ..LinkConfig::default()
+        },
+        ..CcdScenario::default()
+    };
+    let mut wins = 0;
+    for seed in [1u64, 2, 3] {
+        let side = scenario.run_sidecar(seed);
+        let base = scenario.run_baseline(seed);
+        assert!(
+            side.completion.is_some(),
+            "sidecar run must finish (seed {seed})"
+        );
+        if side.completion_secs() < base.completion_secs() {
+            wins += 1;
+        }
+    }
+    assert_eq!(
+        wins, 3,
+        "division should win every seed at 1% downstream loss"
+    );
+}
+
+#[test]
+fn retx_protocol_reliable_and_usually_faster() {
+    let scenario = RetxScenario {
+        total_packets: 1_000,
+        ..RetxScenario::default()
+    };
+    let mut faster = 0;
+    for seed in [10u64, 20, 30] {
+        let side = scenario.run_sidecar(seed);
+        let base = scenario.run_baseline(seed);
+        assert!(side.completion.is_some(), "seed {seed}: {side:?}");
+        assert!(base.completion.is_some(), "seed {seed}: {base:?}");
+        assert!(
+            side.proxy_retransmissions > 0,
+            "sidecar must do in-network retx"
+        );
+        if side.completion_secs() <= base.completion_secs() {
+            faster += 1;
+        }
+    }
+    assert!(
+        faster >= 2,
+        "in-network retx should win most seeds, won {faster}/3"
+    );
+}
+
+#[test]
+fn ack_reduction_cuts_acks_an_order_of_magnitude() {
+    let scenario = AckReductionScenario {
+        total_packets: 1_000,
+        ..AckReductionScenario::default()
+    };
+    for seed in [5u64, 6] {
+        let side = scenario.run_sidecar(seed);
+        let normal = scenario.run_baseline_normal(seed);
+        assert!(side.completion.is_some());
+        assert!(
+            side.client_acks * 8 < normal.client_acks,
+            "seed {seed}: {} vs {}",
+            side.client_acks,
+            normal.client_acks
+        );
+        // The server still delivers everything despite 16x fewer ACKs.
+        assert!(side.server_sent >= 1_000);
+    }
+}
+
+#[test]
+fn all_scenarios_are_deterministic() {
+    let ccd = CcdScenario {
+        total_packets: 400,
+        ..CcdScenario::default()
+    };
+    assert_eq!(ccd.run_sidecar(77), ccd.run_sidecar(77));
+    assert_eq!(ccd.run_baseline(77), ccd.run_baseline(77));
+
+    let retx = RetxScenario {
+        total_packets: 400,
+        ..RetxScenario::default()
+    };
+    assert_eq!(retx.run_sidecar(77), retx.run_sidecar(77));
+    assert_eq!(retx.run_baseline(77), retx.run_baseline(77));
+
+    let ackred = AckReductionScenario {
+        total_packets: 400,
+        ..AckReductionScenario::default()
+    };
+    assert_eq!(ackred.run_sidecar(77), ackred.run_sidecar(77));
+    assert_eq!(
+        ackred.run_baseline_normal(77),
+        ackred.run_baseline_normal(77)
+    );
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let retx = RetxScenario {
+        total_packets: 400,
+        ..RetxScenario::default()
+    };
+    assert_ne!(retx.run_sidecar(1), retx.run_sidecar(2));
+}
+
+#[test]
+fn sidecar_overhead_is_modest_on_clean_paths() {
+    // With no loss anywhere — including a queue deep enough that slow
+    // start cannot overflow it — adding the sidecar machinery must not
+    // slow the flow by more than a small factor (quACKs ride alongside,
+    // proxies still forward promptly) and must trigger zero in-network
+    // retransmissions.
+    let scenario = RetxScenario {
+        total_packets: 800,
+        subpath: LinkConfig {
+            loss: LossModel::None,
+            queue_packets: 8_192,
+            ..RetxScenario::default().subpath
+        },
+        ..RetxScenario::default()
+    };
+    let side = scenario.run_sidecar(3);
+    let base = scenario.run_baseline(3);
+    assert!(side.completion.is_some() && base.completion.is_some());
+    assert!(
+        side.completion_secs() < base.completion_secs() * 1.25,
+        "sidecar {:.3}s vs baseline {:.3}s",
+        side.completion_secs(),
+        base.completion_secs()
+    );
+    assert_eq!(side.proxy_retransmissions, 0);
+}

@@ -1,0 +1,89 @@
+//! Integration: the quACK sketch driven by *simulated network ground
+//! truth* — identifiers cross a lossy link and the decode must agree with
+//! what the link actually dropped.
+
+use sidecar_repro::galois::Fp32;
+use sidecar_repro::netsim::link::{Link, LinkConfig, LinkOutcome, LossModel};
+use sidecar_repro::netsim::rng::SimRng;
+use sidecar_repro::netsim::time::{SimDuration, SimTime};
+use sidecar_repro::quack::id::IdentifierGenerator;
+use sidecar_repro::quack::{PowerSumQuack, WireFormat};
+
+/// Pushes `n` identifier-carrying packets through a lossy link, quACKs the
+/// survivors, and checks the sender decodes exactly the link's drops.
+fn run_one(seed: u64, n: usize, loss: f64, threshold: usize) {
+    let mut rng = SimRng::new(seed);
+    let mut link = Link::new(LinkConfig {
+        loss: LossModel::Bernoulli { p: loss },
+        queue_packets: usize::MAX,
+        ..LinkConfig::default()
+    });
+    let mut ids = IdentifierGenerator::new(32, seed ^ 0xABCD);
+
+    let mut sender = PowerSumQuack::<Fp32>::new(threshold);
+    let mut receiver = PowerSumQuack::<Fp32>::new(threshold);
+    let mut log = Vec::with_capacity(n);
+    let mut truth_dropped = Vec::new();
+
+    for i in 0..n {
+        let id = ids.next_id();
+        sender.insert(id);
+        log.push(id);
+        let t = SimTime::ZERO + SimDuration::from_micros(i as u64 * 100);
+        match link.offer(t, 1500, &mut rng) {
+            LinkOutcome::Deliver(_) => receiver.insert(id),
+            _ => truth_dropped.push(i),
+        }
+    }
+
+    // Ship the quACK through the paper's wire format.
+    let fmt = WireFormat::paper_default(threshold);
+    let wire = fmt.encode(&receiver);
+    let rx: PowerSumQuack<Fp32> = fmt.decode(&wire, None).unwrap();
+
+    let result = sender.decode_against(&rx, &log);
+    if truth_dropped.len() > threshold {
+        assert!(result.is_err(), "m > t must fail to decode");
+        return;
+    }
+    let decoded = result.unwrap();
+    assert_eq!(
+        decoded.missing(),
+        &truth_dropped[..],
+        "decode must match the link's ground-truth drops (seed {seed})"
+    );
+    assert_eq!(decoded.num_missing(), truth_dropped.len());
+    assert!(
+        decoded.indeterminate().is_empty(),
+        "32-bit ids: no collisions expected"
+    );
+    assert_eq!(
+        link.stats.dropped_loss as usize + link.stats.delivered as usize,
+        n
+    );
+}
+
+#[test]
+fn decode_matches_link_ground_truth_light_loss() {
+    for seed in 0..20 {
+        run_one(seed, 1000, 0.01, 20);
+    }
+}
+
+#[test]
+fn decode_matches_link_ground_truth_heavy_loss_larger_threshold() {
+    for seed in 0..10 {
+        run_one(seed, 500, 0.05, 60);
+    }
+}
+
+#[test]
+fn threshold_exceeded_detected_over_real_drops() {
+    // 10% loss over 1000 packets ≈ 100 drops ≫ t = 20.
+    run_one(99, 1000, 0.10, 20);
+}
+
+#[test]
+fn lossless_link_decodes_empty() {
+    run_one(7, 2000, 0.0, 20);
+}
