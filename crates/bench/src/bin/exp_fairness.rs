@@ -27,7 +27,7 @@ use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{ReceiverConfig, ReceiverNode, SenderConfig, SenderNode};
 use sidecar_netsim::{FlowId, World};
 use sidecar_proto::protocols::retx::{ReceiverSideProxy, SenderSideProxy};
-use sidecar_proto::{QuackFrequency, SidecarConfig};
+use sidecar_proto::{QuackFrequency, SidecarConfig, SupervisionConfig};
 
 const TOTAL: u64 = 1_200;
 
@@ -92,7 +92,12 @@ fn run(seed: u64, assist: bool, loss: f64) -> (f64, f64) {
             ..SidecarConfig::paper_default()
         };
         let subpath_rtt = SimDuration::from_millis(12);
-        let a = w.add_node(Box::new(SenderSideProxy::new(cfg, subpath_rtt, 4_096)));
+        let a = w.add_node(Box::new(SenderSideProxy::new(
+            cfg,
+            subpath_rtt,
+            4_096,
+            SupervisionConfig::default(),
+        )));
         let b = w.add_node(Box::new(ReceiverSideProxy::new(cfg)));
         w.connect(mux, a, edge.clone(), edge.clone());
         w.connect(a, b, bottleneck.clone(), bottleneck);

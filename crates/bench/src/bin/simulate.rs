@@ -156,6 +156,8 @@ fn average(reports: Vec<ScenarioReport>) -> ScenarioReport {
         sidecar_messages: reports.iter().map(|r| r.sidecar_messages).sum::<u64>() / k,
         sidecar_bytes: reports.iter().map(|r| r.sidecar_bytes).sum::<u64>() / k,
         proxy_retransmissions: reports.iter().map(|r| r.proxy_retransmissions).sum::<u64>() / k,
+        degradations: reports.iter().map(|r| r.degradations).sum(),
+        recoveries: reports.iter().map(|r| r.recoveries).sum(),
     }
 }
 

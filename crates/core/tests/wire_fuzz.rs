@@ -1,0 +1,88 @@
+//! Fuzz-style property tests for the quACK wire codec: decoding must be
+//! total (no panics) over arbitrary byte soup — quACKs arrive over an
+//! unauthenticated datagram channel, so any buffer can show up.
+
+use proptest::prelude::*;
+use sidecar_galois::{Fp16, Fp32};
+use sidecar_quack::{PowerSumQuack, WireError, WireFormat};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Decoding arbitrary bytes never panics: every outcome is a typed
+    /// `Ok`/`Err`, and wrong-length buffers are always a `Length` error.
+    #[test]
+    fn decode_is_total_over_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        threshold in 1usize..24,
+        count_bits in prop_oneof![Just(0u32), Just(8u32), Just(16u32)],
+    ) {
+        let fmt = WireFormat { id_bits: 32, threshold, count_bits };
+        match fmt.decode::<Fp32>(&bytes, Some(7)) {
+            Ok(q) => prop_assert_eq!(q.threshold(), threshold),
+            Err(WireError::Length { expected, actual }) => {
+                prop_assert_eq!(expected, fmt.encoded_bytes());
+                prop_assert_eq!(actual, bytes.len());
+                prop_assert_ne!(actual, expected);
+            }
+            Err(WireError::NonCanonicalSum { index }) => {
+                prop_assert_eq!(bytes.len(), fmt.encoded_bytes());
+                prop_assert!(index < threshold);
+            }
+        }
+    }
+
+    /// Correct-length corrupted buffers (bit flips on a valid encoding)
+    /// never panic either: they decode to *some* quACK or a typed error.
+    /// Detecting the corruption is the consumer's count/threshold checks'
+    /// job, not the codec's.
+    #[test]
+    fn bit_flips_never_panic(
+        ids in proptest::collection::vec(any::<u64>(), 0..40),
+        flips in proptest::collection::vec((0usize..82, 0u8..8), 1..16),
+    ) {
+        let fmt = WireFormat::paper_default(20);
+        let mut q = PowerSumQuack::<Fp32>::new(20);
+        for &id in &ids {
+            q.insert(id);
+        }
+        let mut bytes = fmt.encode(&q);
+        for (pos, bit) in flips {
+            bytes[pos % 82] ^= 1 << bit;
+        }
+        let _ = fmt.decode::<Fp32>(&bytes, None);
+    }
+
+    /// Encode→decode round-trips across field widths, including the `c = 0`
+    /// out-of-band-count format of §4.3 ACK reduction.
+    #[test]
+    fn roundtrip_all_widths(
+        ids in proptest::collection::vec(any::<u64>(), 0..32),
+        threshold in 1usize..16,
+    ) {
+        let fmt32 = WireFormat { id_bits: 32, threshold, count_bits: 16 };
+        let mut q32 = PowerSumQuack::<Fp32>::new(threshold);
+        for &id in &ids {
+            q32.insert(id);
+        }
+        let back32: PowerSumQuack<Fp32> = fmt32.decode(&fmt32.encode(&q32), None).unwrap();
+        prop_assert_eq!(
+            back32.power_sums().collect::<Vec<_>>(),
+            q32.power_sums().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(back32.count(), q32.count() & 0xFFFF);
+
+        let fmt0 = WireFormat { id_bits: 16, threshold, count_bits: 0 };
+        let mut q16 = PowerSumQuack::<Fp16>::new(threshold);
+        for &id in &ids {
+            q16.insert(id);
+        }
+        let back16: PowerSumQuack<Fp16> =
+            fmt0.decode(&fmt0.encode(&q16), Some(q16.count())).unwrap();
+        prop_assert_eq!(
+            back16.power_sums().collect::<Vec<_>>(),
+            q16.power_sums().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(back16.count(), q16.count());
+    }
+}

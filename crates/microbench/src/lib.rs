@@ -1,0 +1,272 @@
+//! A vendored, offline subset of the [criterion] API.
+//!
+//! The workspace's benches were written against criterion, but this
+//! repository must build in sandboxes with no crates-io access. This crate
+//! reimplements the slice of the criterion surface those benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], `criterion_group!`, `criterion_main!` —
+//! as a plain wall-clock timer with median-of-samples reporting. The
+//! workspace `Cargo.toml` renames it to `criterion` (`criterion = { path =
+//! …, package = "microbench" }`), so bench code keeps its `use criterion::…`
+//! imports untouched.
+//!
+//! Differences from real criterion, deliberately accepted: no warm-up
+//! curve fitting, no outlier analysis, no HTML reports, and a small
+//! per-benchmark time budget so `cargo test`/CI smoke runs stay fast.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget. Real criterion runs seconds per
+/// benchmark; this shim exists so benches *build and run* everywhere, so it
+/// keeps each benchmark to a few milliseconds of sampling.
+const TIME_BUDGET: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (builder-style, mirroring
+    /// criterion's `Criterion::default().sample_size(n)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("decode", 20)` → `decode/20`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: TIME_BUDGET,
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: TIME_BUDGET,
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!(" ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?} over {} samples{rate}",
+            self.name,
+            sorted.len()
+        );
+    }
+}
+
+/// Hands the routine to the measurement loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured sample count within
+    /// the time budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up call.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named runner, mirroring criterion's
+/// two invocation forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold(1u64, |a, b| a.wrapping_mul(b) ^ b)
+    }
+
+    fn benches(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("fib", |b| b.iter(|| fib(black_box(64))));
+        group.bench_with_input(BenchmarkId::new("fib_n", 32), &32u64, |b, &n| {
+            b.iter(|| fib(n))
+        });
+        group.sample_size(5);
+        group.finish();
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(10);
+        targets = benches
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        shim_group();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("construct", 20).to_string(),
+            "construct/20"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Deterministic fault injection: scripted crashes, blackouts, and
+//! control-channel mangling.
+//!
+//! The paper's core claim for sidecar protocols over classic PEPs is
+//! failure transparency: the end-to-end connection "must be unaffected if
+//! the sidecar fails" (§2). To test that claim, a [`FaultPlan`] schedules
+//! faults at exact [`SimTime`]s before a run starts:
+//!
+//! * **node outages** — a node goes fully dark for a window: arrivals are
+//!   dropped, timers firing during the window are discarded, and on the
+//!   restart edge [`crate::node::Node::on_restart`] runs so the node can
+//!   reset volatile state (a sidecar proxy wipes its quACK log and bumps
+//!   its epoch; a plain forwarder does nothing);
+//! * **link blackouts** — a link (or every link between a node pair)
+//!   silently eats everything offered during a window;
+//! * **control faults** — packets of [`PacketKind::Sidecar`] are dropped,
+//!   duplicated, delayed, or byte-corrupted during a window, leaving the
+//!   opaque end-to-end data path untouched — the paper's "sidecar path
+//!   broken, base path fine" scenario.
+//!
+//! All corruption randomness comes from a dedicated generator seeded by
+//! [`FaultPlan::seed`], independent of the world's own stream, so the same
+//! `(topology, world seed, plan)` triple reproduces a run byte-for-byte —
+//! the repo's determinism invariant extends through the fault layer.
+//!
+//! Windows are half-open `[from, until)`. Plans are installed with
+//! [`crate::world::World::install_faults`] before the first event runs.
+
+use crate::node::{LinkId, NodeId};
+use crate::packet::PacketKind;
+use crate::time::{SimDuration, SimTime};
+
+/// A node outage: down at `from`, restarted at `until` (or never).
+#[derive(Clone, Debug)]
+pub struct Outage {
+    /// The node to take down.
+    pub node: NodeId,
+    /// When it crashes.
+    pub from: SimTime,
+    /// When it restarts (`None` = stays down for the rest of the run).
+    pub until: Option<SimTime>,
+}
+
+/// Which link(s) a blackout applies to.
+#[derive(Clone, Debug)]
+pub enum LinkTarget {
+    /// One unidirectional link.
+    Link(LinkId),
+    /// Every link directly connecting the two nodes, both directions.
+    Between(NodeId, NodeId),
+}
+
+/// A link blackout window: everything offered is silently dropped.
+#[derive(Clone, Debug)]
+pub struct Blackout {
+    /// The affected link(s).
+    pub target: LinkTarget,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// What to do to a matching control packet.
+#[derive(Clone, Debug)]
+pub enum ControlAction {
+    /// Drop it.
+    Drop,
+    /// Deliver it twice (two independent link offers, so each copy draws
+    /// its own loss/queue fate).
+    Duplicate,
+    /// Deliver it late by the given extra delay.
+    Delay(SimDuration),
+    /// Flip up to `max_flips` random bits of the serialized body (at least
+    /// one) before delivery. Tests the receiver's wire-decode robustness.
+    Corrupt {
+        /// Upper bound on flipped bits per packet.
+        max_flips: u32,
+    },
+}
+
+/// One scripted rule against [`PacketKind::Sidecar`] traffic.
+///
+/// During `[from, until)` the action applies to every sidecar packet
+/// transmitted by `source` (or by anyone, when `source` is `None`). Rules
+/// are evaluated in plan order; the first match wins.
+#[derive(Clone, Debug)]
+pub struct ControlFault {
+    /// The mangling to apply.
+    pub action: ControlAction,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Restrict to packets transmitted by this node (`None` = any).
+    pub source: Option<NodeId>,
+}
+
+/// A complete, seeded fault script for one run.
+///
+/// Build with the chained helpers, then hand to
+/// [`crate::world::World::install_faults`]:
+///
+/// ```
+/// use sidecar_netsim::fault::FaultPlan;
+/// use sidecar_netsim::node::NodeId;
+/// use sidecar_netsim::time::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new(42)
+///     .crash_restart(
+///         NodeId(1),
+///         SimTime::from_nanos(2_000_000_000),
+///         SimTime::from_nanos(4_000_000_000),
+///     )
+///     .corrupt_control(8, SimTime::from_nanos(5_000_000_000), SimTime::from_nanos(6_000_000_000));
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the dedicated corruption RNG (independent of the world's).
+    pub seed: u64,
+    /// Scheduled node outages.
+    pub outages: Vec<Outage>,
+    /// Scheduled link blackouts.
+    pub blackouts: Vec<Blackout>,
+    /// Scheduled control-channel rules (first match wins).
+    pub control: Vec<ControlFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given corruption seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.blackouts.is_empty() && self.control.is_empty()
+    }
+
+    /// Crash `node` at `from` and restart it at `until`.
+    pub fn crash_restart(mut self, node: NodeId, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "outage window is empty");
+        self.outages.push(Outage {
+            node,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Crash `node` at `from` with no restart.
+    pub fn kill(mut self, node: NodeId, from: SimTime) -> Self {
+        self.outages.push(Outage {
+            node,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// Black out every link between `a` and `b` (both directions) during
+    /// `[from, until)`.
+    pub fn blackout_between(mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "blackout window is empty");
+        self.blackouts.push(Blackout {
+            target: LinkTarget::Between(a, b),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Black out one unidirectional link during `[from, until)`.
+    pub fn blackout_link(mut self, link: LinkId, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "blackout window is empty");
+        self.blackouts.push(Blackout {
+            target: LinkTarget::Link(link),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Drop all sidecar control packets during `[from, until)`.
+    pub fn drop_control(self, from: SimTime, until: SimTime) -> Self {
+        self.control_rule(ControlAction::Drop, from, until, None)
+    }
+
+    /// Drop sidecar control packets transmitted by `source`.
+    pub fn drop_control_from(self, source: NodeId, from: SimTime, until: SimTime) -> Self {
+        self.control_rule(ControlAction::Drop, from, until, Some(source))
+    }
+
+    /// Duplicate all sidecar control packets during `[from, until)`.
+    pub fn duplicate_control(self, from: SimTime, until: SimTime) -> Self {
+        self.control_rule(ControlAction::Duplicate, from, until, None)
+    }
+
+    /// Delay all sidecar control packets by `extra` during `[from, until)`.
+    pub fn delay_control(self, extra: SimDuration, from: SimTime, until: SimTime) -> Self {
+        self.control_rule(ControlAction::Delay(extra), from, until, None)
+    }
+
+    /// Corrupt all sidecar control packets (≤ `max_flips` bit flips each)
+    /// during `[from, until)`.
+    pub fn corrupt_control(self, max_flips: u32, from: SimTime, until: SimTime) -> Self {
+        assert!(max_flips > 0, "corruption needs at least one bit flip");
+        self.control_rule(ControlAction::Corrupt { max_flips }, from, until, None)
+    }
+
+    fn control_rule(
+        mut self,
+        action: ControlAction,
+        from: SimTime,
+        until: SimTime,
+        source: Option<NodeId>,
+    ) -> Self {
+        assert!(from < until, "control-fault window is empty");
+        self.control.push(ControlFault {
+            action,
+            from,
+            until,
+            source,
+        });
+        self
+    }
+
+    /// The first control rule matching a sidecar packet transmitted by
+    /// `source` at `now`, if any. `kind` filters non-sidecar traffic out so
+    /// callers can pass every packet through.
+    pub fn match_control(
+        &self,
+        kind: PacketKind,
+        source: NodeId,
+        now: SimTime,
+    ) -> Option<&ControlAction> {
+        if kind != PacketKind::Sidecar {
+            return None;
+        }
+        self.control
+            .iter()
+            .find(|rule| {
+                rule.from <= now && now < rule.until && rule.source.is_none_or(|s| s == source)
+            })
+            .map(|rule| &rule.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_rules() {
+        let t = SimTime::from_nanos;
+        let plan = FaultPlan::new(7)
+            .crash_restart(NodeId(1), t(100), t(200))
+            .kill(NodeId(2), t(300))
+            .blackout_between(NodeId(0), NodeId(1), t(10), t(20))
+            .blackout_link(LinkId(3), t(30), t(40))
+            .drop_control(t(0), t(50))
+            .duplicate_control(t(50), t(60))
+            .delay_control(SimDuration::from_millis(5), t(60), t(70))
+            .corrupt_control(4, t(70), t(80));
+        assert_eq!(plan.outages.len(), 2);
+        assert_eq!(plan.blackouts.len(), 2);
+        assert_eq!(plan.control.len(), 4);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(7).is_empty());
+    }
+
+    #[test]
+    fn control_matching_respects_window_kind_and_source() {
+        let t = SimTime::from_nanos;
+        let plan = FaultPlan::new(0)
+            .drop_control_from(NodeId(5), t(100), t(200))
+            .duplicate_control(t(100), t(200));
+        // Non-sidecar traffic is never matched.
+        assert!(plan
+            .match_control(PacketKind::Data, NodeId(5), t(150))
+            .is_none());
+        // First match wins: node 5 hits the drop rule, others the duplicate.
+        assert!(matches!(
+            plan.match_control(PacketKind::Sidecar, NodeId(5), t(150)),
+            Some(ControlAction::Drop)
+        ));
+        assert!(matches!(
+            plan.match_control(PacketKind::Sidecar, NodeId(6), t(150)),
+            Some(ControlAction::Duplicate)
+        ));
+        // Half-open window: start inclusive, end exclusive.
+        assert!(plan
+            .match_control(PacketKind::Sidecar, NodeId(6), t(99))
+            .is_none());
+        assert!(plan
+            .match_control(PacketKind::Sidecar, NodeId(6), t(100))
+            .is_some());
+        assert!(plan
+            .match_control(PacketKind::Sidecar, NodeId(6), t(200))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window is empty")]
+    fn empty_window_rejected() {
+        let t = SimTime::from_nanos;
+        let _ = FaultPlan::new(0).drop_control(t(100), t(100));
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod forward;
 pub mod link;
 pub mod node;
@@ -57,6 +58,7 @@ pub mod trace;
 pub mod transport;
 pub mod world;
 
+pub use fault::FaultPlan;
 pub use forward::Forwarder;
 pub use link::{Link, LinkConfig, LinkStats, LossModel};
 pub use node::{Context, IfaceId, LinkId, Node, NodeId};

@@ -118,6 +118,16 @@ pub trait Node: Any {
     /// A timer armed with `token` fired.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context) {}
 
+    /// The node came back from a scripted crash
+    /// (see [`crate::fault::FaultPlan`]). Volatile state should be reset
+    /// here — a sidecar proxy wipes its quACK log and bumps its epoch. The
+    /// default keeps all state (a plain forwarder survives reboots intact).
+    ///
+    /// Timers armed before the crash did *not* fire during the outage; ones
+    /// scheduled past the restart still will, so stale-timer checks (the
+    /// lazy-cancellation idiom) keep working unchanged.
+    fn on_restart(&mut self, _ctx: &mut Context) {}
+
     /// Human-readable name for traces.
     fn name(&self) -> &str {
         "node"

@@ -18,6 +18,13 @@ pub enum DropReason {
     Loss,
     /// The link's drop-tail queue was full.
     QueueFull,
+    /// The receiving node was down (scripted outage); for this reason the
+    /// event's `node`/`iface` are the would-be receiver, not the sender.
+    NodeDown,
+    /// The link was blacked out by a [`crate::fault::FaultPlan`].
+    Blackout,
+    /// A scripted control fault dropped the packet.
+    Injected,
 }
 
 /// One recorded simulation event.
@@ -64,6 +71,16 @@ pub enum TraceEvent {
         /// The token it armed.
         token: u64,
     },
+    /// A scripted outage edge: a node crashed (`up == false`) or restarted
+    /// (`up == true`).
+    Fault {
+        /// When.
+        at: SimTime,
+        /// The affected node.
+        node: NodeId,
+        /// `false` on the crash edge, `true` on the restart edge.
+        up: bool,
+    },
 }
 
 impl TraceEvent {
@@ -72,7 +89,8 @@ impl TraceEvent {
         match self {
             TraceEvent::Arrival { at, .. }
             | TraceEvent::Drop { at, .. }
-            | TraceEvent::Timer { at, .. } => *at,
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Fault { at, .. } => *at,
         }
     }
 }
@@ -140,6 +158,8 @@ impl Trace {
                 match reason {
                     DropReason::Loss => loss += 1,
                     DropReason::QueueFull => queue += 1,
+                    // Scripted drops are counted by the fault tests directly.
+                    DropReason::NodeDown | DropReason::Blackout | DropReason::Injected => {}
                 }
             }
         }
@@ -180,6 +200,10 @@ impl Trace {
                 }
                 TraceEvent::Timer { at, node, token } => {
                     out.push_str(&format!("{at} node{} ⏰ token={token}\n", node.0));
+                }
+                TraceEvent::Fault { at, node, up } => {
+                    let edge = if *up { "restart" } else { "crash" };
+                    out.push_str(&format!("{at} node{} ⚡ {edge}\n", node.0));
                 }
             }
         }

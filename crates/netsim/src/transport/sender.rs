@@ -255,6 +255,16 @@ impl SenderCore {
         self.cwnd_cap = cap;
     }
 
+    /// Replaces the congestion controller mid-flow, starting it at
+    /// `initial_cwnd` (floored at the minimum window). Used by the sidecar
+    /// supervision layer: a CCD server steered by a `Fixed` controller falls
+    /// back to a real end-to-end controller when its sidecar goes dark, and
+    /// swaps back on recovery. RTT state, the in-flight map, and the loss
+    /// log all survive the swap — only the window policy changes.
+    pub fn swap_cc(&mut self, algo: CcAlgorithm, initial_cwnd: u64) {
+        self.cc = algo.build(initial_cwnd.max(2));
+    }
+
     /// The RTT estimator.
     pub fn rtt(&self) -> &RttEstimator {
         &self.rtt

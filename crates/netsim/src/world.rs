@@ -6,11 +6,12 @@
 //! the property every protocol experiment and regression test in this
 //! reproduction leans on.
 
+use crate::fault::{ControlAction, FaultPlan, LinkTarget};
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
 use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId};
-use crate::packet::Packet;
+use crate::packet::{Packet, Payload};
 use crate::rng::SimRng;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -34,6 +35,45 @@ enum EventKind {
         node: NodeId,
         token: u64,
     },
+    /// A scripted outage edge from an installed [`FaultPlan`].
+    Fault {
+        node: NodeId,
+        /// `false` = crash, `true` = restart.
+        up: bool,
+    },
+}
+
+/// A [`FaultPlan`] resolved against a concrete topology, plus the dedicated
+/// corruption RNG (independent of the world's stream so installing a plan
+/// never perturbs link loss draws).
+struct ActiveFaults {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Blackout windows with `LinkTarget::Between` lowered to link ids.
+    blackout_windows: Vec<(LinkId, SimTime, SimTime)>,
+}
+
+impl ActiveFaults {
+    fn blacked_out(&self, link: LinkId, now: SimTime) -> bool {
+        self.blackout_windows
+            .iter()
+            .any(|&(l, from, until)| l == link && from <= now && now < until)
+    }
+
+    /// Flips 1..=`max_flips` random bits of a sidecar payload body.
+    fn corrupt(&mut self, packet: &mut Packet, max_flips: u32) {
+        if let Payload::Sidecar { bytes, .. } = &mut packet.payload {
+            if bytes.is_empty() {
+                return;
+            }
+            let flips = 1 + self.rng.below(max_flips.max(1) as u64);
+            for _ in 0..flips {
+                let i = self.rng.below(bytes.len() as u64) as usize;
+                let bit = self.rng.below(8) as u32;
+                bytes[i] ^= 1 << bit;
+            }
+        }
+    }
 }
 
 struct ScheduledEvent {
@@ -72,6 +112,8 @@ pub struct World {
     started: bool,
     events_processed: u64,
     trace: Trace,
+    node_down: Vec<bool>,
+    faults: Option<ActiveFaults>,
 }
 
 impl World {
@@ -88,6 +130,8 @@ impl World {
             started: false,
             events_processed: 0,
             trace: Trace::disabled(),
+            node_down: Vec::new(),
+            faults: None,
         }
     }
 
@@ -108,7 +152,101 @@ impl World {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
         self.node_ifaces.push(Vec::new());
+        self.node_down.push(false);
         id
+    }
+
+    /// Installs a fault script (see [`crate::fault`]): schedules every
+    /// outage edge as a simulation event, lowers `Between` blackouts to the
+    /// concrete links of this topology, and seeds the dedicated corruption
+    /// RNG from [`FaultPlan::seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has already started, if a plan was already
+    /// installed, or if the plan references nodes/links that do not exist —
+    /// all configuration errors, caught loudly at install time.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "faults must be installed before the world runs"
+        );
+        assert!(self.faults.is_none(), "a fault plan is already installed");
+        for outage in &plan.outages {
+            assert!(
+                outage.node.0 < self.nodes.len(),
+                "outage references unknown {:?}",
+                outage.node
+            );
+            let down_seq = self.next_seq();
+            self.queue.push(ScheduledEvent {
+                at: outage.from,
+                seq: down_seq,
+                kind: EventKind::Fault {
+                    node: outage.node,
+                    up: false,
+                },
+            });
+            if let Some(until) = outage.until {
+                let up_seq = self.next_seq();
+                self.queue.push(ScheduledEvent {
+                    at: until,
+                    seq: up_seq,
+                    kind: EventKind::Fault {
+                        node: outage.node,
+                        up: true,
+                    },
+                });
+            }
+        }
+        let mut blackout_windows = Vec::new();
+        for blackout in &plan.blackouts {
+            match blackout.target {
+                LinkTarget::Link(link) => {
+                    assert!(
+                        link.0 < self.links.len(),
+                        "blackout references unknown {link:?}"
+                    );
+                    blackout_windows.push((link, blackout.from, blackout.until));
+                }
+                LinkTarget::Between(a, b) => {
+                    assert!(a.0 < self.nodes.len(), "blackout references unknown {a:?}");
+                    assert!(b.0 < self.nodes.len(), "blackout references unknown {b:?}");
+                    let mut found = false;
+                    for end in &self.node_ifaces[a.0] {
+                        if end.peer == b {
+                            blackout_windows.push((end.link, blackout.from, blackout.until));
+                            found = true;
+                        }
+                    }
+                    for end in &self.node_ifaces[b.0] {
+                        if end.peer == a {
+                            blackout_windows.push((end.link, blackout.from, blackout.until));
+                            found = true;
+                        }
+                    }
+                    assert!(found, "no links between {a:?} and {b:?}");
+                }
+            }
+        }
+        for rule in &plan.control {
+            if let Some(source) = rule.source {
+                assert!(
+                    source.0 < self.nodes.len(),
+                    "control fault references unknown {source:?}"
+                );
+            }
+        }
+        self.faults = Some(ActiveFaults {
+            rng: SimRng::new(plan.seed),
+            plan,
+            blackout_windows,
+        });
+    }
+
+    /// Whether `node` is currently down due to a scripted outage.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.node_down[node.0]
     }
 
     /// Connects `a` and `b` with a duplex pair of unidirectional links
@@ -212,6 +350,19 @@ impl World {
                 iface,
                 packet,
             } => {
+                if self.node_down[node.0] {
+                    // The receiver is crashed: the packet evaporates at its
+                    // door.
+                    self.trace.record(TraceEvent::Drop {
+                        at: self.now,
+                        node,
+                        iface,
+                        kind: packet.kind,
+                        id: packet.id,
+                        reason: DropReason::NodeDown,
+                    });
+                    return true;
+                }
                 self.trace.record(TraceEvent::Arrival {
                     at: self.now,
                     node,
@@ -224,12 +375,28 @@ impl World {
                 self.dispatch(node, |n, ctx| n.on_packet(iface, packet, ctx));
             }
             EventKind::Timer { node, token } => {
+                if self.node_down[node.0] {
+                    // Timers firing during an outage are discarded; a node
+                    // re-arms what it needs from `on_restart`.
+                    return true;
+                }
                 self.trace.record(TraceEvent::Timer {
                     at: self.now,
                     node,
                     token,
                 });
                 self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+            }
+            EventKind::Fault { node, up } => {
+                self.trace.record(TraceEvent::Fault {
+                    at: self.now,
+                    node,
+                    up,
+                });
+                self.node_down[node.0] = !up;
+                if up {
+                    self.dispatch(node, |n, ctx| n.on_restart(ctx));
+                }
             }
         }
         true
@@ -298,40 +465,81 @@ impl World {
         }
     }
 
-    /// Pushes a packet into the link behind `(node, iface)`.
-    fn transmit(&mut self, node: NodeId, iface: IfaceId, packet: Packet) {
+    /// Pushes a packet into the link behind `(node, iface)`, applying any
+    /// installed fault rules (blackouts, control-channel mangling) first.
+    fn transmit(&mut self, node: NodeId, iface: IfaceId, mut packet: Packet) {
         let end = *self.node_ifaces[node.0]
             .get(iface.0)
             .unwrap_or_else(|| panic!("node {node:?} has no interface {iface:?}"));
-        let link = &mut self.links[end.link.0];
-        match link.offer(self.now, packet.size, &mut self.rng) {
-            LinkOutcome::Deliver(at) => {
-                let seq = self.next_seq();
-                self.queue.push(ScheduledEvent {
-                    at,
-                    seq,
-                    kind: EventKind::Arrival {
-                        node: end.peer,
-                        iface: end.peer_iface,
-                        packet,
-                    },
-                });
-            }
-            outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
-                // The packet evaporates; link stats recorded it, and the
-                // trace (if enabled) remembers what and why.
+        let mut copies = 1u32;
+        let mut extra_delay = SimDuration::ZERO;
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.blacked_out(end.link, self.now) {
                 self.trace.record(TraceEvent::Drop {
                     at: self.now,
                     node,
                     iface,
                     kind: packet.kind,
                     id: packet.id,
-                    reason: if outcome == LinkOutcome::DropQueue {
-                        DropReason::QueueFull
-                    } else {
-                        DropReason::Loss
-                    },
+                    reason: DropReason::Blackout,
                 });
+                return;
+            }
+            match faults
+                .plan
+                .match_control(packet.kind, node, self.now)
+                .cloned()
+            {
+                Some(ControlAction::Drop) => {
+                    self.trace.record(TraceEvent::Drop {
+                        at: self.now,
+                        node,
+                        iface,
+                        kind: packet.kind,
+                        id: packet.id,
+                        reason: DropReason::Injected,
+                    });
+                    return;
+                }
+                Some(ControlAction::Duplicate) => copies = 2,
+                Some(ControlAction::Delay(extra)) => extra_delay = extra,
+                Some(ControlAction::Corrupt { max_flips }) => {
+                    faults.corrupt(&mut packet, max_flips);
+                }
+                None => {}
+            }
+        }
+        for _ in 0..copies {
+            let link = &mut self.links[end.link.0];
+            match link.offer(self.now, packet.size, &mut self.rng) {
+                LinkOutcome::Deliver(at) => {
+                    let seq = self.next_seq();
+                    self.queue.push(ScheduledEvent {
+                        at: at + extra_delay,
+                        seq,
+                        kind: EventKind::Arrival {
+                            node: end.peer,
+                            iface: end.peer_iface,
+                            packet: packet.clone(),
+                        },
+                    });
+                }
+                outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
+                    // The packet evaporates; link stats recorded it, and the
+                    // trace (if enabled) remembers what and why.
+                    self.trace.record(TraceEvent::Drop {
+                        at: self.now,
+                        node,
+                        iface,
+                        kind: packet.kind,
+                        id: packet.id,
+                        reason: if outcome == LinkOutcome::DropQueue {
+                            DropReason::QueueFull
+                        } else {
+                            DropReason::Loss
+                        },
+                    });
+                }
             }
         }
     }

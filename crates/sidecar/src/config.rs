@@ -73,6 +73,38 @@ impl Default for SidecarConfig {
     }
 }
 
+/// Timeouts and thresholds for the [`crate::supervise::Supervisor`] that
+/// wraps a quACK-consuming session.
+///
+/// PEP assistance is opportunistic: "hosts can take advantage of them when
+/// they are available, while remaining completely functional when they are
+/// not" (paper §1). These knobs decide how quickly a consumer notices the
+/// sidecar path is gone and falls back to end-to-end behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Initial `Hello` retry period while connecting or degraded.
+    pub hello_timeout: SimDuration,
+    /// Cap for the exponential `Hello` retry backoff.
+    pub hello_backoff_cap: SimDuration,
+    /// While packets are outstanding, a quACK (or handshake ack) must
+    /// arrive within this span or the session is declared dead.
+    pub liveness_timeout: SimDuration,
+    /// Consecutive hard quACK errors (wrong epoch, malformed, undecodable)
+    /// before degrading. Stale quACKs never count.
+    pub degrade_after: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            hello_timeout: SimDuration::from_millis(100),
+            hello_backoff_cap: SimDuration::from_millis(1_600),
+            liveness_timeout: SimDuration::from_millis(300),
+            degrade_after: 3,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,10 +31,12 @@ pub mod endpoint;
 pub mod messages;
 pub mod negotiate;
 pub mod protocols;
+pub mod supervise;
 
-pub use config::{QuackFrequency, SidecarConfig};
+pub use config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 pub use endpoint::{
     ConfirmedLoss, ConsumerStats, LogEntry, ProcessError, QuackConsumer, QuackProducer, QuackReport,
 };
 pub use messages::{MessageError, SidecarMessage};
 pub use negotiate::{accept_hello, offer, Capabilities, NegotiationError};
+pub use supervise::{PollOutcome, Supervisor, SupervisorState, SupervisorStats};

@@ -58,6 +58,10 @@ pub enum NegotiationError {
     IntervalTooFast,
     /// A zero threshold cannot decode anything.
     ZeroThreshold,
+    /// The message handed to [`accept_hello`] was not a `Hello` at all —
+    /// reachable from the wire (any sidecar datagram can arrive where a
+    /// handshake is expected), so it must be an error, not a panic.
+    NotHello,
 }
 
 impl core::fmt::Display for NegotiationError {
@@ -74,6 +78,7 @@ impl core::fmt::Display for NegotiationError {
             }
             NegotiationError::IntervalTooFast => write!(f, "offered interval too fast"),
             NegotiationError::ZeroThreshold => write!(f, "threshold must be at least 1"),
+            NegotiationError::NotHello => write!(f, "accept_hello requires a Hello message"),
         }
     }
 }
@@ -112,7 +117,7 @@ pub fn accept_hello(
         interval,
     } = hello
     else {
-        panic!("accept_hello requires a Hello message");
+        return Err(NegotiationError::NotHello);
     };
     if *threshold == 0 {
         return Err(NegotiationError::ZeroThreshold);
@@ -255,11 +260,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a Hello")]
-    fn non_hello_panics() {
-        let _ = accept_hello(
-            &Capabilities::default(),
-            &SidecarMessage::Reset { epoch: 1 },
-        );
+    fn non_hello_is_a_typed_error() {
+        // Any sidecar datagram can land where a handshake is expected, so
+        // a mis-routed message must decline, never panic.
+        for msg in [
+            SidecarMessage::Reset { epoch: 1 },
+            SidecarMessage::Configure {
+                interval: SimDuration::from_millis(5),
+            },
+            SidecarMessage::Quack {
+                epoch: 0,
+                bytes: vec![0u8; 82],
+            },
+        ] {
+            assert_eq!(
+                accept_hello(&Capabilities::default(), &msg).unwrap_err(),
+                NegotiationError::NotHello
+            );
+        }
+        assert!(NegotiationError::NotHello.to_string().contains("Hello"));
     }
 }

@@ -11,14 +11,16 @@
 //! The client "does not need to participate in the sidecar protocol at
 //! all" — it is a completely unmodified receiver.
 
-use crate::config::{QuackFrequency, SidecarConfig};
+use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
-use crate::protocols::ScenarioReport;
+use crate::negotiate::{accept_hello, offer, Capabilities};
+use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderCore, SenderNode,
@@ -29,6 +31,7 @@ use std::any::Any;
 
 const TOKEN_RTO: u64 = 1;
 const TOKEN_GRACE: u64 = 2;
+const TOKEN_SUPERVISE: u64 = 3;
 
 /// The ACK-reduction proxy: a regular router whose sidecar quACKs every
 /// `n` data packets toward the server (paper: "every other packet such as
@@ -65,30 +68,52 @@ impl Node for AckRedProxy {
                     emit = self.producer.observe(packet.id);
                 }
                 if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                    if let Ok(SidecarMessage::Reset { epoch }) =
-                        SidecarMessage::decode(proto, bytes)
-                    {
-                        self.producer.reset(epoch);
-                        return;
+                    match SidecarMessage::decode(proto, bytes) {
+                        Ok(SidecarMessage::Reset { epoch }) => {
+                            self.producer.reset(epoch);
+                            return;
+                        }
+                        Ok(hello @ SidecarMessage::Hello { .. }) => {
+                            // Server handshake; Reset reply doubles as the
+                            // ack. Recovery Hellos (non-empty sketch) get a
+                            // fresh epoch, startup Hellos keep the pristine
+                            // one.
+                            if accept_hello(&Capabilities::default(), &hello).is_ok() {
+                                let epoch = if self.producer.count() == 0 {
+                                    self.producer.epoch()
+                                } else {
+                                    let e = self.producer.epoch().wrapping_add(1);
+                                    self.producer.reset(e);
+                                    e
+                                };
+                                let _ =
+                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                            }
+                            return;
+                        }
+                        _ => {}
                     }
                 }
                 ctx.send(IfaceId(1), packet);
                 if emit {
                     let msg = self.producer.emit();
-                    let size = msg.wire_size();
-                    let (proto, body) = msg.encode();
                     self.quacks_sent += 1;
-                    self.quack_bytes += size as u64;
-                    ctx.send(
-                        IfaceId(0),
-                        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-                    );
+                    self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
                 }
             }
             // From the client: forward upstream untouched.
             IfaceId(1) => ctx.send(IfaceId(0), packet),
             other => panic!("ack-reduction proxy has 2 interfaces, got {other:?}"),
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context) {
+        // The sketch died with the node: announce a fresh time-derived
+        // epoch so the server stops interpreting quACKs against the old
+        // mirror log.
+        let epoch = restart_epoch(ctx.now());
+        self.producer.reset(epoch);
+        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
     }
 
     fn name(&self) -> &str {
@@ -109,16 +134,26 @@ impl Node for AckRedProxy {
 pub struct AckRedServer {
     transport: SenderCore,
     sidecar: QuackConsumer<Fp32>,
+    cfg: SidecarConfig,
+    /// Session supervision: hello handshake, liveness, degraded fallback.
+    pub supervisor: Supervisor,
     /// Packets released from window accounting by quACKs.
     pub window_releases: u64,
 }
 
 impl AckRedServer {
     /// Creates the server.
-    pub fn new(transport: SenderConfig, sidecar: SidecarConfig, segment_rtt: SimDuration) -> Self {
+    pub fn new(
+        transport: SenderConfig,
+        sidecar: SidecarConfig,
+        segment_rtt: SimDuration,
+        supervision: SupervisionConfig,
+    ) -> Self {
         AckRedServer {
             transport: SenderCore::new(transport),
             sidecar: QuackConsumer::new(sidecar, segment_rtt),
+            cfg: sidecar,
+            supervisor: Supervisor::new(supervision),
             window_releases: 0,
         }
     }
@@ -134,8 +169,14 @@ impl AckRedServer {
     }
 
     fn pump(&mut self, ctx: &mut Context) {
+        let enabled = self.supervisor.enabled();
         for pkt in self.transport.poll_send(ctx.now()) {
-            self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+            // Degraded mode stops mirroring: the transport then behaves
+            // exactly like a plain sender driven by end-to-end ACKs.
+            if enabled {
+                self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+                self.supervisor.note_send(ctx.now());
+            }
             ctx.send(IfaceId(0), pkt);
         }
         if let Some(deadline) = self.transport.next_timeout() {
@@ -146,6 +187,7 @@ impl AckRedServer {
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
         match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
             Ok(report) => {
+                self.supervisor.on_feedback_ok(ctx.now());
                 // "Enable the server to move its sending window ahead more
                 // quickly": confirmed-at-proxy packets stop occupying cwnd,
                 // and the confirmations drive window growth in place of the
@@ -160,24 +202,54 @@ impl AckRedServer {
                     ctx.set_timer_at(deadline, TOKEN_GRACE);
                 }
             }
-            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+            Err(
+                err @ (ProcessError::ThresholdExceeded { .. } | ProcessError::CountInconsistent),
+            ) => {
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
-                let msg = SidecarMessage::Reset { epoch };
-                let size = msg.wire_size();
-                let (proto, body) = msg.encode();
-                ctx.send(
-                    IfaceId(0),
-                    Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-                );
+                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
             }
-            Err(_) => {}
+            Err(err) => {
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
+            }
+        }
+    }
+
+    /// Baseline fallback: drop the mirror log. No released-but-undelivered
+    /// window state survives (`mark_window_released` bookkeeping is owned
+    /// by the transport and remains consistent); the sender continues on
+    /// end-to-end ACKs alone.
+    fn enter_degraded(&mut self) {
+        let epoch = self.sidecar.epoch().wrapping_add(1);
+        let _ = self.sidecar.reset(epoch);
+    }
+
+    fn supervise(&mut self, ctx: &mut Context) {
+        let expecting = !self.transport.is_complete();
+        let outcome = self.supervisor.poll(ctx.now(), expecting);
+        if outcome.degraded_now {
+            self.enter_degraded();
+        }
+        if outcome.send_hello {
+            let _ = send_sidecar(offer(&self.cfg), IfaceId(0), ctx);
+        }
+        if let Some(deadline) = outcome.next_deadline {
+            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
     }
 }
 
 impl Node for AckRedServer {
     fn on_start(&mut self, ctx: &mut Context) {
+        // Hello first so it precedes the first data burst on the wire.
+        self.supervise(ctx);
         self.pump(ctx);
     }
 
@@ -188,11 +260,28 @@ impl Node for AckRedServer {
                 self.pump(ctx);
             }
             Payload::Sidecar { proto, ref bytes } => {
-                if let Ok(SidecarMessage::Quack { epoch, bytes }) =
-                    SidecarMessage::decode(proto, bytes)
-                {
-                    self.handle_quack(epoch, &bytes, ctx);
-                    self.pump(ctx);
+                match SidecarMessage::decode(proto, bytes) {
+                    Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                        if self.supervisor.enabled() {
+                            self.handle_quack(epoch, &bytes, ctx);
+                            self.pump(ctx);
+                        }
+                    }
+                    Ok(SidecarMessage::Reset { epoch }) => {
+                        // Handshake ack / proxy-restart announcement.
+                        if epoch != self.sidecar.epoch() {
+                            let _ = self.sidecar.reset(epoch);
+                        }
+                        self.supervisor.on_handshake_ack(ctx.now());
+                        self.supervise(ctx);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        if self.supervisor.note_error(ctx.now()) {
+                            self.enter_degraded();
+                        }
+                        self.supervise(ctx);
+                    }
                 }
             }
             _ => {}
@@ -201,6 +290,7 @@ impl Node for AckRedServer {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
+            TOKEN_SUPERVISE => self.supervise(ctx),
             TOKEN_RTO => {
                 if let Some(deadline) = self.transport.next_timeout() {
                     if ctx.now() >= deadline {
@@ -255,6 +345,8 @@ pub struct AckReductionScenario {
     pub normal_ack_every: u32,
     /// Server congestion control.
     pub cc: CcAlgorithm,
+    /// Session supervision knobs for the server's quACK consumer.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for AckReductionScenario {
@@ -288,6 +380,7 @@ impl Default for AckReductionScenario {
             reduced_max_ack_delay: SimDuration::from_millis(150),
             normal_ack_every: 2,
             cc: CcAlgorithm::NewReno,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -295,6 +388,16 @@ impl Default for AckReductionScenario {
 impl AckReductionScenario {
     /// The sidecar run: reduced client ACKs + proxy quACKs.
     pub fn run_sidecar(&self, seed: u64) -> ScenarioReport {
+        self.run_sidecar_inner(seed, None)
+    }
+
+    /// Sidecar run with scripted faults (crash hits the proxy; blackout
+    /// hits the proxy↔client segment).
+    pub fn run_sidecar_faulted(&self, seed: u64, faults: &FaultScript) -> ScenarioReport {
+        self.run_sidecar_inner(seed, Some(faults))
+    }
+
+    fn run_sidecar_inner(&self, seed: u64, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
         let server = w.add_node(Box::new(AckRedServer::new(
             SenderConfig {
@@ -308,6 +411,7 @@ impl AckReductionScenario {
             },
             self.sidecar,
             self.upstream.delay * 2 + SimDuration::from_millis(5),
+            self.supervision,
         )));
         let proxy = w.add_node(Box::new(AckRedProxy::new(self.sidecar)));
         let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {
@@ -325,6 +429,12 @@ impl AckReductionScenario {
             self.downstream.clone(),
             self.downstream.clone(),
         );
+        if let Some(script) = faults {
+            let plan = script.lower(proxy, (proxy, client));
+            if !plan.is_empty() {
+                w.install_faults(plan);
+            }
+        }
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
@@ -343,12 +453,33 @@ impl AckReductionScenario {
             sidecar_messages: px.quacks_sent,
             sidecar_bytes: px.quack_bytes,
             proxy_retransmissions: 0,
+            degradations: srv.supervisor.stats.degradations,
+            recoveries: srv.supervisor.stats.recoveries,
         }
     }
 
     /// A baseline run with a plain forwarder and the given client ACK
     /// frequency.
     pub fn run_baseline(&self, seed: u64, ack_every: u32) -> ScenarioReport {
+        self.run_baseline_inner(seed, ack_every, None)
+    }
+
+    /// Baseline twin under the identical fault script.
+    pub fn run_baseline_faulted(
+        &self,
+        seed: u64,
+        ack_every: u32,
+        faults: &FaultScript,
+    ) -> ScenarioReport {
+        self.run_baseline_inner(seed, ack_every, Some(faults))
+    }
+
+    fn run_baseline_inner(
+        &self,
+        seed: u64,
+        ack_every: u32,
+        faults: Option<&FaultScript>,
+    ) -> ScenarioReport {
         let mut w = World::new(seed);
         let reduced = ack_every >= self.reduced_ack_every;
         let max_ack_delay = if reduced {
@@ -377,6 +508,12 @@ impl AckReductionScenario {
             self.downstream.clone(),
             self.downstream.clone(),
         );
+        if let Some(script) = faults {
+            let plan = script.lower(proxy, (proxy, client));
+            if !plan.is_empty() {
+                w.install_faults(plan);
+            }
+        }
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
@@ -478,6 +615,7 @@ mod tests {
             },
             scenario.sidecar,
             SimDuration::from_millis(15),
+            SupervisionConfig::default(),
         )));
         let proxy = w.add_node(Box::new(AckRedProxy::new(scenario.sidecar)));
         let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {

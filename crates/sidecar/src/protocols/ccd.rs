@@ -17,14 +17,16 @@
 //! End hosts change only by "installing a library" — here, composing the
 //!   unchanged transport cores with a sidecar.
 
-use crate::config::SidecarConfig;
+use crate::config::{SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
-use crate::protocols::ScenarioReport;
+use crate::negotiate::{accept_hello, offer, Capabilities};
+use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverCore, ReceiverNode, SenderConfig, SenderCore, SenderNode,
@@ -39,17 +41,11 @@ const TOKEN_GRACE: u64 = 2;
 const TOKEN_DRAIN: u64 = 3;
 const TOKEN_RTO: u64 = 4;
 const TOKEN_DELAYED_ACK: u64 = 5;
+const TOKEN_SUPERVISE: u64 = 6;
 
-/// Sends a sidecar message out `iface`.
-fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Context) -> u32 {
-    let size = msg.wire_size();
-    let (proto, body) = msg.encode();
-    ctx.send(
-        iface,
-        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-    );
-    size
-}
+/// The window-steering "congestion control" of the sidecar run: effectively
+/// unbounded, with the real window enforced through the cwnd cap.
+const STEERED_CC: CcAlgorithm = CcAlgorithm::Fixed(u64::MAX / 2);
 
 /// The client end host: unchanged transport receiver plus a quACK-producing
 /// sidecar library.
@@ -89,8 +85,25 @@ impl Node for CcdClient {
     fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match packet.payload {
             Payload::Sidecar { proto, ref bytes } => {
-                if let Ok(SidecarMessage::Reset { epoch }) = SidecarMessage::decode(proto, bytes) {
-                    self.sidecar.reset(epoch);
+                match SidecarMessage::decode(proto, bytes) {
+                    Ok(SidecarMessage::Reset { epoch }) => self.sidecar.reset(epoch),
+                    Ok(hello @ SidecarMessage::Hello { .. })
+                        if accept_hello(&Capabilities::default(), &hello).is_ok() =>
+                    {
+                        // Pristine producer: keep the epoch (startup
+                        // handshake is zero-cost). Otherwise this is a
+                        // recovery handshake — the consumer's mirror is
+                        // empty, so start a fresh epoch to match.
+                        let epoch = if self.sidecar.count() == 0 {
+                            self.sidecar.epoch()
+                        } else {
+                            let e = self.sidecar.epoch().wrapping_add(1);
+                            self.sidecar.reset(e);
+                            e
+                        };
+                        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                    }
+                    _ => {}
                 }
             }
             _ if packet.kind == PacketKind::Data => {
@@ -120,6 +133,15 @@ impl Node for CcdClient {
             }
             _ => {}
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context) {
+        // The sketch died with the process: start a fresh, time-derived
+        // epoch and announce it so the proxy resyncs its mirror.
+        let epoch = restart_epoch(ctx.now());
+        self.sidecar.reset(epoch);
+        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+        ctx.set_timer_after(self.interval, TOKEN_EMIT);
     }
 
     fn name(&self) -> &str {
@@ -173,6 +195,8 @@ impl RateController {
 /// its downstream egress, produces quACKs upstream, and consumes the
 /// client's quACKs (paper Fig. 1b).
 pub struct CcdProxy {
+    /// Sidecar parameters (kept for handshakes and post-restart rebuilds).
+    cfg: SidecarConfig,
     /// QuACK producer toward the server (covers the server→proxy segment).
     upstream_producer: QuackProducer<Fp32>,
     /// QuACK consumer for client quACKs (covers the proxy→client segment).
@@ -182,12 +206,19 @@ pub struct CcdProxy {
     /// Buffer capacity; overflow drops (creating segment-1 backpressure).
     buffer_cap: usize,
     rate: RateController,
+    /// Configured initial pacing rate — the degraded fallback.
+    initial_rate_bps: f64,
     /// Local tag counter for the downstream mirror log.
     next_tag: u64,
     /// Emission interval toward the server.
     interval: SimDuration,
+    /// Downstream in-transit window (for post-restart consumer rebuilds).
+    downstream_rtt: SimDuration,
     /// Whether a drain timer is outstanding.
     drain_armed: bool,
+    /// Supervises the proxy→client quACK session (the adaptive pacing loop).
+    pub supervisor: Supervisor,
+    supervision: SupervisionConfig,
     /// QuACKs emitted upstream.
     pub quacks_sent: u64,
     /// QuACK bytes emitted upstream.
@@ -204,16 +235,22 @@ impl CcdProxy {
         initial_rate_bps: f64,
         buffer_cap: usize,
         downstream_rtt: SimDuration,
+        supervision: SupervisionConfig,
     ) -> Self {
         CcdProxy {
+            cfg: sidecar,
             upstream_producer: QuackProducer::new(sidecar),
             downstream_consumer: QuackConsumer::new(sidecar, downstream_rtt),
             buffer: VecDeque::new(),
             buffer_cap,
             rate: RateController::new(initial_rate_bps, 1_000_000.0, 10_000_000_000.0),
+            initial_rate_bps,
             next_tag: 0,
             interval,
+            downstream_rtt,
             drain_armed: false,
+            supervisor: Supervisor::new(supervision),
+            supervision,
             quacks_sent: 0,
             quack_bytes: 0,
             buffer_drops: 0,
@@ -236,10 +273,14 @@ impl CcdProxy {
         if let Some(pkt) = self.buffer.pop_front() {
             // Forwarding downstream: mirror the identifier for the
             // proxy→client segment (tag is a local counter — the proxy
-            // never reads protocol fields).
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            self.downstream_consumer.record_sent(pkt.id, tag, ctx.now());
+            // never reads protocol fields). Skipped in degraded mode: the
+            // proxy is then a plain pacer at the configured line rate.
+            if self.supervisor.enabled() {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.downstream_consumer.record_sent(pkt.id, tag, ctx.now());
+                self.supervisor.note_send(ctx.now());
+            }
             let size = pkt.size;
             ctx.send(IfaceId(1), pkt);
             if !self.buffer.is_empty() {
@@ -254,27 +295,73 @@ impl CcdProxy {
             .process_quack(ctx.now(), epoch, bytes)
         {
             Ok(report) => {
+                self.supervisor.on_feedback_ok(ctx.now());
                 self.rate
                     .on_feedback(report.received.len(), report.newly_missing.len());
                 if let Some(deadline) = self.downstream_consumer.next_grace_deadline() {
                     ctx.set_timer_at(deadline, TOKEN_GRACE);
                 }
             }
-            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+            Err(
+                err @ (ProcessError::ThresholdExceeded { .. } | ProcessError::CountInconsistent),
+            ) => {
                 // Heavy downstream loss: slash the rate and reset the
                 // segment sidecar.
                 self.rate.rate_bps = (self.rate.rate_bps * 0.5).max(self.rate.min_bps);
                 let epoch = self.downstream_consumer.epoch() + 1;
                 let _ = self.downstream_consumer.reset(epoch);
                 let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(1), ctx);
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded(ctx);
+                }
+                self.supervise(ctx);
             }
-            Err(_) => {}
+            Err(err) => {
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded(ctx);
+                }
+                self.supervise(ctx);
+            }
+        }
+    }
+
+    /// Fall back to plain forwarding (the baseline twin's behaviour): flush
+    /// the pacing buffer and stop metering — the downstream quACK session
+    /// is no longer trustworthy, so adaptive pacing has nothing to adapt to.
+    fn enter_degraded(&mut self, ctx: &mut Context) {
+        while let Some(pkt) = self.buffer.pop_front() {
+            ctx.send(IfaceId(1), pkt);
+        }
+        self.drain_armed = false;
+        self.rate.rate_bps = self
+            .initial_rate_bps
+            .clamp(self.rate.min_bps, self.rate.max_bps);
+        let epoch = self.downstream_consumer.epoch().wrapping_add(1);
+        let _ = self.downstream_consumer.reset(epoch);
+    }
+
+    /// Drives the downstream session supervisor: hellos while connecting or
+    /// degraded, liveness while active.
+    fn supervise(&mut self, ctx: &mut Context) {
+        let expecting = !self.buffer.is_empty() || self.downstream_consumer.log_len() > 0;
+        let outcome = self.supervisor.poll(ctx.now(), expecting);
+        if outcome.degraded_now {
+            self.enter_degraded(ctx);
+        }
+        if outcome.send_hello {
+            let _ = send_sidecar(offer(&self.cfg), IfaceId(1), ctx);
+        }
+        if let Some(deadline) = outcome.next_deadline {
+            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
     }
 }
 
 impl Node for CcdProxy {
     fn on_start(&mut self, ctx: &mut Context) {
+        // Offer the downstream session before any data is paced out (FIFO
+        // links: the hello reaches the client ahead of the first packet).
+        self.supervise(ctx);
         ctx.set_timer_after(self.interval, TOKEN_EMIT);
     }
 
@@ -284,6 +371,14 @@ impl Node for CcdProxy {
             // forwarding.
             IfaceId(0) => {
                 if packet.kind == PacketKind::Data {
+                    if !self.supervisor.enabled() {
+                        // Degraded: plain forwarding, no pacing. The
+                        // upstream producer keeps observing — that session
+                        // belongs to the server, not to this one.
+                        self.upstream_producer.observe(packet.id);
+                        ctx.send(IfaceId(1), packet);
+                        return;
+                    }
                     if self.buffer.len() >= self.buffer_cap {
                         // Drop *without* observing: the server's sidecar
                         // sees it as missing on segment 1 and slows down.
@@ -299,12 +394,29 @@ impl Node for CcdProxy {
                 } else {
                     // Control/sidecar traffic from the server side.
                     if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                        if let Ok(SidecarMessage::Reset { epoch }) =
-                            SidecarMessage::decode(proto, bytes)
-                        {
-                            self.upstream_producer.reset(epoch);
-                            return;
+                        match SidecarMessage::decode(proto, bytes) {
+                            Ok(SidecarMessage::Reset { epoch }) => {
+                                self.upstream_producer.reset(epoch);
+                            }
+                            Ok(hello @ SidecarMessage::Hello { .. })
+                                if accept_hello(&Capabilities::default(), &hello).is_ok() =>
+                            {
+                                // The server (re)offering the upstream
+                                // session; reply with the producer's epoch
+                                // (fresh if the sketch already has history).
+                                let epoch = if self.upstream_producer.count() == 0 {
+                                    self.upstream_producer.epoch()
+                                } else {
+                                    let e = self.upstream_producer.epoch().wrapping_add(1);
+                                    self.upstream_producer.reset(e);
+                                    e
+                                };
+                                let _ =
+                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                            }
+                            _ => {}
                         }
+                        return;
                     }
                     ctx.send(IfaceId(1), packet);
                 }
@@ -312,10 +424,31 @@ impl Node for CcdProxy {
             // From the client: consume quACKs, forward the rest upstream.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    if let Ok(SidecarMessage::Quack { epoch, bytes }) =
-                        SidecarMessage::decode(proto, bytes)
-                    {
-                        self.handle_client_quack(epoch, &bytes, ctx);
+                    match SidecarMessage::decode(proto, bytes) {
+                        Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                            if self.supervisor.enabled() {
+                                self.handle_client_quack(epoch, &bytes, ctx);
+                            }
+                        }
+                        Ok(SidecarMessage::Reset { epoch }) => {
+                            // Handshake-ack / resync from the client's
+                            // producer.
+                            if epoch != self.downstream_consumer.epoch() {
+                                let _ = self.downstream_consumer.reset(epoch);
+                            }
+                            self.supervisor.on_handshake_ack(ctx.now());
+                            self.supervise(ctx);
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Undecodable sidecar datagram (e.g. corrupted
+                            // in flight): a hard session error, never a
+                            // panic.
+                            if self.supervisor.note_error(ctx.now()) {
+                                self.enter_degraded(ctx);
+                            }
+                            self.supervise(ctx);
+                        }
                     }
                 }
                 _ => ctx.send(IfaceId(0), packet),
@@ -341,8 +474,28 @@ impl Node for CcdProxy {
                     ctx.set_timer_at(deadline, TOKEN_GRACE);
                 }
             }
+            TOKEN_SUPERVISE => self.supervise(ctx),
             _ => {}
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context) {
+        // Everything volatile is gone: pacing buffer, sketches, mirror log,
+        // session state. Resync the upstream producer with a time-derived
+        // epoch and re-handshake the downstream session from scratch.
+        self.buffer.clear();
+        self.drain_armed = false;
+        self.next_tag = 0;
+        self.rate.rate_bps = self
+            .initial_rate_bps
+            .clamp(self.rate.min_bps, self.rate.max_bps);
+        let epoch = restart_epoch(ctx.now());
+        self.upstream_producer.reset(epoch);
+        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+        self.downstream_consumer = QuackConsumer::new(self.cfg, self.downstream_rtt);
+        self.supervisor = Supervisor::new(self.supervision);
+        ctx.set_timer_after(self.interval, TOKEN_EMIT);
+        self.supervise(ctx);
     }
 
     fn name(&self) -> &str {
@@ -362,23 +515,38 @@ impl Node for CcdProxy {
 /// is steered by the proxy's quACKs (the "library install" of §2.1).
 pub struct CcdServer {
     transport: SenderCore,
+    cfg: SidecarConfig,
     sidecar: QuackConsumer<Fp32>,
     /// Sidecar-controlled window (packets).
     window: f64,
     max_window: f64,
+    /// End-to-end congestion control to fall back on when the sidecar
+    /// session degrades (the paper's "no worse than no sidecar" guarantee).
+    fallback_cc: CcAlgorithm,
+    /// Supervises the proxy→server quACK session (the window-steering loop).
+    pub supervisor: Supervisor,
 }
 
 impl CcdServer {
-    /// Creates the server.
-    pub fn new(transport: SenderConfig, sidecar: SidecarConfig, segment_rtt: SimDuration) -> Self {
+    /// Creates the server. `fallback_cc` takes over in degraded mode.
+    pub fn new(
+        transport: SenderConfig,
+        sidecar: SidecarConfig,
+        segment_rtt: SimDuration,
+        fallback_cc: CcAlgorithm,
+        supervision: SupervisionConfig,
+    ) -> Self {
         let initial = transport.initial_cwnd as f64;
         let mut core = SenderCore::new(transport);
         core.set_cwnd_cap(Some(initial as u64));
         CcdServer {
             transport: core,
+            cfg: sidecar,
             sidecar: QuackConsumer::new(sidecar, segment_rtt),
             window: initial,
             max_window: 10_000.0,
+            fallback_cc,
+            supervisor: Supervisor::new(supervision),
         }
     }
 
@@ -398,9 +566,15 @@ impl CcdServer {
     }
 
     fn pump(&mut self, ctx: &mut Context) {
+        let enabled = self.supervisor.enabled();
         for pkt in self.transport.poll_send(ctx.now()) {
-            // Mirror every transmission into the segment-1 sidecar.
-            self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+            // Mirror every transmission into the segment-1 sidecar — only
+            // while the session is trusted; in degraded mode the fallback
+            // congestion control runs on e2e ACKs alone.
+            if enabled {
+                self.sidecar.record_sent(pkt.id, pkt.seq, ctx.now());
+                self.supervisor.note_send(ctx.now());
+            }
             ctx.send(IfaceId(0), pkt);
         }
         if let Some(deadline) = self.transport.next_timeout() {
@@ -411,6 +585,7 @@ impl CcdServer {
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
         match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
             Ok(report) => {
+                self.supervisor.on_feedback_ok(ctx.now());
                 // AIMD on segment-1 feedback (§2.1: grow without e2e ACKs,
                 // "decrease the congestion window" on segment loss).
                 if report.newly_missing.is_empty() {
@@ -424,20 +599,65 @@ impl CcdServer {
                     ctx.set_timer_at(deadline, TOKEN_GRACE);
                 }
             }
-            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+            Err(
+                err @ (ProcessError::ThresholdExceeded { .. } | ProcessError::CountInconsistent),
+            ) => {
                 self.window = (self.window * 0.5).max(2.0);
                 self.transport.set_cwnd_cap(Some(self.window as u64));
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
                 let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
             }
-            Err(_) => {}
+            Err(err) => {
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
+            }
+        }
+    }
+
+    /// Hand the window back to real end-to-end congestion control, seeded
+    /// at the current steered window so the handover is rate-continuous.
+    fn enter_degraded(&mut self) {
+        self.transport.swap_cc(self.fallback_cc, self.window as u64);
+        self.transport.set_cwnd_cap(None);
+        let epoch = self.sidecar.epoch().wrapping_add(1);
+        let _ = self.sidecar.reset(epoch);
+    }
+
+    /// Resume sidecar steering from wherever the fallback control settled.
+    fn exit_degraded(&mut self) {
+        let resume = self.transport.effective_cwnd().max(2);
+        self.window = (resume as f64).clamp(2.0, self.max_window);
+        self.transport.swap_cc(STEERED_CC, resume);
+        self.transport.set_cwnd_cap(Some(self.window as u64));
+    }
+
+    fn supervise(&mut self, ctx: &mut Context) {
+        let expecting = !self.transport.is_complete();
+        let outcome = self.supervisor.poll(ctx.now(), expecting);
+        if outcome.degraded_now {
+            self.enter_degraded();
+        }
+        if outcome.send_hello {
+            let _ = send_sidecar(offer(&self.cfg), IfaceId(0), ctx);
+        }
+        if let Some(deadline) = outcome.next_deadline {
+            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
     }
 }
 
 impl Node for CcdServer {
     fn on_start(&mut self, ctx: &mut Context) {
+        // Hello first: on FIFO links it reaches the proxy ahead of the
+        // first data burst, so the handshake costs nothing.
+        self.supervise(ctx);
         self.pump(ctx);
     }
 
@@ -447,20 +667,40 @@ impl Node for CcdServer {
                 self.transport.on_ack(info, ctx.now());
                 self.pump(ctx);
             }
-            Payload::Sidecar { proto, ref bytes } => {
-                if let Ok(SidecarMessage::Quack { epoch, bytes }) =
-                    SidecarMessage::decode(proto, bytes)
-                {
-                    self.handle_quack(epoch, &bytes, ctx);
-                    self.pump(ctx);
+            Payload::Sidecar { proto, ref bytes } => match SidecarMessage::decode(proto, bytes) {
+                Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                    if self.supervisor.enabled() {
+                        self.handle_quack(epoch, &bytes, ctx);
+                        self.pump(ctx);
+                    }
                 }
-            }
+                Ok(SidecarMessage::Reset { epoch }) => {
+                    // Handshake-ack / resync from the proxy's producer.
+                    if epoch != self.sidecar.epoch() {
+                        let _ = self.sidecar.reset(epoch);
+                    }
+                    if self.supervisor.on_handshake_ack(ctx.now()) {
+                        self.exit_degraded();
+                    }
+                    self.supervise(ctx);
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    // Undecodable sidecar datagram: count it against the
+                    // session, never panic or mis-steer.
+                    if self.supervisor.note_error(ctx.now()) {
+                        self.enter_degraded();
+                    }
+                    self.supervise(ctx);
+                }
+            },
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
+            TOKEN_SUPERVISE => self.supervise(ctx),
             TOKEN_RTO => {
                 if let Some(deadline) = self.transport.next_timeout() {
                     if ctx.now() >= deadline {
@@ -509,8 +749,11 @@ pub struct CcdScenario {
     pub quack_interval: SimDuration,
     /// Proxy pacing-buffer capacity.
     pub buffer_cap: usize,
-    /// Baseline congestion control (the sidecar run uses window steering).
+    /// Baseline congestion control (the sidecar run uses window steering);
+    /// also the server's degraded-mode fallback.
     pub baseline_cc: CcAlgorithm,
+    /// Session supervision (handshake, liveness, degradation) parameters.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for CcdScenario {
@@ -537,6 +780,7 @@ impl Default for CcdScenario {
             quack_interval: SimDuration::from_millis(30),
             buffer_cap: 2_048,
             baseline_cc: CcAlgorithm::NewReno,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -544,16 +788,27 @@ impl Default for CcdScenario {
 impl CcdScenario {
     /// Runs the sidecar (division) variant.
     pub fn run_sidecar(&self, seed: u64) -> ScenarioReport {
+        self.run_sidecar_inner(seed, None)
+    }
+
+    /// Runs the sidecar variant under a fault script.
+    pub fn run_sidecar_faulted(&self, seed: u64, faults: &FaultScript) -> ScenarioReport {
+        self.run_sidecar_inner(seed, Some(faults))
+    }
+
+    fn run_sidecar_inner(&self, seed: u64, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
         let server = w.add_node(Box::new(CcdServer::new(
             SenderConfig {
                 total_packets: Some(self.total_packets),
-                cc: CcAlgorithm::Fixed(u64::MAX / 2), // window fully sidecar-steered
+                cc: STEERED_CC, // window fully sidecar-steered
                 id_seed: seed ^ 0xCCD,
                 ..SenderConfig::default()
             },
             self.sidecar,
             self.upstream.delay * 2 + SimDuration::from_millis(5),
+            self.baseline_cc,
+            self.supervision,
         )));
         let proxy = w.add_node(Box::new(CcdProxy::new(
             self.sidecar,
@@ -561,6 +816,7 @@ impl CcdScenario {
             self.downstream.rate_bps as f64 * 0.9,
             self.buffer_cap,
             self.downstream.delay * 2 + SimDuration::from_millis(5),
+            self.supervision,
         )));
         let client = w.add_node(Box::new(CcdClient::new(
             ReceiverConfig::default(),
@@ -574,6 +830,12 @@ impl CcdScenario {
             self.downstream.clone(),
             self.downstream.clone(),
         );
+        if let Some(script) = faults {
+            let plan = script.lower(proxy, (proxy, client));
+            if !plan.is_empty() {
+                w.install_faults(plan);
+            }
+        }
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
@@ -592,11 +854,22 @@ impl CcdScenario {
             sidecar_messages: px.quacks_sent + cl.quacks_sent,
             sidecar_bytes: px.quack_bytes + cl.quack_bytes,
             proxy_retransmissions: 0,
+            degradations: srv.supervisor.stats.degradations + px.supervisor.stats.degradations,
+            recoveries: srv.supervisor.stats.recoveries + px.supervisor.stats.recoveries,
         }
     }
 
     /// Runs the baseline: plain forwarder, e2e congestion control.
     pub fn run_baseline(&self, seed: u64) -> ScenarioReport {
+        self.run_baseline_inner(seed, None)
+    }
+
+    /// Runs the baseline under the same fault script as the sidecar run.
+    pub fn run_baseline_faulted(&self, seed: u64, faults: &FaultScript) -> ScenarioReport {
+        self.run_baseline_inner(seed, Some(faults))
+    }
+
+    fn run_baseline_inner(&self, seed: u64, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
         let server = w.add_node(SenderNode::boxed(SenderConfig {
             total_packets: Some(self.total_packets),
@@ -613,6 +886,12 @@ impl CcdScenario {
             self.downstream.clone(),
             self.downstream.clone(),
         );
+        if let Some(script) = faults {
+            let plan = script.lower(proxy, (proxy, client));
+            if !plan.is_empty() {
+                w.install_faults(plan);
+            }
+        }
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));

@@ -13,7 +13,32 @@ pub mod ack_reduction;
 pub mod ccd;
 pub mod retx;
 
-use sidecar_netsim::time::SimTime;
+use crate::messages::SidecarMessage;
+use sidecar_netsim::fault::FaultPlan;
+use sidecar_netsim::node::{Context, IfaceId, NodeId};
+use sidecar_netsim::packet::{FlowId, Packet};
+use sidecar_netsim::time::{SimDuration, SimTime};
+
+/// Encodes `msg` and sends it out `iface`; returns the wire size in bytes.
+pub(crate) fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Context) -> u32 {
+    let size = msg.wire_size();
+    let (proto, body) = msg.encode();
+    ctx.send(
+        iface,
+        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
+    );
+    size
+}
+
+/// Deterministic post-restart epoch: a rebooted producer lost its epoch
+/// counter along with everything else, so it derives a fresh one from the
+/// clock and announces it via `Reset`. Time-derived epochs are huge
+/// compared to the small consumer-bumped ones, so a restart is effectively
+/// always a visible epoch change (and even a freak collision only costs
+/// one consumer-driven reset round).
+pub(crate) fn restart_epoch(now: SimTime) -> u32 {
+    ((now.as_nanos() >> 10) as u32) | 1
+}
 
 /// Metrics common to all protocol scenarios.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -34,6 +59,11 @@ pub struct ScenarioReport {
     pub sidecar_bytes: u64,
     /// In-network retransmissions performed by proxies (retx protocol).
     pub proxy_retransmissions: u64,
+    /// Supervisor transitions into degraded (baseline fallback) mode,
+    /// summed across the run's supervised consumers.
+    pub degradations: u64,
+    /// Supervisor recoveries out of degraded mode.
+    pub recoveries: u64,
 }
 
 impl ScenarioReport {
@@ -41,5 +71,76 @@ impl ScenarioReport {
     /// convenient for table printing).
     pub fn completion_secs(&self) -> f64 {
         self.completion.map_or(f64::INFINITY, |t| t.as_secs_f64())
+    }
+}
+
+/// A role-based fault script for protocol scenarios.
+///
+/// Scenarios name their nodes by role (proxy, path endpoints); concrete
+/// [`NodeId`]s only exist once a `World` is built, so the script is lowered
+/// into a [`FaultPlan`] per run via [`FaultScript::lower`]. The same script
+/// drives both the sidecar run and its baseline twin, keeping faulted
+/// comparisons apples-to-apples: identical crash windows, blackouts, and
+/// control-channel weather.
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    /// Seed for fault-injection randomness (corruption bit picks),
+    /// independent of the world seed.
+    pub fault_seed: u64,
+    /// Crash the stateful proxy at `.0`, restart it at `.1` (volatile
+    /// sidecar state is lost; see `Node::on_restart`).
+    pub proxy_crash: Option<(SimTime, SimTime)>,
+    /// Crash the proxy at this time and never restart it.
+    pub proxy_kill: Option<SimTime>,
+    /// Black out every link between the scenario's designated path pair.
+    pub path_blackout: Option<(SimTime, SimTime)>,
+    /// Drop all sidecar control datagrams (quACKs included) in the window.
+    pub drop_control: Option<(SimTime, SimTime)>,
+    /// Duplicate sidecar control datagrams in the window.
+    pub duplicate_control: Option<(SimTime, SimTime)>,
+    /// Delay sidecar control datagrams by `.0` in the window `.1..$.2`.
+    pub delay_control: Option<(SimDuration, SimTime, SimTime)>,
+    /// Flip up to `.0` random bits of each sidecar payload in the window.
+    pub corrupt_control: Option<(u32, SimTime, SimTime)>,
+}
+
+impl FaultScript {
+    /// Whether the script injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.proxy_crash.is_none()
+            && self.proxy_kill.is_none()
+            && self.path_blackout.is_none()
+            && self.drop_control.is_none()
+            && self.duplicate_control.is_none()
+            && self.delay_control.is_none()
+            && self.corrupt_control.is_none()
+    }
+
+    /// Lowers the script onto a built topology: `proxy` receives the
+    /// crash/kill faults, `path` the blackout.
+    pub fn lower(&self, proxy: NodeId, path: (NodeId, NodeId)) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.fault_seed);
+        if let Some((from, until)) = self.proxy_crash {
+            plan = plan.crash_restart(proxy, from, until);
+        }
+        if let Some(at) = self.proxy_kill {
+            plan = plan.kill(proxy, at);
+        }
+        if let Some((from, until)) = self.path_blackout {
+            plan = plan.blackout_between(path.0, path.1, from, until);
+        }
+        if let Some((from, until)) = self.drop_control {
+            plan = plan.drop_control(from, until);
+        }
+        if let Some((from, until)) = self.duplicate_control {
+            plan = plan.duplicate_control(from, until);
+        }
+        if let Some((extra, from, until)) = self.delay_control {
+            plan = plan.delay_control(extra, from, until);
+        }
+        if let Some((max_flips, from, until)) = self.corrupt_control {
+            plan = plan.corrupt_control(max_flips, from, until);
+        }
+        plan
     }
 }

@@ -12,14 +12,16 @@
 //! flexible, as it should ideally depend on the loss ratio" (§2.3, §4.3:
 //! target a constant `t` missing packets per quACK).
 
-use crate::config::{QuackFrequency, SidecarConfig};
+use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
-use crate::protocols::ScenarioReport;
+use crate::negotiate::{accept_hello, offer, Capabilities};
+use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode,
@@ -32,6 +34,7 @@ use std::collections::{HashMap, VecDeque};
 /// Timer tokens.
 const TOKEN_EMIT: u64 = 1;
 const TOKEN_GRACE: u64 = 2;
+const TOKEN_SUPERVISE: u64 = 3;
 
 /// The sender-side proxy (right-hand side of paper Fig. 4): forwards,
 /// buffers, consumes quACKs, retransmits, and tunes the quACK frequency.
@@ -58,6 +61,11 @@ pub struct SenderSideProxy {
     /// the interval arbitrarily).
     max_interval: SimDuration,
     cfg: SidecarConfig,
+    /// In-transit window, kept so a restart can rebuild the consumer.
+    in_transit_window: SimDuration,
+    /// Session supervision: hello handshake, liveness, degraded fallback.
+    pub supervisor: Supervisor,
+    supervision: SupervisionConfig,
     /// In-network retransmissions performed.
     pub retransmitted: u64,
     /// Sidecar control messages sent.
@@ -66,7 +74,12 @@ pub struct SenderSideProxy {
 
 impl SenderSideProxy {
     /// Creates the proxy. `in_transit_window` ≈ one subpath RTT.
-    pub fn new(cfg: SidecarConfig, in_transit_window: SimDuration, buffer_cap: usize) -> Self {
+    pub fn new(
+        cfg: SidecarConfig,
+        in_transit_window: SimDuration,
+        buffer_cap: usize,
+        supervision: SupervisionConfig,
+    ) -> Self {
         SenderSideProxy {
             consumer: QuackConsumer::new(cfg, in_transit_window),
             buffer: HashMap::new(),
@@ -79,6 +92,9 @@ impl SenderSideProxy {
             requested_interval: None,
             max_interval: in_transit_window.saturating_mul(2),
             cfg,
+            in_transit_window,
+            supervisor: Supervisor::new(supervision),
+            supervision,
             retransmitted: 0,
             control_sent: 0,
         }
@@ -138,12 +154,7 @@ impl SenderSideProxy {
             let msg = SidecarMessage::Configure {
                 interval: new_interval,
             };
-            let size = msg.wire_size();
-            let (proto, bytes) = msg.encode();
-            ctx.send(
-                IfaceId(1),
-                Packet::sidecar(FlowId(0), proto, bytes, size, ctx.now()),
-            );
+            let _ = send_sidecar(msg, IfaceId(1), ctx);
             self.control_sent += 1;
         }
     }
@@ -151,30 +162,68 @@ impl SenderSideProxy {
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
         match self.consumer.process_quack(ctx.now(), epoch, bytes) {
             Ok(report) => {
+                self.supervisor.on_feedback_ok(ctx.now());
                 // Free buffer space for confirmed-received packets.
                 for &(_, tag) in &report.received {
                     self.buffer.remove(&tag);
                 }
                 self.arm_grace(ctx);
             }
-            Err(crate::endpoint::ProcessError::ThresholdExceeded { .. })
-            | Err(crate::endpoint::ProcessError::CountInconsistent) => {
+            Err(
+                err @ (crate::endpoint::ProcessError::ThresholdExceeded { .. }
+                | crate::endpoint::ProcessError::CountInconsistent),
+            ) => {
                 // Reset both sides to a fresh epoch (§3.3).
                 let new_epoch = self.consumer.epoch() + 1;
                 let leftovers = self.consumer.reset(new_epoch);
                 for entry in leftovers {
                     self.buffer.remove(&entry.tag);
                 }
-                let msg = SidecarMessage::Reset { epoch: new_epoch };
-                let size = msg.wire_size();
-                let (proto, body) = msg.encode();
-                ctx.send(
-                    IfaceId(1),
-                    Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-                );
+                let _ = send_sidecar(SidecarMessage::Reset { epoch: new_epoch }, IfaceId(1), ctx);
                 self.control_sent += 1;
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
             }
-            Err(_) => { /* stale/foreign quACK: ignore */ }
+            Err(err) => {
+                // Stale quACKs refresh liveness inside the supervisor;
+                // wrong-epoch/malformed ones burn the error budget.
+                if self.supervisor.on_quack_error(&err, ctx.now()) {
+                    self.enter_degraded();
+                }
+                self.supervise(ctx);
+            }
+        }
+    }
+
+    /// Baseline fallback: drop every piece of sidecar state. The node keeps
+    /// forwarding, so the flow degrades to exactly the no-sidecar path and
+    /// end-to-end recovery owns all retransmissions.
+    fn enter_degraded(&mut self) {
+        self.buffer.clear();
+        self.order.clear();
+        let epoch = self.consumer.epoch().wrapping_add(1);
+        let _ = self.consumer.reset(epoch);
+        self.window_sent = 0;
+        self.window_lost = 0;
+        self.requested_interval = None;
+    }
+
+    /// Drives the supervisor: hello (re)sends, liveness checks, timer
+    /// re-arming.
+    fn supervise(&mut self, ctx: &mut Context) {
+        let expecting = !self.buffer.is_empty() || self.consumer.log_len() > 0;
+        let outcome = self.supervisor.poll(ctx.now(), expecting);
+        if outcome.degraded_now {
+            self.enter_degraded();
+        }
+        if outcome.send_hello {
+            let _ = send_sidecar(offer(&self.cfg), IfaceId(1), ctx);
+            self.control_sent += 1;
+        }
+        if let Some(deadline) = outcome.next_deadline {
+            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
     }
 
@@ -207,14 +256,21 @@ impl SenderSideProxy {
 }
 
 impl Node for SenderSideProxy {
+    fn on_start(&mut self, ctx: &mut Context) {
+        // Opens the session: first Hello goes out, supervision timer arms.
+        self.supervise(ctx);
+    }
+
     fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match iface {
-            // From the server side: forward data downstream, buffering it.
+            // From the server side: forward data downstream, buffering it
+            // (unless degraded, in which case we are a plain forwarder).
             IfaceId(0) => {
-                if packet.kind == PacketKind::Data {
+                if packet.kind == PacketKind::Data && self.supervisor.enabled() {
                     let tag = self.next_tag;
                     self.next_tag += 1;
                     self.consumer.record_sent(packet.id, tag, ctx.now());
+                    self.supervisor.note_send(ctx.now());
                     self.buffer_insert(tag, packet.clone());
                     self.window_sent += 1;
                 }
@@ -223,10 +279,36 @@ impl Node for SenderSideProxy {
             // From the subpath side: quACKs are consumed, the rest forwarded.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    if let Ok(SidecarMessage::Quack { epoch, bytes }) =
-                        SidecarMessage::decode(proto, bytes)
-                    {
-                        self.handle_quack(epoch, &bytes, ctx);
+                    match SidecarMessage::decode(proto, bytes) {
+                        Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                            // Degraded sessions ignore quACKs outright;
+                            // recovery goes through the hello handshake.
+                            if self.supervisor.enabled() {
+                                self.handle_quack(epoch, &bytes, ctx);
+                            }
+                        }
+                        Ok(SidecarMessage::Reset { epoch }) => {
+                            // Producer handshake-ack, or its post-restart
+                            // epoch announcement: adopt the epoch and mark
+                            // the session live.
+                            if epoch != self.consumer.epoch() {
+                                let leftovers = self.consumer.reset(epoch);
+                                for entry in leftovers {
+                                    self.buffer.remove(&entry.tag);
+                                }
+                            }
+                            self.supervisor.on_handshake_ack(ctx.now());
+                            self.supervise(ctx);
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Undecodable sidecar frame (corruption):
+                            // counts against the session's error budget.
+                            if self.supervisor.note_error(ctx.now()) {
+                                self.enter_degraded();
+                            }
+                            self.supervise(ctx);
+                        }
                     }
                 }
                 _ => ctx.send(IfaceId(0), packet),
@@ -236,9 +318,25 @@ impl Node for SenderSideProxy {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
-        if token == TOKEN_GRACE {
-            self.fire_grace(ctx);
+        match token {
+            TOKEN_GRACE if self.supervisor.enabled() => self.fire_grace(ctx),
+            TOKEN_SUPERVISE => self.supervise(ctx),
+            _ => {}
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context) {
+        // A crashed proxy lost its buffer, mirror log, and session: come
+        // back as a plain forwarder and re-handshake from scratch.
+        self.buffer.clear();
+        self.order.clear();
+        self.consumer = QuackConsumer::new(self.cfg, self.in_transit_window);
+        self.window_sent = 0;
+        self.window_lost = 0;
+        self.window_start = ctx.now();
+        self.requested_interval = None;
+        self.supervisor = Supervisor::new(self.supervision);
+        self.supervise(ctx);
     }
 
     fn name(&self) -> &str {
@@ -276,14 +374,8 @@ impl ReceiverSideProxy {
 
     fn emit(&mut self, ctx: &mut Context) {
         let msg = self.producer.emit();
-        let size = msg.wire_size();
-        let (proto, body) = msg.encode();
         self.quacks_sent += 1;
-        self.quack_bytes += size as u64;
-        ctx.send(
-            IfaceId(0),
-            Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-        );
+        self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
     }
 
     fn arm(&self, ctx: &mut Context) {
@@ -310,6 +402,23 @@ impl Node for ReceiverSideProxy {
                         Ok(SidecarMessage::Reset { epoch }) => {
                             self.producer.reset(epoch);
                         }
+                        Ok(hello @ SidecarMessage::Hello { .. })
+                            if accept_hello(&Capabilities::default(), &hello).is_ok() =>
+                        {
+                            // Consumer handshake; the Reset reply doubles
+                            // as the handshake ack. A recovery Hello (the
+                            // sketch already counts packets the consumer
+                            // no longer tracks) starts a fresh epoch;
+                            // a startup Hello keeps the pristine one.
+                            let epoch = if self.producer.count() == 0 {
+                                self.producer.epoch()
+                            } else {
+                                let e = self.producer.epoch().wrapping_add(1);
+                                self.producer.reset(e);
+                                e
+                            };
+                            let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                        }
                         _ => {}
                     }
                 }
@@ -331,6 +440,16 @@ impl Node for ReceiverSideProxy {
             self.emit(ctx);
             self.arm(ctx);
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context) {
+        // The multiset is gone; continuing the old epoch would decode
+        // garbage. Start a fresh time-derived epoch, announce it, and
+        // restart the emission timer chain (timers died with the node).
+        let epoch = restart_epoch(ctx.now());
+        self.producer.reset(epoch);
+        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+        self.arm(ctx);
     }
 
     fn name(&self) -> &str {
@@ -372,6 +491,8 @@ pub struct RetxScenario {
     pub buffer_cap: usize,
     /// Client transport configuration (shared by both variants).
     pub client: ReceiverConfig,
+    /// Session supervision knobs for the sender-side proxy.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for RetxScenario {
@@ -411,6 +532,7 @@ impl Default for RetxScenario {
                 immediate_on_gap: false,
                 ..ReceiverConfig::default()
             },
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -418,15 +540,26 @@ impl Default for RetxScenario {
 impl RetxScenario {
     /// Runs the scenario with sidecar proxies.
     pub fn run_sidecar(&self, seed: u64) -> ScenarioReport {
-        self.run(seed, true)
+        self.run(seed, true, None)
     }
 
     /// Runs the baseline: identical topology with plain forwarders.
     pub fn run_baseline(&self, seed: u64) -> ScenarioReport {
-        self.run(seed, false)
+        self.run(seed, false, None)
     }
 
-    fn run(&self, seed: u64, sidecar: bool) -> ScenarioReport {
+    /// Sidecar run with scripted faults (crash hits the sender-side proxy;
+    /// blackout hits the subpath between the proxies).
+    pub fn run_sidecar_faulted(&self, seed: u64, faults: &FaultScript) -> ScenarioReport {
+        self.run(seed, true, Some(faults))
+    }
+
+    /// Baseline twin under the identical fault script.
+    pub fn run_baseline_faulted(&self, seed: u64, faults: &FaultScript) -> ScenarioReport {
+        self.run(seed, false, Some(faults))
+    }
+
+    fn run(&self, seed: u64, sidecar: bool, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
         let server = w.add_node(SenderNode::boxed(SenderConfig {
             total_packets: Some(self.total_packets),
@@ -445,6 +578,7 @@ impl RetxScenario {
                     self.sidecar,
                     subpath_rtt,
                     self.buffer_cap,
+                    self.supervision,
                 ))),
                 w.add_node(Box::new(ReceiverSideProxy::new(self.sidecar))),
             )
@@ -458,6 +592,12 @@ impl RetxScenario {
         w.connect(server, proxy_a, self.edge_a.clone(), self.edge_a.clone());
         w.connect(proxy_a, proxy_b, self.subpath.clone(), self.subpath.clone());
         w.connect(proxy_b, client, self.edge_b.clone(), self.edge_b.clone());
+        if let Some(script) = faults {
+            let plan = script.lower(proxy_a, (proxy_a, proxy_b));
+            if !plan.is_empty() {
+                w.install_faults(plan);
+            }
+        }
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous wall-clock deadline instead and read completion from the
         // sender's stats.
@@ -478,6 +618,8 @@ impl RetxScenario {
         if sidecar {
             let a = w.node_as::<SenderSideProxy>(proxy_a);
             report.proxy_retransmissions = a.retransmitted;
+            report.degradations = a.supervisor.stats.degradations;
+            report.recoveries = a.supervisor.stats.recoveries;
             let b = w.node_as::<ReceiverSideProxy>(proxy_b);
             report.sidecar_messages = b.quacks_sent + a.control_sent;
             report.sidecar_bytes = b.quack_bytes;
@@ -593,6 +735,7 @@ mod debug_tests {
             scenario.sidecar,
             subpath_rtt,
             scenario.buffer_cap,
+            scenario.supervision,
         )));
         let proxy_b = w.add_node(Box::new(ReceiverSideProxy::new(scenario.sidecar)));
         let client = w.add_node(ReceiverNode::boxed(scenario.client.clone()));

@@ -50,6 +50,12 @@ proptest! {
             SidecarMessage::Quack { epoch, bytes: payload.clone() },
             SidecarMessage::Configure { interval: SimDuration::from_nanos(interval_ns) },
             SidecarMessage::Reset { epoch },
+            SidecarMessage::Hello {
+                threshold: epoch,
+                id_bits: payload.first().copied().unwrap_or(32),
+                count_bits: payload.last().copied().unwrap_or(16),
+                interval: SimDuration::from_nanos(interval_ns),
+            },
         ];
         for msg in variants {
             let (tag, body) = msg.encode();
