@@ -9,7 +9,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin crossover`
 
-use sidecar_bench::{fmt_duration, measure_mean_with, workload, Table};
+use sidecar_bench::{fmt_duration, measure_mean_with, workload, BenchReport, Table};
 use sidecar_quack::Quack32;
 
 const T: usize = 20;
@@ -26,6 +26,7 @@ fn main() {
         "factoring (ids only)",
         "winner",
     ]);
+    let mut report = BenchReport::new("crossover");
     let mut crossover: Option<usize> = None;
     for n in [
         500usize, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
@@ -62,6 +63,19 @@ fn main() {
         if plug > ids_only && crossover.is_none() {
             crossover = Some(n);
         }
+        let ns = n.to_string();
+        for (mode, d) in [
+            ("plugging", plug),
+            ("factoring_log", fact),
+            ("factoring_ids", ids_only),
+        ] {
+            report.push(
+                "decode_time",
+                &[("n", &ns), ("mode", mode)],
+                d.as_nanos() as f64 / 1e3,
+                "us",
+            );
+        }
         table.row(&[
             n.to_string(),
             fmt_duration(plug),
@@ -71,6 +85,10 @@ fn main() {
         ]);
     }
     table.print();
+    if let Some(n) = crossover {
+        report.push("crossover_n", &[], n as f64, "packets");
+    }
+    report.write_default().expect("write BENCH_crossover.json");
     match crossover {
         Some(n) => println!(
             "\ncrossover at n ≈ {n}: below it plug candidates (the paper's \

@@ -11,7 +11,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_ackred`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
 
 fn main() {
@@ -52,6 +52,7 @@ fn main() {
     ));
 
     let normal_time = rows[0].1;
+    let mut report = BenchReport::new("exp_ackred");
     let mut table = Table::new(&[
         "variant",
         "completion (s)",
@@ -60,7 +61,8 @@ fn main() {
         "quACK msgs",
         "vs normal",
     ]);
-    for (name, time, acks, quacks, ack_bytes) in &rows {
+    let variant_keys = ["normal", "naive", "sidecar"];
+    for ((name, time, acks, quacks, ack_bytes), key) in rows.iter().zip(variant_keys) {
         table.row(&[
             name.to_string(),
             format!("{time:.3}"),
@@ -69,8 +71,14 @@ fn main() {
             format!("{quacks:.0}"),
             format!("{:.2}x", time / normal_time),
         ]);
+        let params = [("variant", key)];
+        report.push("completion_time", &params, *time, "s");
+        report.push("client_acks", &params, *acks, "msgs");
+        report.push("quack_msgs", &params, *quacks, "msgs");
+        report.push("slowdown_vs_normal", &params, time / normal_time, "x");
     }
     table.print();
+    report.write_default().expect("write BENCH_exp_ackred.json");
     println!(
         "\nexpected shape: the sidecar variant sends ~16x fewer client ACKs \
          than normal while completing close to the normal time; the naive \

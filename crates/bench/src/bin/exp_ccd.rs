@@ -9,7 +9,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_ccd`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::link::{LinkConfig, LossModel};
 use sidecar_netsim::time::SimDuration;
 use sidecar_proto::protocols::ccd::CcdScenario;
@@ -29,6 +29,7 @@ fn main() {
         "quACK msgs",
         "speedup",
     ]);
+    let mut report = BenchReport::new("exp_ccd");
     for loss in [0.0f64, 0.005, 0.01, 0.02] {
         let scenario = CcdScenario {
             total_packets: 2_000,
@@ -77,6 +78,19 @@ fn main() {
         }
         let k = seeds.len() as f64;
         let ku = seeds.len() as u64;
+        let ls = format!("{loss}");
+        for (variant, time, goodput, retx) in [
+            ("newreno", base_t, base_g, base_retx),
+            ("bbr", bbr_t, bbr_g, bbr_retx),
+            ("sidecar", side_t, side_g, side_retx),
+        ] {
+            let params = [("loss", ls.as_str()), ("variant", variant)];
+            report.push("completion_time", &params, time / k, "s");
+            report.push("goodput", &params, goodput / k, "bps");
+            report.push("e2e_retx", &params, retx as f64 / k, "msgs");
+        }
+        report.push("quack_msgs", &[("loss", &ls)], side_msgs as f64 / k, "msgs");
+        report.push("speedup", &[("loss", &ls)], base_t / side_t, "x");
         table.row(&[
             format!("{:.1}%", loss * 100.0),
             "baseline (e2e NewReno)".into(),
@@ -106,6 +120,7 @@ fn main() {
         ]);
     }
     table.print();
+    report.write_default().expect("write BENCH_exp_ccd.json");
     println!(
         "\nexpected shape: roughly even when the downstream is clean; the \
          division wins increasingly as random downstream loss grows (e2e \

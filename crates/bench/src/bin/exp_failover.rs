@@ -16,7 +16,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_failover`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
 use sidecar_proto::protocols::ccd::CcdScenario;
@@ -86,7 +86,13 @@ fn average(runs: impl Fn(u64) -> (ScenarioReport, ScenarioReport)) -> (f64, f64,
     )
 }
 
-fn row(table: &mut Table, protocol: &str, fault: &str, avg: (f64, f64, f64, f64)) {
+fn row(
+    table: &mut Table,
+    report: &mut BenchReport,
+    protocol: &str,
+    fault: &str,
+    avg: (f64, f64, f64, f64),
+) {
     let (side, base, degr, recov) = avg;
     table.row(&[
         protocol.into(),
@@ -97,6 +103,13 @@ fn row(table: &mut Table, protocol: &str, fault: &str, avg: (f64, f64, f64, f64)
         format!("{degr:.1}"),
         format!("{recov:.1}"),
     ]);
+    let fault_key = fault.replace(' ', "_");
+    let params = [("protocol", protocol), ("fault", fault_key.as_str())];
+    report.push("sidecar_goodput", &params, side, "bps");
+    report.push("baseline_goodput", &params, base, "bps");
+    report.push("goodput_ratio", &params, side / base, "x");
+    report.push("degradations", &params, degr, "count");
+    report.push("recoveries", &params, recov, "count");
 }
 
 fn main() {
@@ -105,6 +118,7 @@ fn main() {
          (same deterministic fault script lowered onto both runs; goodput\n\
          averaged over seeds {SEEDS:?})\n"
     );
+    let mut report = BenchReport::new("exp_failover");
     let mut table = Table::new(&[
         "protocol",
         "fault",
@@ -126,7 +140,7 @@ fn main() {
                 retx.run_baseline_faulted(seed, &script),
             )
         });
-        row(&mut table, "retx", name, avg);
+        row(&mut table, &mut report, "retx", name, avg);
     }
 
     let ackred = AckReductionScenario {
@@ -143,7 +157,7 @@ fn main() {
                 ackred.run_baseline_faulted(seed, ackred.reduced_ack_every, &script),
             )
         });
-        row(&mut table, "ack-reduction", name, avg);
+        row(&mut table, &mut report, "ack-reduction", name, avg);
     }
 
     let ccd = CcdScenario {
@@ -157,10 +171,13 @@ fn main() {
                 ccd.run_baseline_faulted(seed, &script),
             )
         });
-        row(&mut table, "ccd", name, avg);
+        row(&mut table, &mut report, "ccd", name, avg);
     }
 
     table.print();
+    report
+        .write_default()
+        .expect("write BENCH_exp_failover.json");
     println!(
         "\nexpected shape: under 'none' the sidecar ratio reflects each\n\
          protocol's ordinary win; under every fault the ratio stays near or\n\

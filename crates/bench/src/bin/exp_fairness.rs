@@ -19,7 +19,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_fairness`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::link::{LinkConfig, LossModel};
 use sidecar_netsim::node::IfaceId;
 use sidecar_netsim::router::FlowRouter;
@@ -124,6 +124,7 @@ fn main() {
          bottleneck; the sidecar pair (when present) recovers ALL subpath \
          drops — including congestive queue drops\n"
     );
+    let mut report = BenchReport::new("exp_fairness");
     let mut table = Table::new(&[
         "loss",
         "variant",
@@ -143,6 +144,17 @@ fn main() {
             }
             let k = seeds.len() as f64;
             let (t1, t2) = (t1 / k, t2 / k);
+            let ls = format!("{loss}");
+            let variant = if assist { "sidecar" } else { "plain" };
+            let params = [("loss", ls.as_str()), ("variant", variant)];
+            report.push("flow1_fct", &params, t1, "s");
+            report.push("flow2_fct", &params, t2, "s");
+            report.push(
+                "fairness_ratio",
+                &params,
+                t1.max(t2) / t1.min(t2).max(1e-9),
+                "x",
+            );
             table.row(&[
                 format!("{:.0}%", loss * 100.0),
                 label.into(),
@@ -153,6 +165,9 @@ fn main() {
         }
     }
     table.print();
+    report
+        .write_default()
+        .expect("write BENCH_exp_fairness.json");
     println!(
         "\nreading: at 3% random loss the sidecar helps both flows and \
          preserves fairness; at 1% the queue is the real constraint and \

@@ -14,7 +14,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_frequency`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::time::SimDuration;
 use sidecar_proto::protocols::ccd::CcdScenario;
 use sidecar_proto::protocols::retx::RetxScenario;
@@ -22,6 +22,7 @@ use sidecar_proto::{QuackFrequency, SidecarConfig};
 
 fn main() {
     println!("§4.3 ablation: quACK frequency vs protocol performance\n");
+    let mut report = BenchReport::new("exp_frequency");
 
     // --- CCD: interval sweep ---------------------------------------------
     println!("— Congestion-control division (segment RTT ≈ 60 ms):");
@@ -43,6 +44,25 @@ fn main() {
             bytes += r.sidecar_bytes;
         }
         let k = seeds.len() as f64;
+        let is = interval_ms.to_string();
+        report.push(
+            "ccd_completion_time",
+            &[("interval_ms", &is)],
+            time / k,
+            "s",
+        );
+        report.push(
+            "ccd_quack_msgs",
+            &[("interval_ms", &is)],
+            msgs as f64 / k,
+            "msgs",
+        );
+        report.push(
+            "ccd_quack_bytes",
+            &[("interval_ms", &is)],
+            bytes as f64 / k,
+            "bytes",
+        );
         table.row(&[
             format!("{interval_ms} ms"),
             format!("{:.3}", time / k),
@@ -108,6 +128,25 @@ fn main() {
             msgs += r.sidecar_messages;
         }
         let k = seeds.len() as f64;
+        let schedule = name.replace(' ', "_");
+        report.push(
+            "retx_completion_time",
+            &[("schedule", &schedule)],
+            time / k,
+            "s",
+        );
+        report.push(
+            "retx_in_net_retx",
+            &[("schedule", &schedule)],
+            retx as f64 / k,
+            "msgs",
+        );
+        report.push(
+            "retx_quack_msgs",
+            &[("schedule", &schedule)],
+            msgs as f64 / k,
+            "msgs",
+        );
         table.row(&[
             name,
             format!("{:.3}", time / k),
@@ -116,6 +155,9 @@ fn main() {
         ]);
     }
     table.print();
+    report
+        .write_default()
+        .expect("write BENCH_exp_frequency.json");
     println!(
         "   the adaptive controller lands near the best fixed interval \
          without knowing the loss rate in advance (§2.3: the frequency \

@@ -10,7 +10,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin exp_retx`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::link::{LinkConfig, LossModel};
 use sidecar_netsim::time::SimDuration;
 use sidecar_proto::protocols::retx::RetxScenario;
@@ -21,6 +21,7 @@ fn main() {
          topology: server ↔ 25ms edge ↔ proxyA ↔ 5ms lossy subpath ↔ proxyB ↔ 2ms edge ↔ client\n\
          flow: 2000 × 1500 B, NewReno, adaptive quACK frequency, t = 20, b = 32\n"
     );
+    let mut report = BenchReport::new("exp_retx");
     let mut table = Table::new(&[
         "subpath loss",
         "variant",
@@ -61,6 +62,34 @@ fn main() {
         }
         let k = seeds.len() as f64;
         let ku = seeds.len() as u64;
+        let ls = format!("{loss}");
+        report.push(
+            "completion_time",
+            &[("loss", &ls), ("variant", "baseline")],
+            base_t / k,
+            "s",
+        );
+        report.push(
+            "completion_time",
+            &[("loss", &ls), ("variant", "sidecar")],
+            side_t / k,
+            "s",
+        );
+        report.push(
+            "e2e_retx",
+            &[("loss", &ls), ("variant", "baseline")],
+            base_e2e as f64 / k,
+            "msgs",
+        );
+        report.push(
+            "e2e_retx",
+            &[("loss", &ls), ("variant", "sidecar")],
+            side_e2e as f64 / k,
+            "msgs",
+        );
+        report.push("in_net_retx", &[("loss", &ls)], side_inn as f64 / k, "msgs");
+        report.push("quack_msgs", &[("loss", &ls)], side_msgs as f64 / k, "msgs");
+        report.push("speedup", &[("loss", &ls)], base_t / side_t, "x");
         table.row(&[
             format!("{:.1}%", loss * 100.0),
             "baseline".into(),
@@ -81,6 +110,7 @@ fn main() {
         ]);
     }
     table.print();
+    report.write_default().expect("write BENCH_exp_retx.json");
     println!(
         "\nexpected shape: the sidecar completes faster at every loss rate, \
          recovering most subpath losses in-network; e2e retransmissions drop \

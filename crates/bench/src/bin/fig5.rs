@@ -9,7 +9,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin fig5`
 
-use sidecar_bench::{measure_mean, per_item_nanos, workload, Table};
+use sidecar_bench::{measure_mean, per_item_nanos, workload, BenchReport, Table};
 use sidecar_galois::{Field, Fp16, Fp24, Fp32};
 use sidecar_quack::PowerSumQuack;
 use std::time::Duration;
@@ -32,6 +32,7 @@ fn main() {
          vs threshold t, per identifier width b\n"
     );
     let thresholds: Vec<usize> = (10..=50).step_by(5).collect();
+    let mut report = BenchReport::new("fig5");
     let mut table = Table::new(&["t", "b=16 (us)", "b=24 (us)", "b=32 (us)", "b=32 ns/pkt"]);
     let mut series32 = Vec::new();
     for &t in &thresholds {
@@ -42,6 +43,21 @@ fn main() {
         let d24 = construction_time::<Fp24>(&ids24, t);
         let d32 = construction_time::<Fp32>(&ids32, t);
         series32.push((t, d32));
+        let ts = t.to_string();
+        for (bits, d) in [("16", d16), ("24", d24), ("32", d32)] {
+            report.push(
+                "construction_time",
+                &[("t", &ts), ("b", bits)],
+                d.as_nanos() as f64 / 1e3,
+                "us",
+            );
+        }
+        report.push(
+            "construction_per_packet",
+            &[("t", &ts), ("b", "32")],
+            per_item_nanos(d32, N),
+            "ns",
+        );
         table.row(&[
             t.to_string(),
             format!("{:.1}", d16.as_nanos() as f64 / 1e3),
@@ -62,4 +78,6 @@ fn main() {
         last / first
     );
     println!("paper reference point: t = 20, b = 32 → 106 us total, ≈100 ns/packet");
+    report.push("growth_t10_to_t50", &[("b", "32")], last / first, "x");
+    report.write_default().expect("write BENCH_fig5.json");
 }

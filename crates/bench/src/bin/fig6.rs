@@ -6,7 +6,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin fig6`
 
-use sidecar_bench::{measure_mean, workload, Table};
+use sidecar_bench::{measure_mean, workload, BenchReport, Table};
 use sidecar_galois::{Field, Fp16, Fp24, Fp32};
 use sidecar_quack::PowerSumQuack;
 use std::time::Duration;
@@ -37,6 +37,7 @@ fn main() {
         "Figure 6 reproduction: decoding time (us) for n = {N}, t = {T} \
          vs missing packets m, per identifier width b\n"
     );
+    let mut report = BenchReport::new("fig6");
     let mut table = Table::new(&["m", "b=16 (us)", "b=24 (us)", "b=32 (us)"]);
     let mut series32 = Vec::new();
     for m in (0..=T).step_by(2) {
@@ -44,6 +45,15 @@ fn main() {
         let d24 = decode_time::<Fp24>(24, m, 0x624);
         let d32 = decode_time::<Fp32>(32, m, 0x632);
         series32.push((m, d32));
+        let ms = m.to_string();
+        for (bits, d) in [("16", d16), ("24", d24), ("32", d32)] {
+            report.push(
+                "decode_time",
+                &[("m", &ms), ("b", bits)],
+                d.as_nanos() as f64 / 1e3,
+                "us",
+            );
+        }
         table.row(&[
             m.to_string(),
             format!("{:.1}", d16.as_nanos() as f64 / 1e3),
@@ -61,4 +71,5 @@ fn main() {
         sidecar_bench::fmt_duration(zero),
         sidecar_bench::fmt_duration(full),
     );
+    report.write_default().expect("write BENCH_fig6.json");
 }

@@ -16,11 +16,12 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin freq_selection`
 
-use sidecar_bench::{measure_mean, per_item_nanos, workload, Table};
+use sidecar_bench::{measure_mean, per_item_nanos, workload, BenchReport, Table};
 use sidecar_quack::{Quack32, WireFormat};
 
 fn main() {
     println!("§4.3 reproduction: communication-frequency selection\n");
+    let mut report = BenchReport::new("freq_selection");
 
     // --- Congestion-control division -------------------------------------
     let rtt_s = 0.060;
@@ -50,6 +51,14 @@ fn main() {
         "   added latency = amortized construction: {:.0} ns/packet (paper: ≈100 ns)\n",
         per_item_nanos(construct, received.len())
     );
+    report.push("ccd_packets_per_rtt", &[], packets_per_rtt, "packets");
+    report.push("ccd_missing_per_rtt", &[], missing_per_rtt, "packets");
+    report.push(
+        "ccd_construction_per_packet",
+        &[],
+        per_item_nanos(construct, received.len()),
+        "ns",
+    );
 
     // --- ACK reduction ----------------------------------------------------
     println!("— ACK reduction (quACK every n = 32 packets):");
@@ -60,12 +69,25 @@ fn main() {
         strawman1_bits.to_string(),
         (strawman1_bits / 32).to_string(),
     ]);
+    report.push(
+        "ackred_bits_per_window",
+        &[("scheme", "strawman1")],
+        strawman1_bits as f64,
+        "bits",
+    );
     for t in [4usize, 8, 16] {
         let fmt = WireFormat {
             id_bits: 32,
             threshold: t,
             count_bits: 0, // §4.3: "we can omit c, which is always n"
         };
+        let ts = t.to_string();
+        report.push(
+            "ackred_bits_per_window",
+            &[("scheme", "power_sums"), ("t", &ts)],
+            fmt.encoded_bits() as f64,
+            "bits",
+        );
         table.row(&[
             format!("power sums, t = {t}, c omitted"),
             fmt.encoded_bits().to_string(),
@@ -83,6 +105,8 @@ fn main() {
     for loss in [0.001f64, 0.005, 0.01, 0.02, 0.05] {
         let per_quack = 20.0 / loss;
         let interval_ms = per_quack / pkt_rate * 1e3;
+        let ls = format!("{loss}");
+        report.push("retx_quack_interval", &[("loss", &ls)], interval_ms, "ms");
         table.row(&[
             format!("{:.1}%", loss * 100.0),
             format!("{per_quack:.0}"),
@@ -90,6 +114,9 @@ fn main() {
         ]);
     }
     table.print();
+    report
+        .write_default()
+        .expect("write BENCH_freq_selection.json");
     println!(
         "   stable link → lower frequency (longer interval), configured via the \
          sidecar Configure message (§2.3); only n changes per quACK, and the \

@@ -8,7 +8,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin headline`
 
-use sidecar_bench::{fmt_duration, measure_mean, per_item_nanos, workload};
+use sidecar_bench::{fmt_duration, measure_mean, per_item_nanos, workload, BenchReport};
 use sidecar_quack::collision::collision_percentage;
 use sidecar_quack::{Quack32, WireFormat};
 
@@ -17,6 +17,7 @@ const T: usize = 20;
 
 fn main() {
     println!("§1 headline metrics (n = {N}, t = {T}, b = 32, c = 16)\n");
+    let mut report = BenchReport::new("headline");
 
     // 1. Wire size.
     let fmt = WireFormat::paper_default(T);
@@ -24,6 +25,7 @@ fn main() {
         "1. quACK size: {} bytes (paper: 82 bytes)",
         fmt.encoded_bytes()
     );
+    report.push("quack_size", &[], fmt.encoded_bytes() as f64, "bytes");
 
     // 2. Amortized per-packet construction cost.
     let (sent, received) = workload(N, T, 32, 0x4EAD);
@@ -37,6 +39,12 @@ fn main() {
     println!(
         "2. per-packet processing: {:.0} ns (paper: ≈100 ns)",
         per_item_nanos(construct, received.len())
+    );
+    report.push(
+        "per_packet_processing",
+        &[],
+        per_item_nanos(construct, received.len()),
+        "ns",
     );
 
     // 3. Decode time.
@@ -58,10 +66,18 @@ fn main() {
         decode.as_micros() < 1000,
         "decode should be well under a millisecond"
     );
+    report.push("decode_time", &[], decode.as_nanos() as f64 / 1e3, "us");
 
     // 4. Indeterminacy probability.
     println!(
         "4. indeterminate chance: {:.6}% (paper: 0.000023%)",
         collision_percentage(32, N as u64)
     );
+    report.push(
+        "indeterminate_chance",
+        &[],
+        collision_percentage(32, N as u64),
+        "%",
+    );
+    report.write_default().expect("write BENCH_headline.json");
 }

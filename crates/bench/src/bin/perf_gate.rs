@@ -1,0 +1,244 @@
+//! **Perf gate**: compares a fresh `BENCH_quack.json` against the committed
+//! `bench/baseline.json` and fails on regression.
+//!
+//! Policy (documented in README.md):
+//!
+//! * `ops/s` metrics are rescaled by the ratio of the two runs'
+//!   `calibration` metrics (a fixed scalar integer workload) before
+//!   comparing, so a baseline recorded on one machine gates runs on
+//!   another. A metric regresses if it falls more than `TOLERANCE` below
+//!   the rescaled baseline.
+//! * `x` (ratio) metrics are machine-independent and compared directly
+//!   with the same tolerance.
+//! * Hard floor: the `insert_speedup` metrics for `Fp64, t = 20,
+//!   batch ≥ 32` must be at least [`HARD_FLOOR`] regardless of the
+//!   baseline — this is the repo's acceptance headline and may never
+//!   erode, tolerance or not.
+//! * Metrics present in only one of the two reports are reported but never
+//!   fail the gate (so adding benchmarks does not require a lockstep
+//!   baseline update).
+//! * Setting `PERF_GATE_SOFT=1` (CI sets it when a PR carries the
+//!   `perf-regression-ok` label) downgrades failures to warnings for
+//!   intentional perf changes; the PR is then expected to commit a new
+//!   baseline.
+//!
+//! Usage: `perf_gate [baseline.json] [current.json]`
+//! (defaults: `bench/baseline.json`, `BENCH_quack.json`).
+//!
+//! Exit status: 0 = pass (or soft mode), 1 = regression, 2 = usage/setup
+//! error.
+
+use sidecar_bench::{BenchReport, Table};
+use std::process::ExitCode;
+
+/// Allowed relative shortfall versus the (rescaled) baseline.
+const TOLERANCE: f64 = 0.15;
+/// Absolute floor for the acceptance-headline speedups (`Fp64`, `t=20`,
+/// `batch >= 32`).
+const HARD_FLOOR: f64 = 2.0;
+
+struct Comparison {
+    key: String,
+    unit: String,
+    baseline: f64,
+    current: f64,
+    /// Baseline after calibration rescaling (== baseline for ratios).
+    reference: f64,
+    verdict: Verdict,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Verdict {
+    Ok,
+    Regressed,
+    BelowFloor,
+    BaselineOnly,
+    CurrentOnly,
+    Informational,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::BelowFloor => "BELOW FLOOR",
+            Verdict::BaselineOnly => "baseline only",
+            Verdict::CurrentOnly => "new",
+            Verdict::Informational => "info",
+        }
+    }
+}
+
+/// Whether this metric key is an acceptance-headline speedup subject to the
+/// absolute [`HARD_FLOOR`].
+fn is_headline(key: &str) -> bool {
+    key.starts_with("insert_speedup|")
+        && key.contains("|field=Fp64|")
+        && key.ends_with("|t=20")
+        && key
+            .split('|')
+            .find_map(|p| p.strip_prefix("batch="))
+            .and_then(|b| b.parse::<u64>().ok())
+            .is_some_and(|b| b >= 32)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("bench/baseline.json");
+    let current_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_quack.json");
+    let soft = std::env::var("PERF_GATE_SOFT").is_ok_and(|v| v == "1");
+
+    let baseline = match BenchReport::read(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match BenchReport::read(current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read current report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Calibration rescaling for absolute throughputs.
+    let scale = match (baseline.get("calibration"), current.get("calibration")) {
+        (Some(b), Some(c)) if b.value > 0.0 => c.value / b.value,
+        _ => {
+            eprintln!("perf_gate: warning: no calibration metric in both reports; comparing ops/s unscaled");
+            1.0
+        }
+    };
+    println!(
+        "perf gate: baseline {baseline_path}, current {current_path}, \
+         calibration scale {scale:.3}, tolerance {:.0}%{}",
+        TOLERANCE * 100.0,
+        if soft { ", SOFT (warn-only)" } else { "" }
+    );
+
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for metric in &current.metrics {
+        let key = metric.key();
+        if key == "calibration" {
+            continue;
+        }
+        let Some(base) = baseline.get(&key) else {
+            comparisons.push(Comparison {
+                key,
+                unit: metric.unit.clone(),
+                baseline: f64::NAN,
+                current: metric.value,
+                reference: f64::NAN,
+                verdict: Verdict::CurrentOnly,
+            });
+            continue;
+        };
+        let (reference, verdict) = match metric.unit.as_str() {
+            "ops/s" => {
+                let reference = base.value * scale;
+                let ok = metric.value >= reference * (1.0 - TOLERANCE);
+                (reference, if ok { Verdict::Ok } else { Verdict::Regressed })
+            }
+            "x" => {
+                let floor_ok = !is_headline(&key) || metric.value >= HARD_FLOOR;
+                let tol_ok = metric.value >= base.value * (1.0 - TOLERANCE);
+                let verdict = if !floor_ok {
+                    Verdict::BelowFloor
+                } else if !tol_ok {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Ok
+                };
+                (base.value, verdict)
+            }
+            _ => (base.value, Verdict::Informational),
+        };
+        comparisons.push(Comparison {
+            key,
+            unit: metric.unit.clone(),
+            baseline: base.value,
+            current: metric.value,
+            reference,
+            verdict,
+        });
+    }
+    for metric in &baseline.metrics {
+        let key = metric.key();
+        if key != "calibration" && current.get(&key).is_none() {
+            comparisons.push(Comparison {
+                key,
+                unit: metric.unit.clone(),
+                baseline: metric.value,
+                current: f64::NAN,
+                reference: f64::NAN,
+                verdict: Verdict::BaselineOnly,
+            });
+        }
+    }
+
+    let fmt = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.3e}")
+        }
+    };
+    let mut table = Table::new(&[
+        "metric", "unit", "baseline", "expected", "current", "verdict",
+    ]);
+    for c in &comparisons {
+        table.row(&[
+            c.key.clone(),
+            c.unit.clone(),
+            fmt(c.baseline),
+            fmt(c.reference),
+            fmt(c.current),
+            c.verdict.label().to_string(),
+        ]);
+    }
+    table.print();
+
+    let failures: Vec<&Comparison> = comparisons
+        .iter()
+        .filter(|c| matches!(c.verdict, Verdict::Regressed | Verdict::BelowFloor))
+        .collect();
+    if failures.is_empty() {
+        println!("\nperf gate: PASS ({} metrics compared)", comparisons.len());
+        return ExitCode::SUCCESS;
+    }
+    println!("\nperf gate: {} regression(s):", failures.len());
+    for c in &failures {
+        println!(
+            "  {} [{}]: current {:.3e} vs expected >= {:.3e} ({})",
+            c.key,
+            c.unit,
+            c.current,
+            match c.verdict {
+                Verdict::BelowFloor => HARD_FLOOR,
+                _ => c.reference * (1.0 - TOLERANCE),
+            },
+            c.verdict.label()
+        );
+    }
+    if soft {
+        println!(
+            "perf gate: SOFT mode — not failing (label `perf-regression-ok`); \
+             commit a refreshed bench/baseline.json with this PR"
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "perf gate: FAIL — if intentional, apply the `perf-regression-ok` label \
+         (sets PERF_GATE_SOFT=1) and refresh bench/baseline.json"
+    );
+    ExitCode::FAILURE
+}

@@ -19,6 +19,7 @@
 //! cargo run -p sidecar-bench --release --bin simulate -- ccd --packets 5000 --seeds 5
 //! ```
 
+use sidecar_bench::BenchReport;
 use sidecar_netsim::link::LossModel;
 use sidecar_netsim::time::SimDuration;
 use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
@@ -235,9 +236,39 @@ fn main() {
         _ => usage(),
     };
 
-    print_report("sidecar", &average(side));
-    if !base.is_empty() {
-        println!();
-        print_report("baseline", &average(base));
+    let mut report = BenchReport::new("simulate");
+    let ls = format!("{}", opts.loss);
+    let ps = opts.packets.to_string();
+    {
+        let mut push = |variant: &str, r: &ScenarioReport| {
+            let params = [
+                ("protocol", opts.protocol.as_str()),
+                ("loss_pct", ls.as_str()),
+                ("packets", ps.as_str()),
+                ("variant", variant),
+            ];
+            if let Some(t) = r.completion {
+                report.push("completion_time", &params, t.as_secs_f64(), "s");
+            }
+            if let Some(g) = r.goodput_bps {
+                report.push("goodput", &params, g, "bps");
+            }
+            report.push("e2e_retx", &params, r.server_retransmissions as f64, "msgs");
+            report.push("client_acks", &params, r.client_acks as f64, "msgs");
+            if r.sidecar_messages > 0 {
+                report.push("quack_msgs", &params, r.sidecar_messages as f64, "msgs");
+            }
+        };
+
+        let side = average(side);
+        print_report("sidecar", &side);
+        push("sidecar", &side);
+        if !base.is_empty() {
+            let base = average(base);
+            println!();
+            print_report("baseline", &base);
+            push("baseline", &base);
+        }
     }
+    report.write_default().expect("write BENCH_simulate.json");
 }

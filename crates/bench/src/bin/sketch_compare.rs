@@ -11,7 +11,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin sketch_compare`
 
-use sidecar_bench::{fmt_duration, measure_mean, workload, Table};
+use sidecar_bench::{fmt_duration, measure_mean, workload, BenchReport, Table};
 use sidecar_quack::iblt::Iblt;
 use sidecar_quack::{Quack32, WireFormat};
 
@@ -28,6 +28,7 @@ fn main() {
         "quACK decode",
         "IBLT decode",
     ]);
+    let mut report = BenchReport::new("sketch_compare");
     for d in [5usize, 10, 20, 40] {
         let (sent, received) = workload(N, d, 32, 0x1B17 + d as u64);
 
@@ -73,6 +74,21 @@ fn main() {
         assert_eq!(decoded.missing.len(), d);
         let iblt_decode = measure_mean(|_| idiff.clone().decode().unwrap());
 
+        let ds = d.to_string();
+        for (sketch, bytes, construct, decode) in [
+            ("power_sums", fmt.encoded_bytes(), ps_construct, ps_decode),
+            ("iblt", is.wire_bytes(), iblt_construct, iblt_decode),
+        ] {
+            let params = [("d", ds.as_str()), ("sketch", sketch)];
+            report.push("wire_size", &params, bytes as f64, "bytes");
+            report.push(
+                "construction_time",
+                &params,
+                construct.as_nanos() as f64 / 1e3,
+                "us",
+            );
+            report.push("decode_time", &params, decode.as_nanos() as f64 / 1e3, "us");
+        }
         table.row(&[
             d.to_string(),
             fmt.encoded_bytes().to_string(),
@@ -84,6 +100,9 @@ fn main() {
         ]);
     }
     table.print();
+    report
+        .write_default()
+        .expect("write BENCH_sketch_compare.json");
     println!(
         "\nshape: the quACK is ~10x smaller on the wire; the IBLT decodes \
          ~100x faster and also reports receiver-side extras — but can stall \

@@ -15,7 +15,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin table2`
 
-use sidecar_bench::{fmt_days, fmt_duration, measure_mean, workload, Table};
+use sidecar_bench::{fmt_days, fmt_duration, measure_mean, workload, BenchReport, Table};
 use sidecar_quack::strawman::{estimated_decode_days, hash_sorted, EchoQuack, HashQuack};
 use sidecar_quack::{PowerSumQuack, Quack32, WireFormat};
 use std::time::Instant;
@@ -96,6 +96,41 @@ fn main() {
     let decoded = sender.decode_against(&rx, &sent).unwrap();
     assert_eq!(decoded.num_missing(), T);
     assert!(decoded.missing().len() + decoded.indeterminate().len() >= T);
+
+    let mut report = BenchReport::new("table2");
+    for (scheme, construct, bits) in [
+        ("strawman1", s1_construct, s1_bits as f64),
+        ("strawman2", s2_construct, s2_bits as f64),
+        ("power_sums", ps_construct, ps_bits as f64),
+    ] {
+        let params = [("scheme", scheme)];
+        report.push(
+            "construction_time",
+            &params,
+            construct.as_nanos() as f64 / 1e3,
+            "us",
+        );
+        report.push("wire_size", &params, bits, "bits");
+    }
+    report.push(
+        "decode_time",
+        &[("scheme", "strawman1")],
+        s1_decode.as_nanos() as f64 / 1e3,
+        "us",
+    );
+    report.push(
+        "decode_time_days",
+        &[("scheme", "strawman2")],
+        s2_days,
+        "days",
+    );
+    report.push(
+        "decode_time",
+        &[("scheme", "power_sums")],
+        ps_decode.as_nanos() as f64 / 1e3,
+        "us",
+    );
+    report.write_default().expect("write BENCH_table2.json");
 
     let mut table = Table::new(&[
         "scheme",

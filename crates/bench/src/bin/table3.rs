@@ -12,7 +12,7 @@
 //!
 //! Regenerate: `cargo run -p sidecar-bench --release --bin table3`
 
-use sidecar_bench::Table;
+use sidecar_bench::{BenchReport, Table};
 use sidecar_quack::collision::{
     collision_probability, collision_probability_monte_carlo, expected_colliding_packets,
 };
@@ -34,16 +34,25 @@ fn main() {
         "monte carlo",
         "expected colliding pkts",
     ]);
+    let mut report = BenchReport::new("table3");
     for (bits, paper_val) in paper {
         let analytic = collision_probability(bits, N);
+        let bs = bits.to_string();
+        report.push("collision_probability", &[("b", &bs)], analytic, "p");
+        report.push(
+            "expected_colliding_packets",
+            &[("b", &bs)],
+            expected_colliding_packets(bits, N),
+            "packets",
+        );
         // Monte Carlo needs ~100/p trials for a stable estimate; only the
         // narrow widths are feasible.
         let mc = if bits <= 16 {
             let trials = if bits == 8 { 20_000 } else { 2_000_000 };
-            format!(
-                "{:.2e}",
-                collision_probability_monte_carlo(bits, N, trials, 0x7AB1E3 + bits as u64)
-            )
+            let estimate =
+                collision_probability_monte_carlo(bits, N, trials, 0x7AB1E3 + bits as u64);
+            report.push("collision_probability_mc", &[("b", &bs)], estimate, "p");
+            format!("{estimate:.2e}")
         } else {
             "(too rare to sample)".to_string()
         };
@@ -63,4 +72,5 @@ fn main() {
          at b = 32, n = {N} (paper: 0.000023%)",
         collision_probability(32, N) * 100.0
     );
+    report.write_default().expect("write BENCH_table3.json");
 }

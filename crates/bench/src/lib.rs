@@ -10,8 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::time::{Duration, Instant};
 
+pub use report::{BenchReport, Metric};
 pub use sidecar_quack::id::IdentifierGenerator;
 
 /// Measurement defaults from the paper (§4.1: "Average of 100 trials with
@@ -46,10 +49,55 @@ pub fn measure_mean_with<T>(
     start.elapsed() / trials as u32
 }
 
+/// Runs [`measure_mean_with`] `reps` times and returns the fastest mean.
+///
+/// Preemption and frequency scaling only ever make a repetition *slower*,
+/// so the minimum over independent repetitions is the best available
+/// estimate of the uncontended cost. The calibration probe uses this so
+/// the perf gate's rescaling doesn't inherit scheduler noise; sweeps with
+/// many cells (`exp_hotpath`) go further and interleave the repetitions
+/// across cells.
+pub fn measure_best_of<T>(
+    reps: usize,
+    trials: usize,
+    warmup: usize,
+    f: &mut impl FnMut(usize) -> T,
+) -> Duration {
+    (0..reps)
+        .map(|_| measure_mean_with(trials, warmup, f))
+        .min()
+        .expect("reps >= 1")
+}
+
 /// Mean duration of `f` divided by `per`, in nanoseconds — for per-packet
 /// amortized costs.
 pub fn per_item_nanos(duration: Duration, per: usize) -> f64 {
     duration.as_nanos() as f64 / per as f64
+}
+
+/// Items per second given the mean duration of processing `per` items.
+pub fn ops_per_sec(duration: Duration, per: usize) -> f64 {
+    per as f64 / duration.as_secs_f64().max(1e-12)
+}
+
+/// Measures a fixed scalar integer workload (a serial wrapping multiply-add
+/// chain) in ops/s.
+///
+/// This number tracks single-core integer throughput of the machine running
+/// the bench, independent of any quACK code. The `perf_gate` bin divides
+/// the current calibration by the baseline's to rescale absolute
+/// throughputs before comparing, so a committed baseline from one machine
+/// can gate runs on another without tripping on raw CPU-speed differences.
+pub fn calibration_ops_per_sec() -> f64 {
+    const CHAIN: usize = 1 << 16;
+    let d = measure_best_of(5, 30, 5, &mut |i| {
+        let mut acc = i as u64 | 1;
+        for j in 0..CHAIN as u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(j);
+        }
+        acc
+    });
+    ops_per_sec(d, CHAIN)
 }
 
 /// Formats a duration the way the paper's tables do (ns/us/ms autoscale).

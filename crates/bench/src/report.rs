@@ -1,0 +1,609 @@
+//! Machine-readable benchmark reports: the `sidecar-bench/v1` JSON schema.
+//!
+//! Every bench binary prints its human-readable table *and* writes a
+//! `BENCH_<name>.json` next to it, so the perf trajectory is append-only
+//! and diffable and CI can gate on regressions (see the `perf_gate` bin).
+//! The schema is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "schema": "sidecar-bench/v1",
+//!   "name": "quack",
+//!   "metrics": [
+//!     {
+//!       "name": "inserts_per_sec",
+//!       "params": { "field": "Fp64", "t": "20", "batch": "32" },
+//!       "value": 123456789.0,
+//!       "unit": "ops/s"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `name` — the bench binary (report file is `BENCH_<name>.json`).
+//! * `metrics[].name` + `metrics[].params` — the identity a metric is
+//!   matched on across runs (params are string-valued for diff stability).
+//! * `metrics[].unit` — `"ops/s"` (throughput, higher is better; gated
+//!   with calibration rescaling), `"x"` (machine-independent ratio, gated
+//!   directly), `"ns"` (latency, informational), or anything else
+//!   (informational).
+//!
+//! The offline dependency set has no serde, so this module carries its own
+//! tiny JSON emitter and recursive-descent parser — both total over the
+//! subset of JSON the schema uses (and the parser accepts any valid JSON).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier written into (and required from) every report.
+pub const SCHEMA: &str = "sidecar-bench/v1";
+
+/// One measured value plus the parameters identifying it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// What was measured, e.g. `inserts_per_sec`.
+    pub name: String,
+    /// Identifying parameters (field width, threshold, batch size, …),
+    /// sorted by key on write.
+    pub params: Vec<(String, String)>,
+    /// The measured value. Must be finite.
+    pub value: f64,
+    /// Unit: `ops/s`, `x`, `ns`, ….
+    pub unit: String,
+}
+
+impl Metric {
+    /// Stable identity used to match this metric against another run:
+    /// name plus sorted params.
+    pub fn key(&self) -> String {
+        let mut params = self.params.clone();
+        params.sort();
+        let mut key = self.name.clone();
+        for (k, v) in params {
+            let _ = write!(key, "|{k}={v}");
+        }
+        key
+    }
+}
+
+/// A full report: what one bench binary measured in one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// The bench name; the report file is `BENCH_<name>.json`.
+    pub name: String,
+    /// All metrics, in emission order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for the bench `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite — a NaN throughput means the bench
+    /// itself is broken, and it must not poison the committed baseline.
+    pub fn push(&mut self, name: &str, params: &[(&str, &str)], value: f64, unit: &str) {
+        assert!(value.is_finite(), "non-finite metric {name}: {value}");
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Looks a metric up by its [`Metric::key`].
+    pub fn get(&self, key: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.key() == key)
+    }
+
+    /// Serializes to the `sidecar-bench/v1` JSON text (two-space indent,
+    /// sorted params, trailing newline — stable under re-runs for clean
+    /// diffs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(out, "  \"name\": {},", quote(&self.name));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", quote(&m.name));
+            let mut params = m.params.clone();
+            params.sort();
+            if params.is_empty() {
+                out.push_str("      \"params\": {},\n");
+            } else {
+                out.push_str("      \"params\": { ");
+                for (j, (k, v)) in params.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", quote(k), quote(v));
+                }
+                out.push_str(" },\n");
+            }
+            let _ = writeln!(out, "      \"value\": {},", fmt_f64(m.value));
+            let _ = writeln!(out, "      \"unit\": {}", quote(&m.unit));
+            out.push_str(if i + 1 == self.metrics.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report back from JSON text, validating the schema tag.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level is not an object")?;
+        match find(obj, "schema").and_then(Json::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(format!("unsupported schema {s:?}, want {SCHEMA:?}")),
+            None => return Err("missing \"schema\" field".into()),
+        }
+        let name = find(obj, "name")
+            .and_then(Json::as_str)
+            .ok_or("missing \"name\" field")?
+            .to_string();
+        let metrics_json = find(obj, "metrics")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"metrics\" array")?;
+        let mut metrics = Vec::with_capacity(metrics_json.len());
+        for m in metrics_json {
+            let mo = m.as_obj().ok_or("metric is not an object")?;
+            let mut params: Vec<(String, String)> = find(mo, "params")
+                .and_then(Json::as_obj)
+                .ok_or("metric missing \"params\" object")?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("param {k:?} is not a string"))
+                })
+                .collect::<Result<_, _>>()?;
+            params.sort();
+            metrics.push(Metric {
+                name: find(mo, "name")
+                    .and_then(Json::as_str)
+                    .ok_or("metric missing \"name\"")?
+                    .to_string(),
+                params,
+                value: find(mo, "value")
+                    .and_then(Json::as_f64)
+                    .ok_or("metric missing numeric \"value\"")?,
+                unit: find(mo, "unit")
+                    .and_then(Json::as_str)
+                    .ok_or("metric missing \"unit\"")?
+                    .to_string(),
+            });
+        }
+        Ok(BenchReport { name, metrics })
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory (or
+    /// `$BENCH_OUT_DIR` if set) and prints where it went.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
+        let path = self.write(&dir)?;
+        println!("[bench-json] wrote {}", path.display());
+        Ok(path)
+    }
+
+    /// Reads and parses a report file.
+    pub fn read(path: impl AsRef<Path>) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        Self::parse(&text)
+    }
+}
+
+/// Formats an f64 so it parses back to the identical value, always with a
+/// decimal point or exponent (valid JSON number, recognisably float).
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// JSON-escapes and quotes a string.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn find<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A parsed JSON value (internal to report parsing; key order preserved).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("quack");
+        r.push(
+            "inserts_per_sec",
+            &[("field", "Fp64"), ("t", "20"), ("batch", "32")],
+            1.234e8,
+            "ops/s",
+        );
+        r.push("speedup", &[("field", "Fp64"), ("t", "20")], 3.5, "x");
+        r.push("empty_params", &[], 42.0, "ns");
+        r
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        // Serialization is stable (byte-identical re-render).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn keys_are_param_order_independent() {
+        let mut a = BenchReport::new("x");
+        a.push("m", &[("b", "2"), ("a", "1")], 1.0, "x");
+        let mut b = BenchReport::new("x");
+        b.push("m", &[("a", "1"), ("b", "2")], 1.0, "x");
+        assert_eq!(a.metrics[0].key(), b.metrics[0].key());
+        assert_eq!(a.metrics[0].key(), "m|a=1|b=2");
+        assert!(a.get("m|a=1|b=2").is_some());
+        assert!(a.get("m|a=1").is_none());
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(
+            BenchReport::parse("{\"schema\": \"other/v9\", \"name\": \"x\", \"metrics\": []}")
+                .unwrap_err()
+                .contains("unsupported schema")
+        );
+        let minimal = format!(
+            "{{\"schema\": {quoted}, \"name\": \"x\", \"metrics\": []}}",
+            quoted = quote(SCHEMA)
+        );
+        assert_eq!(BenchReport::parse(&minimal).unwrap().metrics.len(), 0);
+    }
+
+    #[test]
+    fn parser_handles_general_json() {
+        // The parser must accept hand-edited baselines: whitespace, escapes,
+        // exponents, nested structures.
+        let text = r#"
+        { "schema": "sidecar-bench/v1", "name": "tAb",
+          "metrics": [ { "name": "a", "params": {}, "value": -1.5e-3, "unit": "x" } ] }
+        "#;
+        let r = BenchReport::parse(text).unwrap();
+        assert_eq!(r.name, "tAb");
+        assert_eq!(r.metrics[0].value, -1.5e-3);
+        // Rejections.
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for v in [0.0, 1.0, -2.5, 1.234e8, 1e-9, f64::MAX, 123456789.123] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+        assert_eq!(fmt_f64(42.0), "42.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_metric_rejected() {
+        BenchReport::new("x").push("m", &[], f64::NAN, "x");
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("sidecar-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = sample();
+        let path = r.write(&dir).unwrap();
+        assert!(path.ends_with("BENCH_quack.json"));
+        assert_eq!(BenchReport::read(&path).unwrap(), r);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,8 +17,14 @@
 
 use sidecar_galois::factor::find_roots;
 use sidecar_galois::poly::{deflate_monic, eval_monic};
-use sidecar_galois::{Field, NewtonWorkspace};
+use sidecar_galois::{Field, NewtonWorkspace, WorkspacePool};
 use std::collections::HashMap;
+
+/// Minimum amount of candidate-evaluation work (`distinct keys × locator
+/// degree`) before the parallel decoder spawns threads; below this the
+/// spawn overhead dominates and the serial loop wins.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_WORK: usize = 4096;
 
 /// Why decoding a difference quACK failed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -166,6 +172,95 @@ pub(crate) fn decode_difference<F: Field>(
     log: &[u64],
     workspace: &NewtonWorkspace<F>,
 ) -> Result<DecodedQuack, DecodeError> {
+    let mut coeffs = Vec::new();
+    decode_difference_inner(power_sums, count, log, workspace, &mut coeffs, 1)
+}
+
+/// Multi-threaded variant of [`decode_difference`]: candidate-root
+/// evaluation (the `O(n·m)` dominant cost, paper §3.2) is fanned out over
+/// `threads` workers; deflation and classification stay serial.
+///
+/// Returns results *identical* to the serial decoder: the parallel stage
+/// only evaluates the full locator at each distinct candidate, and since
+/// deflation divides by `(x − r)`, the quotients' roots are a subset of the
+/// original locator's — a candidate evaluating nonzero up front can never
+/// become a root later, so prefiltering loses nothing.
+pub(crate) fn decode_difference_parallel<F: Field>(
+    power_sums: &[F],
+    count: u32,
+    log: &[u64],
+    workspace: &NewtonWorkspace<F>,
+    threads: usize,
+) -> Result<DecodedQuack, DecodeError> {
+    let mut coeffs = Vec::new();
+    decode_difference_inner(
+        power_sums,
+        count,
+        log,
+        workspace,
+        &mut coeffs,
+        threads.max(1),
+    )
+}
+
+/// Allocation-free variant of [`decode_difference`]: the Newton workspace
+/// and the coefficient buffer are checked out of `pool`, so steady-state
+/// decoding performs no heap allocation for the locator.
+pub(crate) fn decode_difference_pooled<F: Field>(
+    power_sums: &[F],
+    count: u32,
+    log: &[u64],
+    pool: &WorkspacePool<F>,
+    threads: usize,
+) -> Result<DecodedQuack, DecodeError> {
+    let mut guard = pool.get();
+    let (workspace, coeffs) = guard.split();
+    decode_difference_inner(power_sums, count, log, workspace, coeffs, threads.max(1))
+}
+
+/// The number of worker threads the parallel decode paths use by default.
+///
+/// With the `parallel` feature disabled this is always 1, giving the
+/// deterministic single-thread fallback.
+pub fn default_decode_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Evaluates the monic locator at every key, `flags[i] = (locator(keys[i])
+/// == 0)`, splitting the keys across `threads` scoped workers.
+#[cfg(feature = "parallel")]
+fn eval_candidates<F: Field>(coeffs: &[F], keys: &[u64], threads: usize) -> Vec<bool> {
+    let mut flags = vec![false; keys.len()];
+    let chunk = keys.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (ks, fs) in keys.chunks(chunk).zip(flags.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (k, flag) in ks.iter().zip(fs.iter_mut()) {
+                    *flag = eval_monic(coeffs, F::from_u64(*k)) == F::ZERO;
+                }
+            });
+        }
+    });
+    flags
+}
+
+fn decode_difference_inner<F: Field>(
+    power_sums: &[F],
+    count: u32,
+    log: &[u64],
+    workspace: &NewtonWorkspace<F>,
+    coeffs: &mut Vec<F>,
+    threads: usize,
+) -> Result<DecodedQuack, DecodeError> {
     let m = count as usize;
     let threshold = power_sums.len();
     if count as u64 > threshold as u64 {
@@ -184,7 +279,7 @@ pub(crate) fn decode_difference<F: Field>(
     }
 
     // Error-locator coefficients from the first m power sums.
-    let mut coeffs = workspace.coefficients(&power_sums[..m]);
+    workspace.coefficients_into(&power_sums[..m], coeffs);
 
     // Group log indices by field image, preserving first-appearance order.
     let mut groups: HashMap<u64, Vec<usize>> = HashMap::with_capacity(log.len());
@@ -198,20 +293,40 @@ pub(crate) fn decode_difference<F: Field>(
         entry.push(i);
     }
 
+    // Parallel prefilter: evaluate the *full* locator at every distinct
+    // candidate concurrently. Sound to skip nonzero candidates in the
+    // serial pass below because deflation only ever removes roots.
+    #[cfg(feature = "parallel")]
+    let root_flags = if threads > 1 && order.len().saturating_mul(m) >= PARALLEL_MIN_WORK {
+        Some(eval_candidates(coeffs, &order, threads))
+    } else {
+        None
+    };
+    #[cfg(not(feature = "parallel"))]
+    let root_flags: Option<Vec<bool>> = {
+        let _ = threads; // single-thread fallback: prefilter disabled
+        None
+    };
+
     let mut decoded = DecodedQuack {
         num_missing: m,
         ..DecodedQuack::default()
     };
 
-    for key in order {
+    for (pos, key) in order.into_iter().enumerate() {
         if coeffs.is_empty() {
             break; // all roots accounted for
+        }
+        if let Some(flags) = &root_flags {
+            if !flags[pos] {
+                continue; // not a root of the full locator ⇒ never a root
+            }
         }
         let x = F::from_u64(key);
         // Multiplicity of x as a locator root, dividing each instance out.
         let mut multiplicity = 0usize;
-        while !coeffs.is_empty() && eval_monic(&coeffs, x) == F::ZERO {
-            let rem = deflate_monic(&mut coeffs, x);
+        while !coeffs.is_empty() && eval_monic(coeffs, x) == F::ZERO {
+            let rem = deflate_monic(coeffs, x);
             debug_assert_eq!(rem, F::ZERO);
             multiplicity += 1;
         }

@@ -9,7 +9,7 @@
 //! `b` bits.
 
 use crate::decode::{self, decode_difference, DecodeError, DecodedQuack};
-use sidecar_galois::{Field, Fp16, Fp24, Fp32, Fp64, Monty64, NewtonWorkspace};
+use sidecar_galois::{Field, Fp16, Fp24, Fp32, Fp64, Monty64, NewtonWorkspace, WorkspacePool};
 
 /// A power-sum quACK over the field `F` (identifier width `F::BITS`).
 ///
@@ -113,6 +113,34 @@ impl<F: Field> PowerSumQuack<F> {
         self.count = self.count.wrapping_sub(1);
     }
 
+    /// Accumulates a batch of identifiers, equivalent to calling
+    /// [`insert`](Self::insert) for each in order but substantially faster
+    /// for bursts: identifiers are converted into the field (for 64-bit
+    /// identifiers, into the *Montgomery domain*) once per batch, and the
+    /// `t` running powers advance with a lane-batched strength-reduced
+    /// ladder whose multiplies are independent across identifiers, so the
+    /// CPU pipelines them instead of serializing on one `pow *= x` chain
+    /// (see `sidecar_galois::batch`).
+    pub fn insert_batch(&mut self, ids: &[u64]) {
+        let Some(&last) = ids.last() else { return };
+        F::fold_power_sums(&mut self.power_sums, ids, false);
+        // `as u32` truncation == repeated wrapping_add(1): both are mod 2^32.
+        self.count = self.count.wrapping_add(ids.len() as u32);
+        self.last_value = Some(F::from_u64(last).to_u64());
+    }
+
+    /// Removes a batch of identifiers, equivalent to calling
+    /// [`remove`](Self::remove) for each in order (including leaving
+    /// `last_value` untouched), with the same batching wins as
+    /// [`insert_batch`](Self::insert_batch).
+    pub fn remove_batch(&mut self, ids: &[u64]) {
+        if ids.is_empty() {
+            return;
+        }
+        F::fold_power_sums(&mut self.power_sums, ids, true);
+        self.count = self.count.wrapping_sub(ids.len() as u32);
+    }
+
     /// Returns the difference quACK whose power sums describe the multiset
     /// of identifiers accumulated by `self` but not by `received` — i.e.
     /// `S \ R` when `self` mirrors the sent multiset and `received` is the
@@ -166,6 +194,53 @@ impl<F: Field> PowerSumQuack<F> {
         workspace: &NewtonWorkspace<F>,
     ) -> Result<DecodedQuack, DecodeError> {
         decode_difference(&self.power_sums, self.count, log, workspace)
+    }
+
+    /// Like [`decode_with_log`](Self::decode_with_log) but fanning the
+    /// candidate-root evaluation — the `O(n·m)` dominant decode cost (paper
+    /// §3.2) — out over all available cores.
+    ///
+    /// The result is bit-identical to the serial decoder: the threads only
+    /// evaluate the full locator at each distinct candidate (deflation
+    /// divides by `(x − r)`, so quotient roots are a subset of the
+    /// original's — a candidate rejected up front can never become a root),
+    /// and the deflation/classification pass stays serial and ordered.
+    /// With the `parallel` feature disabled (or on one-core machines) this
+    /// *is* the serial decoder.
+    pub fn decode_with_log_parallel(&self, log: &[u64]) -> Result<DecodedQuack, DecodeError> {
+        let ws = NewtonWorkspace::new(self.threshold().min(self.count as usize));
+        decode::decode_difference_parallel(
+            &self.power_sums,
+            self.count,
+            log,
+            &ws,
+            decode::default_decode_threads(),
+        )
+    }
+
+    /// Like [`decode_with_log_parallel`](Self::decode_with_log_parallel)
+    /// but drawing the Newton workspace *and* the locator coefficient
+    /// buffer from a shared [`WorkspacePool`], so steady-state decoding
+    /// allocates nothing. This is the hot-path decoder: batch consumers
+    /// (and the bench harness) decode thousands of differences against one
+    /// pool sized for the negotiated threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's `max_m` is smaller than
+    /// `min(self.threshold(), self.count())`.
+    pub fn decode_with_log_pooled(
+        &self,
+        log: &[u64],
+        pool: &WorkspacePool<F>,
+    ) -> Result<DecodedQuack, DecodeError> {
+        decode::decode_difference_pooled(
+            &self.power_sums,
+            self.count,
+            log,
+            pool,
+            decode::default_decode_threads(),
+        )
     }
 
     /// Like [`decode_with_log`](Self::decode_with_log) but finding the
@@ -616,6 +691,64 @@ mod tests {
         // The logged decoders flag the same corruption via residual().
         let decoded = diff.decode_with_log(&[7, 9]).unwrap();
         assert_eq!(decoded.residual(), 2);
+    }
+
+    #[test]
+    fn insert_batch_matches_repeated_insert() {
+        fn check<F: Field>() {
+            let ids: Vec<u64> = (0..100u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let mut scalar = PowerSumQuack::<F>::new(20);
+            let mut batched = PowerSumQuack::<F>::new(20);
+            for &id in &ids {
+                scalar.insert(id);
+            }
+            batched.insert_batch(&ids);
+            assert_eq!(scalar, batched);
+            for &id in &ids[..40] {
+                scalar.remove(id);
+            }
+            batched.remove_batch(&ids[..40]);
+            assert_eq!(scalar, batched);
+            // Empty batches are no-ops.
+            batched.insert_batch(&[]);
+            batched.remove_batch(&[]);
+            assert_eq!(scalar, batched);
+        }
+        check::<Fp16>();
+        check::<Fp24>();
+        check::<Fp32>();
+        check::<Fp64>();
+        check::<Monty64>();
+    }
+
+    #[test]
+    fn parallel_and_pooled_decode_match_serial() {
+        // Log large enough (n·m = 2000·20) to cross the threading cutoff.
+        let sent: Vec<u64> = (0..2000u64).map(|i| i * 2_654_435_761 + 17).collect();
+        let mut sender = Quack64::new(20);
+        let mut receiver = Quack64::new(20);
+        sender.insert_batch(&sent);
+        for (i, &id) in sent.iter().enumerate() {
+            if i % 157 != 3 {
+                receiver.insert(id);
+            }
+        }
+        let diff = sender.difference(&receiver);
+        let serial = diff.decode_with_log(&sent).unwrap();
+        assert!(!serial.missing().is_empty());
+        assert_eq!(diff.decode_with_log_parallel(&sent).unwrap(), serial);
+        let pool = WorkspacePool::new(20);
+        assert_eq!(diff.decode_with_log_pooled(&sent, &pool).unwrap(), serial);
+        assert_eq!(pool.idle_len(), 1);
+        // Error paths agree too.
+        let mut over = Quack64::new(2);
+        over.insert_batch(&sent[..5]);
+        assert_eq!(
+            over.decode_with_log_parallel(&sent[..5]).unwrap_err(),
+            over.decode_with_log(&sent[..5]).unwrap_err()
+        );
     }
 
     #[test]

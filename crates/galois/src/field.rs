@@ -106,6 +106,20 @@ pub trait Field:
     fn double(self) -> Self {
         self + self
     }
+
+    /// Folds a batch of raw identifiers into running power sums:
+    /// `sums[i] ± Σ_j ids[j]^(i+1)` (`+` when `negate` is false, `-` when
+    /// true).
+    ///
+    /// The default implementation is the lane-batched ladder in
+    /// [`crate::batch`]; fields with a faster internal domain (e.g.
+    /// [`crate::Fp64`], which routes through Montgomery form) override it.
+    /// Equivalent to folding each identifier individually — the batched
+    /// paths only restructure the arithmetic.
+    #[inline]
+    fn fold_power_sums(sums: &mut [Self], ids: &[u64], negate: bool) {
+        crate::batch::fold_power_sums_generic(sums, ids, negate);
+    }
 }
 
 /// Inverts a slice of field elements in place using Montgomery's batch

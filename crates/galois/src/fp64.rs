@@ -69,6 +69,15 @@ impl Field for Fp64 {
     fn to_u64(self) -> u64 {
         self.0
     }
+
+    /// Batched folds route through [`crate::Monty64`] (same modulus):
+    /// identifiers enter the Montgomery domain once, every rung multiply is
+    /// a `REDC` instead of a `u128` remainder, and only the per-rung totals
+    /// convert back.
+    #[inline]
+    fn fold_power_sums(sums: &mut [Self], ids: &[u64], negate: bool) {
+        crate::batch::fold_via::<Fp64, crate::Monty64>(sums, ids, negate);
+    }
 }
 
 #[cfg(test)]

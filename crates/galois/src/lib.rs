@@ -18,6 +18,9 @@
 //! * [`Monty64`] — a Montgomery-form alternative to [`Fp64`] that avoids the
 //!   `u128` modulo in the hot loop (an ablation target; see the `field_ops`
 //!   bench).
+//! * [`batch`] — lane-batched power-sum accumulation and strength-reduced
+//!   power ladders: the per-packet hot path behind
+//!   [`Field::fold_power_sums`].
 //! * [`poly`] — Horner evaluation, synthetic deflation, and dense polynomial
 //!   helpers used by the decoder and its tests.
 //! * [`newton`] — Newton's identities: power sums → elementary symmetric
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod factor;
 pub mod field;
 pub mod newton;
@@ -43,6 +47,7 @@ mod fp32;
 mod fp64;
 mod monty;
 
+pub use batch::{PowerTable, LANES};
 pub use factor::find_roots;
 pub use field::Field;
 pub use fp16::{Fp16, Fp16Table};
@@ -50,7 +55,7 @@ pub use fp24::Fp24;
 pub use fp32::Fp32;
 pub use fp64::Fp64;
 pub use monty::Monty64;
-pub use newton::{power_sums_to_coefficients, NewtonWorkspace};
+pub use newton::{power_sums_to_coefficients, NewtonWorkspace, PooledWorkspace, WorkspacePool};
 pub use poly::Poly;
 
 /// The largest prime representable in 16 bits: `2^16 - 15`.

@@ -28,16 +28,27 @@
 
 use crate::config::{QuackFrequency, SidecarConfig};
 use crate::messages::SidecarMessage;
-use sidecar_galois::{Field, NewtonWorkspace};
+use sidecar_galois::{Field, NewtonWorkspace, LANES};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_quack::{DecodeError, PowerSumQuack};
 use std::collections::VecDeque;
 
 /// The quACK-producing side (receiver of the underlying packets).
+///
+/// Observed identifiers are buffered in a small burst buffer and folded
+/// into the power sums [`LANES`] at a time via
+/// `PowerSumQuack::insert_batch`, so back-to-back forwarded packets (the
+/// netsim proxies call [`observe`](Self::observe) once per data packet)
+/// amortize field setup and hit the lane-batched hot path. The buffer is
+/// transparent: [`count`](Self::count) includes buffered identifiers and
+/// [`emit`](Self::emit)/[`reset`](Self::reset) flush it, so no observed
+/// packet is ever missing from an emitted quACK.
 #[derive(Clone, Debug)]
 pub struct QuackProducer<F: Field> {
     cfg: SidecarConfig,
     quack: PowerSumQuack<F>,
+    /// Identifiers observed but not yet folded into `quack` (≤ [`LANES`]).
+    burst: Vec<u64>,
     epoch: u32,
     /// Packets observed since the last emission (for `EveryPackets`).
     since_emit: u32,
@@ -61,6 +72,7 @@ impl<F: Field> QuackProducer<F> {
         };
         QuackProducer {
             quack: PowerSumQuack::new(cfg.threshold),
+            burst: Vec::with_capacity(LANES),
             cfg,
             epoch: 0,
             since_emit: 0,
@@ -74,16 +86,44 @@ impl<F: Field> QuackProducer<F> {
         self.epoch
     }
 
-    /// Total identifiers observed in this epoch.
+    /// Total identifiers observed in this epoch (including any still in the
+    /// burst buffer).
     pub fn count(&self) -> u32 {
-        self.quack.count()
+        self.quack.count().wrapping_add(self.burst.len() as u32)
     }
 
-    /// Folds one observed identifier into the sums; returns `true` if the
-    /// packet-count schedule says a quACK is due now.
+    /// Folds the burst buffer into the power sums.
+    fn flush(&mut self) {
+        if !self.burst.is_empty() {
+            self.quack.insert_batch(&self.burst);
+            self.burst.clear();
+        }
+    }
+
+    /// Observes one identifier; returns `true` if the packet-count schedule
+    /// says a quACK is due now.
+    ///
+    /// The identifier lands in the burst buffer and is folded into the sums
+    /// in a lane-batched chunk once [`LANES`] observations accumulate (or
+    /// at the next [`emit`](Self::emit), whichever comes first).
     pub fn observe(&mut self, id: u64) -> bool {
-        self.quack.insert(id);
+        self.burst.push(id);
+        if self.burst.len() >= LANES {
+            self.flush();
+        }
         self.since_emit += 1;
+        matches!(self.cfg.frequency, QuackFrequency::EveryPackets(n) if self.since_emit >= n)
+    }
+
+    /// Observes a burst of identifiers at once (e.g. a GRO/pacing-batch of
+    /// forwarded packets); returns `true` if the packet-count schedule says
+    /// a quACK is due now. Equivalent to calling [`observe`](Self::observe)
+    /// per identifier, with one batched fold instead of per-packet buffer
+    /// management.
+    pub fn observe_batch(&mut self, ids: &[u64]) -> bool {
+        self.flush();
+        self.quack.insert_batch(ids);
+        self.since_emit = self.since_emit.saturating_add(ids.len() as u32);
         matches!(self.cfg.frequency, QuackFrequency::EveryPackets(n) if self.since_emit >= n)
     }
 
@@ -100,8 +140,10 @@ impl<F: Field> QuackProducer<F> {
         }
     }
 
-    /// Emits the current quACK as a sidecar message.
+    /// Emits the current quACK as a sidecar message (flushing the burst
+    /// buffer first, so the quACK covers every observed packet).
     pub fn emit(&mut self) -> SidecarMessage {
+        self.flush();
         self.since_emit = 0;
         self.emitted += 1;
         SidecarMessage::Quack {
@@ -110,10 +152,11 @@ impl<F: Field> QuackProducer<F> {
         }
     }
 
-    /// Resets to a new epoch (threshold exceeded): sums and counters start
-    /// over.
+    /// Resets to a new epoch (threshold exceeded): sums, counters, and the
+    /// burst buffer start over.
     pub fn reset(&mut self, epoch: u32) {
         self.quack = PowerSumQuack::new(self.cfg.threshold);
+        self.burst.clear();
         self.epoch = epoch;
         self.since_emit = 0;
     }
@@ -286,6 +329,29 @@ impl<F: Field> QuackConsumer<F> {
             limbo_deadline: None,
             ambiguous: false,
         });
+    }
+
+    /// Records a burst of sent packets `(id, tag)` sharing one send time,
+    /// equivalent to calling [`record_sent`](Self::record_sent) per packet
+    /// but folding the mirror sums through the lane-batched hot path.
+    pub fn record_sent_batch(&mut self, packets: &[(u64, u64)], now: SimTime) {
+        let mut ids = [0u64; LANES];
+        for chunk in packets.chunks(LANES) {
+            for (slot, &(id, _)) in ids.iter_mut().zip(chunk) {
+                *slot = id;
+            }
+            self.mirror.insert_batch(&ids[..chunk.len()]);
+        }
+        self.log.reserve(packets.len());
+        for &(id, tag) in packets {
+            self.log.push_back(LogEntry {
+                id,
+                tag,
+                sent_at: now,
+                limbo_deadline: None,
+                ambiguous: false,
+            });
+        }
     }
 
     /// Masks a count difference to the configured `c` bits.
@@ -836,6 +902,67 @@ mod tests {
         // difference is clean (no phantom missing from the collision).
         assert_eq!(r.received.len(), 5);
         assert_eq!(r.missing_estimate, 0);
+    }
+
+    #[test]
+    fn producer_burst_buffer_is_transparent() {
+        // Fewer than LANES observations: the ids sit in the burst buffer,
+        // but count() sees them and emit() flushes them into the quACK.
+        let (mut prod, mut cons) = pair();
+        for i in 0..(LANES as u64 - 1) {
+            let id = i * 11 + 3;
+            cons.record_sent(id, i, t(0));
+            prod.observe(id);
+        }
+        assert_eq!(prod.count(), LANES as u32 - 1);
+        let (epoch, bytes) = quack_bytes(prod.emit());
+        let report = cons.process_quack(t(100), epoch, &bytes).unwrap();
+        assert_eq!(report.received.len(), LANES - 1);
+        assert_eq!(report.missing_estimate, 0);
+        // Reset drops any buffered ids along with the sums.
+        prod.observe(999);
+        prod.reset(1);
+        assert_eq!(prod.count(), 0);
+    }
+
+    #[test]
+    fn observe_batch_matches_observe_loop() {
+        let ids: Vec<u64> = (0..100u64).map(|i| i * 7919 + 1).collect();
+        let mut one_by_one: QuackProducer<Fp32> = QuackProducer::new(SidecarConfig {
+            frequency: QuackFrequency::EveryPackets(100),
+            ..cfg()
+        });
+        let mut batched: QuackProducer<Fp32> = QuackProducer::new(SidecarConfig {
+            frequency: QuackFrequency::EveryPackets(100),
+            ..cfg()
+        });
+        let mut due = false;
+        for &id in &ids {
+            due = one_by_one.observe(id);
+        }
+        assert!(due);
+        assert!(batched.observe_batch(&ids));
+        assert_eq!(one_by_one.count(), batched.count());
+        let (_, a) = quack_bytes(one_by_one.emit());
+        let (_, b) = quack_bytes(batched.emit());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_sent_batch_matches_loop() {
+        let (mut prod, mut cons) = pair();
+        let packets: Vec<(u64, u64)> = (0..80u64).map(|i| (i * 13 + 7, i)).collect();
+        cons.record_sent_batch(&packets, t(0));
+        assert_eq!(cons.log_len(), 80);
+        for &(id, _) in &packets {
+            if id != packets[17].0 {
+                prod.observe(id);
+            }
+        }
+        let (epoch, bytes) = quack_bytes(prod.emit());
+        let report = cons.process_quack(t(100), epoch, &bytes).unwrap();
+        assert_eq!(report.received.len(), 79);
+        assert_eq!(report.newly_missing, vec![packets[17]]);
     }
 
     #[test]
