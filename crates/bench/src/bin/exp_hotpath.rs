@@ -266,4 +266,5 @@ fn main() {
     );
 
     report.write_default().expect("write BENCH_quack.json");
+    sidecar_bench::write_metrics_out("quack");
 }

@@ -80,4 +80,5 @@ fn main() {
     println!("paper reference point: t = 20, b = 32 → 106 us total, ≈100 ns/packet");
     report.push("growth_t10_to_t50", &[("b", "32")], last / first, "x");
     report.write_default().expect("write BENCH_fig5.json");
+    sidecar_bench::write_metrics_out("fig5");
 }

@@ -72,4 +72,5 @@ fn main() {
         sidecar_bench::fmt_duration(full),
     );
     report.write_default().expect("write BENCH_fig6.json");
+    sidecar_bench::write_metrics_out("fig6");
 }

@@ -80,4 +80,5 @@ fn main() {
         "%",
     );
     report.write_default().expect("write BENCH_headline.json");
+    sidecar_bench::write_metrics_out("headline");
 }

@@ -10,6 +10,7 @@
 //!   --interval MS      quACK interval, CCD only       (default 30)
 //!   --ack-every N      client ACK thinning, ackred    (default 32)
 //!   --baseline         also run the no-sidecar baseline
+//!   --metrics-out      dump the observability registry as a bench report
 //! ```
 //!
 //! Examples:
@@ -83,6 +84,8 @@ fn parse_args() -> Options {
                 opts.ack_every = value("--ack-every").parse().unwrap_or_else(|_| usage())
             }
             "--baseline" => opts.baseline = true,
+            // Handled by sidecar_bench::write_metrics_out at exit.
+            "--metrics-out" => {}
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -159,6 +162,8 @@ fn average(reports: Vec<ScenarioReport>) -> ScenarioReport {
         proxy_retransmissions: reports.iter().map(|r| r.proxy_retransmissions).sum::<u64>() / k,
         degradations: reports.iter().map(|r| r.degradations).sum(),
         recoveries: reports.iter().map(|r| r.recoveries).sum(),
+        // An averaged report has no single world's registry behind it.
+        metrics: Default::default(),
     }
 }
 
@@ -271,4 +276,5 @@ fn main() {
         }
     }
     report.write_default().expect("write BENCH_simulate.json");
+    sidecar_bench::write_metrics_out("simulate");
 }

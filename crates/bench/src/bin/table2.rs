@@ -131,6 +131,7 @@ fn main() {
         "us",
     );
     report.write_default().expect("write BENCH_table2.json");
+    sidecar_bench::write_metrics_out("table2");
 
     let mut table = Table::new(&[
         "scheme",

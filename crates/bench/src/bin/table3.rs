@@ -73,4 +73,5 @@ fn main() {
         collision_probability(32, N) * 100.0
     );
     report.write_default().expect("write BENCH_table3.json");
+    sidecar_bench::write_metrics_out("table3");
 }

@@ -100,6 +100,45 @@ pub fn calibration_ops_per_sec() -> f64 {
     ops_per_sec(d, CHAIN)
 }
 
+/// Handles the `--metrics-out` flag every bench binary accepts: when the
+/// flag is present in the process arguments, dumps the process-global
+/// observability registry (accumulated across every simulated world and
+/// decode call of the run) as a `BENCH_<name>_metrics.json` report next to
+/// the bench's own `BENCH_<name>.json` (both honor `$BENCH_OUT_DIR`).
+///
+/// Counters land with unit `count`, gauges with `value`, and histograms as
+/// one metric per bucket with an `le` param (`inf` for the overflow bucket)
+/// plus `<name>.count` / `<name>.sum` totals — all informational; the perf
+/// gate never reads them. Call it after the bench report is written; it is
+/// a no-op without the flag, and with the obs feature compiled out the
+/// global registry is simply empty.
+pub fn write_metrics_out(name: &str) {
+    if !std::env::args().any(|a| a == "--metrics-out") {
+        return;
+    }
+    let snap = sidecar_obs::global().snapshot();
+    let mut report = BenchReport::new(format!("{name}_metrics"));
+    for (counter, value) in &snap.counters {
+        report.push(counter, &[], *value as f64, "count");
+    }
+    for (gauge, value) in &snap.gauges {
+        if value.is_finite() {
+            report.push(gauge, &[], *value, "value");
+        }
+    }
+    for h in &snap.histograms {
+        for (i, &bucket) in h.buckets.iter().enumerate() {
+            let le = h.bounds.get(i).map_or("inf".into(), u64::to_string);
+            report.push(&h.name, &[("le", &le)], bucket as f64, "count");
+        }
+        report.push(&format!("{}.count", h.name), &[], h.count as f64, "count");
+        report.push(&format!("{}.sum", h.name), &[], h.sum as f64, "count");
+    }
+    report
+        .write_default()
+        .expect("write metrics-out bench report");
+}
+
 /// Formats a duration the way the paper's tables do (ns/us/ms autoscale).
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();

@@ -84,7 +84,9 @@ impl BenchReport {
         }
     }
 
-    /// Appends one metric.
+    /// Appends one metric. Params are stored key-sorted so an in-memory
+    /// report compares equal to its serialized-and-parsed self (the JSON
+    /// object form cannot preserve insertion order).
     ///
     /// # Panics
     ///
@@ -92,12 +94,14 @@ impl BenchReport {
     /// itself is broken, and it must not poison the committed baseline.
     pub fn push(&mut self, name: &str, params: &[(&str, &str)], value: f64, unit: &str) {
         assert!(value.is_finite(), "non-finite metric {name}: {value}");
+        let mut params: Vec<(String, String)> = params
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        params.sort();
         self.metrics.push(Metric {
             name: name.to_string(),
-            params: params
-                .iter()
-                .map(|&(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
+            params,
             value,
             unit: unit.to_string(),
         });

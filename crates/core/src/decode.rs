@@ -162,6 +162,64 @@ impl DecodedQuack {
     }
 }
 
+/// Observability hooks for the decode paths (feature `obs`).
+///
+/// Decoding has no world context in reach (it runs inside
+/// `QuackConsumer::process_quack`), so it records into
+/// [`sidecar_obs::global`]. Counters are monotone; tests on the global
+/// registry must assert `>=` deltas because the test harness runs decodes
+/// concurrently. With `obs` off every hook is an empty inline function —
+/// the same zero-cost idiom as the `parallel` feature gate below.
+#[cfg(feature = "obs")]
+mod hooks {
+    use super::DecodeError;
+
+    pub(super) fn attempt() {
+        sidecar_obs::global().inc("decode.attempts");
+    }
+
+    pub(super) fn outcome<T>(result: &Result<T, DecodeError>) {
+        sidecar_obs::global().inc(match result {
+            Ok(_) => "decode.ok",
+            Err(DecodeError::ThresholdExceeded { .. }) => "decode.err.threshold",
+            Err(DecodeError::CountInconsistent) => "decode.err.count_inconsistent",
+        });
+    }
+
+    /// The `O(m² log p)` factoring decoder was chosen over candidate
+    /// plug-in.
+    pub(super) fn factor_fallback() {
+        sidecar_obs::global().inc("decode.factor_fallback");
+    }
+
+    /// Whether a pooled decode found an idle workspace (hit) or had to
+    /// allocate a fresh one (miss).
+    pub(super) fn pool_checkout(hit: bool) {
+        sidecar_obs::global().inc(if hit {
+            "decode.pool.hit"
+        } else {
+            "decode.pool.miss"
+        });
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod hooks {
+    use super::DecodeError;
+
+    #[inline(always)]
+    pub(super) fn attempt() {}
+
+    #[inline(always)]
+    pub(super) fn outcome<T>(_result: &Result<T, DecodeError>) {}
+
+    #[inline(always)]
+    pub(super) fn factor_fallback() {}
+
+    #[inline(always)]
+    pub(super) fn pool_checkout(_hit: bool) {}
+}
+
 /// Core decode routine shared by [`crate::PowerSumQuack::decode_with_log`].
 ///
 /// `power_sums` and `count` describe the *difference* quACK; `log` is the
@@ -172,8 +230,11 @@ pub(crate) fn decode_difference<F: Field>(
     log: &[u64],
     workspace: &NewtonWorkspace<F>,
 ) -> Result<DecodedQuack, DecodeError> {
+    hooks::attempt();
     let mut coeffs = Vec::new();
-    decode_difference_inner(power_sums, count, log, workspace, &mut coeffs, 1)
+    let result = decode_difference_inner(power_sums, count, log, workspace, &mut coeffs, 1);
+    hooks::outcome(&result);
+    result
 }
 
 /// Multi-threaded variant of [`decode_difference`]: candidate-root
@@ -192,15 +253,18 @@ pub(crate) fn decode_difference_parallel<F: Field>(
     workspace: &NewtonWorkspace<F>,
     threads: usize,
 ) -> Result<DecodedQuack, DecodeError> {
+    hooks::attempt();
     let mut coeffs = Vec::new();
-    decode_difference_inner(
+    let result = decode_difference_inner(
         power_sums,
         count,
         log,
         workspace,
         &mut coeffs,
         threads.max(1),
-    )
+    );
+    hooks::outcome(&result);
+    result
 }
 
 /// Allocation-free variant of [`decode_difference`]: the Newton workspace
@@ -213,9 +277,13 @@ pub(crate) fn decode_difference_pooled<F: Field>(
     pool: &WorkspacePool<F>,
     threads: usize,
 ) -> Result<DecodedQuack, DecodeError> {
+    hooks::attempt();
+    hooks::pool_checkout(pool.idle_len() > 0);
     let mut guard = pool.get();
     let (workspace, coeffs) = guard.split();
-    decode_difference_inner(power_sums, count, log, workspace, coeffs, threads.max(1))
+    let result = decode_difference_inner(power_sums, count, log, workspace, coeffs, threads.max(1));
+    hooks::outcome(&result);
+    result
 }
 
 /// The number of worker threads the parallel decode paths use by default.
@@ -368,6 +436,19 @@ fn decode_difference_inner<F: Field>(
 /// (paper §4.3: "for large n, we can use the decoding algorithm that
 /// depends only on t").
 pub(crate) fn decode_difference_by_roots<F: Field>(
+    power_sums: &[F],
+    count: u32,
+    log: &[u64],
+    workspace: &NewtonWorkspace<F>,
+) -> Result<DecodedQuack, DecodeError> {
+    hooks::attempt();
+    hooks::factor_fallback();
+    let result = decode_by_roots_inner(power_sums, count, log, workspace);
+    hooks::outcome(&result);
+    result
+}
+
+fn decode_by_roots_inner<F: Field>(
     power_sums: &[F],
     count: u32,
     log: &[u64],

@@ -1,10 +1,97 @@
 //! Fuzz-style property tests for the quACK wire codec: decoding must be
 //! total (no panics) over arbitrary byte soup — quACKs arrive over an
 //! unauthenticated datagram channel, so any buffer can show up.
+//!
+//! The same suite round-trips the observability layer's two stable text
+//! encodings (metrics snapshots and trace events), since those are promised
+//! parseable in `DESIGN.md` and pinned byte-for-byte by the golden-trace
+//! fixtures.
 
 use proptest::prelude::*;
 use sidecar_galois::{Fp16, Fp32};
+use sidecar_obs::{
+    ControlKind, DropCause, Event, EventTrace, MetricsRegistry, MetricsSnapshot, QuackErrorKind,
+    SessionState,
+};
 use sidecar_quack::{PowerSumQuack, WireError, WireFormat};
+
+/// Fixed pools of metric names: registry keys are `&'static str` by design,
+/// so arbitrary snapshots draw names from these rather than random strings.
+const COUNTER_NAMES: [&str; 5] = [
+    "quack.observed",
+    "quack.decoded",
+    "netsim.drop.loss",
+    "sidecar.sent.quack",
+    "decode.attempts",
+];
+const GAUGE_NAMES: [&str; 3] = ["rtt.latest", "cwnd.current", "fill.ratio"];
+const HIST_NAMES: [&str; 2] = ["quack.batch_fill", "decode.missing"];
+const HIST_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
+
+/// An arbitrary trace event, one arm per variant.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let cause = prop_oneof![
+        Just(DropCause::Loss),
+        Just(DropCause::Queue),
+        Just(DropCause::NodeDown),
+        Just(DropCause::Blackout),
+        Just(DropCause::Injected),
+    ];
+    let control = prop_oneof![
+        Just(ControlKind::Duplicate),
+        Just(ControlKind::Delay),
+        Just(ControlKind::Corrupt),
+    ];
+    let state = || {
+        prop_oneof![
+            Just(SessionState::Connecting),
+            Just(SessionState::Active),
+            Just(SessionState::Degraded),
+        ]
+    };
+    let quack_err = prop_oneof![
+        Just(QuackErrorKind::Threshold),
+        Just(QuackErrorKind::WrongEpoch),
+        Just(QuackErrorKind::Stale),
+        Just(QuackErrorKind::Malformed),
+        Just(QuackErrorKind::CountInconsistent),
+    ];
+    let node = 0u32..64;
+    prop_oneof![
+        (node.clone(), 0u32..4, cause).prop_map(|(node, iface, cause)| Event::LinkDrop {
+            node,
+            iface,
+            cause
+        }),
+        (node.clone(), any::<bool>()).prop_map(|(node, up)| Event::Outage { node, up }),
+        (node.clone(), control).prop_map(|(node, kind)| Event::ControlFault { node, kind }),
+        node.clone().prop_map(|node| Event::Restart { node }),
+        (node.clone(), any::<bool>())
+            .prop_map(|(node, accepted)| Event::Handshake { node, accepted }),
+        (node.clone(), state(), state()).prop_map(|(node, from, to)| Event::Transition {
+            node,
+            from,
+            to
+        }),
+        (node.clone(), 0u32..100, 0u32..10_000, 0u32..200).prop_map(
+            |(node, epoch, count, bytes)| Event::QuackSent {
+                node,
+                epoch,
+                count,
+                bytes
+            }
+        ),
+        (node.clone(), 0u32..1_000, 0u32..100).prop_map(|(node, received, missing)| {
+            Event::QuackDecoded {
+                node,
+                received,
+                missing,
+            }
+        }),
+        (node.clone(), quack_err).prop_map(|(node, kind)| Event::QuackError { node, kind }),
+        (node, 0u32..33).prop_map(|(node, fill)| Event::BatchFill { node, fill }),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -84,5 +171,56 @@ proptest! {
             q16.power_sums().collect::<Vec<_>>()
         );
         prop_assert_eq!(back16.count(), q16.count());
+    }
+
+    /// `MetricsSnapshot::parse` inverts `encode` for any registry contents:
+    /// arbitrary counter/gauge/histogram activity survives a text round-trip
+    /// bit-for-bit (gauges use `{:?}` shortest-round-trip formatting).
+    #[test]
+    fn metrics_snapshot_encode_parse_roundtrip(
+        counts in proptest::collection::vec((0usize..5, 1u64..10_000), 0..16),
+        gauges in proptest::collection::vec((0usize..3, 0u64..(1u64 << 41)), 0..8),
+        observations in proptest::collection::vec((0usize..2, 0u64..64), 0..24),
+    ) {
+        let reg = MetricsRegistry::new();
+        for &(name, n) in &counts {
+            reg.add(COUNTER_NAMES[name], n);
+        }
+        for &(name, raw) in &gauges {
+            // Finite, dyadic, signed values; NaN would (correctly) break
+            // PartialEq, and that is the encoding's documented exclusion.
+            reg.gauge_set(GAUGE_NAMES[name], (raw as i64 - (1i64 << 40)) as f64 / 8.0);
+        }
+        for &(name, value) in &observations {
+            reg.observe(HIST_NAMES[name], HIST_BOUNDS, value);
+        }
+        let snap = reg.snapshot();
+        let text = snap.encode();
+        let back = MetricsSnapshot::parse(&text)
+            .map_err(|e| TestCaseError::Fail(format!("{e} in:\n{text}")))?;
+        prop_assert_eq!(back, snap);
+    }
+
+    /// `Event::parse` inverts `Display` for every variant and field value,
+    /// and a rendered trace line parses back with its timestamp intact.
+    #[test]
+    fn event_display_parse_roundtrip(
+        events in proptest::collection::vec((0u64..u64::MAX / 2, arb_event()), 1..32),
+    ) {
+        let mut trace = EventTrace::with_capacity(64);
+        for &(at, ev) in &events {
+            let text = ev.to_string();
+            let back = Event::parse(&text)
+                .map_err(|e| TestCaseError::Fail(format!("{e} from {text:?}")))?;
+            prop_assert_eq!(back, ev);
+            prop_assert!(text.starts_with(ev.kind()));
+            trace.record(at, ev);
+        }
+        let rendered = trace.render();
+        let parsed: Result<Vec<(u64, Event)>, String> =
+            rendered.lines().map(EventTrace::parse_line).collect();
+        let parsed = parsed
+            .map_err(|e| TestCaseError::Fail(format!("{e} in:\n{rendered}")))?;
+        prop_assert_eq!(parsed, events);
     }
 }

@@ -50,6 +50,7 @@ pub mod fault;
 pub mod forward;
 pub mod link;
 pub mod node;
+pub mod obs;
 pub mod packet;
 pub mod rng;
 pub mod router;
@@ -62,6 +63,7 @@ pub use fault::FaultPlan;
 pub use forward::Forwarder;
 pub use link::{Link, LinkConfig, LinkStats, LossModel};
 pub use node::{Context, IfaceId, LinkId, Node, NodeId};
+pub use obs::WorldObs;
 pub use packet::{AckInfo, FlowId, Packet, PacketKind, Payload};
 pub use rng::SimRng;
 pub use router::FlowRouter;

@@ -53,10 +53,14 @@ pub struct Context<'a> {
     node: NodeId,
     rng: &'a mut SimRng,
     actions: &'a mut Vec<Action>,
+    #[cfg(feature = "obs")]
+    obs: Option<&'a mut crate::obs::WorldObs>,
 }
 
 impl<'a> Context<'a> {
-    /// Builds a context; used by the world and by node unit tests.
+    /// Builds a context; used by node unit tests (and by the world when the
+    /// `obs` feature is off). Carries no observability handle — obs calls
+    /// through such a context are no-ops.
     pub fn new(
         now: SimTime,
         node: NodeId,
@@ -68,6 +72,68 @@ impl<'a> Context<'a> {
             node,
             rng,
             actions,
+            #[cfg(feature = "obs")]
+            obs: None,
+        }
+    }
+
+    /// Builds a context carrying the world's observability handle.
+    #[cfg(feature = "obs")]
+    pub fn with_obs(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<Action>,
+        obs: Option<&'a mut crate::obs::WorldObs>,
+    ) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            actions,
+            obs,
+        }
+    }
+
+    /// The world's observability handle, when this callback runs inside a
+    /// world built with the `obs` feature ([`Context::new`] contexts return
+    /// `None`).
+    #[cfg(feature = "obs")]
+    pub fn obs(&mut self) -> Option<&mut crate::obs::WorldObs> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Adds one to a world-scoped counter (no-op without a world handle).
+    #[cfg(feature = "obs")]
+    pub fn obs_inc(&mut self, name: &'static str) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.metrics.inc(name);
+        }
+    }
+
+    /// Adds `n` to a world-scoped counter (no-op without a world handle).
+    #[cfg(feature = "obs")]
+    pub fn obs_add(&mut self, name: &'static str, n: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.metrics.add(name, n);
+        }
+    }
+
+    /// Records `value` into a world-scoped histogram (no-op without a world
+    /// handle).
+    #[cfg(feature = "obs")]
+    pub fn obs_observe(&mut self, name: &'static str, bounds: &[u64], value: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// Appends `event` to the world's trace, stamped with the current sim
+    /// time (no-op without a world handle).
+    #[cfg(feature = "obs")]
+    pub fn obs_event(&mut self, event: sidecar_obs::Event) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.trace.record(self.now.as_nanos(), event);
         }
     }
 

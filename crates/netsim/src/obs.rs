@@ -1,0 +1,50 @@
+//! Per-world observability handle (feature `obs`).
+//!
+//! Every [`World`](crate::World) owns one [`WorldObs`]: a *fresh* metrics
+//! registry plus an event-trace ring, both scoped to that world. Scoping per
+//! world (rather than using `sidecar_obs::global()`) keeps metric-asserting
+//! tests exactly reproducible even though the Rust test harness runs tests
+//! on concurrent threads, and it means a scenario's snapshot contains only
+//! that scenario's events.
+//!
+//! With the `obs` feature disabled, [`WorldObs`] is a zero-sized unit type
+//! and a compile-time assertion pins that — the obs-off build carries no
+//! registry state and no instrumentation code, which is how the PR-2 perf
+//! gate can vouch for zero hot-path cost.
+
+/// The observability state attached to one world.
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+pub struct WorldObs {
+    /// Metrics registry scoped to this world.
+    pub metrics: sidecar_obs::MetricsRegistry,
+    /// Event-trace ring scoped to this world (sim-time timestamps only).
+    pub trace: sidecar_obs::EventTrace,
+}
+
+#[cfg(feature = "obs")]
+impl WorldObs {
+    /// A fresh registry and a default-capacity trace.
+    pub fn new() -> Self {
+        WorldObs::default()
+    }
+}
+
+/// Zero-sized stand-in when the `obs` feature is compiled out.
+#[cfg(not(feature = "obs"))]
+#[derive(Copy, Clone, Debug, Default)]
+pub struct WorldObs;
+
+#[cfg(not(feature = "obs"))]
+impl WorldObs {
+    /// The unit value.
+    pub fn new() -> Self {
+        WorldObs
+    }
+}
+
+// Compile-time proof that disabling `obs` leaves no instrumentation state
+// behind: the world's observability handle must vanish entirely. CI's
+// `--no-default-features` leg compiles this assertion.
+#[cfg(not(feature = "obs"))]
+const _: () = assert!(core::mem::size_of::<WorldObs>() == 0);

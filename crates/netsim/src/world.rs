@@ -9,10 +9,13 @@
 use crate::fault::{ControlAction, FaultPlan, LinkTarget};
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
 use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId};
+use crate::obs::WorldObs;
 use crate::packet::{Packet, Payload};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent};
+#[cfg(feature = "obs")]
+use sidecar_obs::{ControlKind as ObsControlKind, DropCause as ObsDropCause, Event as ObsEvent};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -114,6 +117,10 @@ pub struct World {
     trace: Trace,
     node_down: Vec<bool>,
     faults: Option<ActiveFaults>,
+    // Zero-sized when the `obs` feature is off (see crate::obs), hence never
+    // read in that configuration.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    obs: WorldObs,
 }
 
 impl World {
@@ -132,7 +139,23 @@ impl World {
             trace: Trace::disabled(),
             node_down: Vec::new(),
             faults: None,
+            obs: WorldObs::new(),
         }
+    }
+
+    /// This world's observability state: a fresh metrics registry and event
+    /// trace, scoped to this world (see [`crate::obs`]).
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &WorldObs {
+        &self.obs
+    }
+
+    /// Mutable access to this world's observability state — scenario runners
+    /// use it to fold protocol-level stats into the registry before
+    /// snapshotting.
+    #[cfg(feature = "obs")]
+    pub fn obs_mut(&mut self) -> &mut WorldObs {
+        &mut self.obs
     }
 
     /// Enables event tracing, keeping the most recent `capacity` events
@@ -361,6 +384,18 @@ impl World {
                         id: packet.id,
                         reason: DropReason::NodeDown,
                     });
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs.metrics.inc("netsim.drop.node_down");
+                        self.obs.trace.record(
+                            self.now.as_nanos(),
+                            ObsEvent::LinkDrop {
+                                node: node.0 as u32,
+                                iface: iface.0 as u32,
+                                cause: ObsDropCause::NodeDown,
+                            },
+                        );
+                    }
                     return true;
                 }
                 self.trace.record(TraceEvent::Arrival {
@@ -393,8 +428,33 @@ impl World {
                     node,
                     up,
                 });
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.metrics.inc(if up {
+                        "netsim.fault.restore"
+                    } else {
+                        "netsim.fault.outage"
+                    });
+                    self.obs.trace.record(
+                        self.now.as_nanos(),
+                        ObsEvent::Outage {
+                            node: node.0 as u32,
+                            up,
+                        },
+                    );
+                }
                 self.node_down[node.0] = !up;
                 if up {
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs.metrics.inc("netsim.restart");
+                        self.obs.trace.record(
+                            self.now.as_nanos(),
+                            ObsEvent::Restart {
+                                node: node.0 as u32,
+                            },
+                        );
+                    }
                     self.dispatch(node, |n, ctx| n.on_restart(ctx));
                 }
             }
@@ -446,6 +506,15 @@ impl World {
         let mut node = self.nodes[id.0].take().expect("re-entrant dispatch");
         let mut actions = Vec::new();
         {
+            #[cfg(feature = "obs")]
+            let mut ctx = Context::with_obs(
+                self.now,
+                id,
+                &mut self.rng,
+                &mut actions,
+                Some(&mut self.obs),
+            );
+            #[cfg(not(feature = "obs"))]
             let mut ctx = Context::new(self.now, id, &mut self.rng, &mut actions);
             f(node.as_mut(), &mut ctx);
         }
@@ -483,6 +552,18 @@ impl World {
                     id: packet.id,
                     reason: DropReason::Blackout,
                 });
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.metrics.inc("netsim.drop.blackout");
+                    self.obs.trace.record(
+                        self.now.as_nanos(),
+                        ObsEvent::LinkDrop {
+                            node: node.0 as u32,
+                            iface: iface.0 as u32,
+                            cause: ObsDropCause::Blackout,
+                        },
+                    );
+                }
                 return;
             }
             match faults
@@ -499,12 +580,34 @@ impl World {
                         id: packet.id,
                         reason: DropReason::Injected,
                     });
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs.metrics.inc("netsim.drop.injected");
+                        self.obs.trace.record(
+                            self.now.as_nanos(),
+                            ObsEvent::LinkDrop {
+                                node: node.0 as u32,
+                                iface: iface.0 as u32,
+                                cause: ObsDropCause::Injected,
+                            },
+                        );
+                    }
                     return;
                 }
-                Some(ControlAction::Duplicate) => copies = 2,
-                Some(ControlAction::Delay(extra)) => extra_delay = extra,
+                Some(ControlAction::Duplicate) => {
+                    copies = 2;
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Duplicate);
+                }
+                Some(ControlAction::Delay(extra)) => {
+                    extra_delay = extra;
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Delay);
+                }
                 Some(ControlAction::Corrupt { max_flips }) => {
                     faults.corrupt(&mut packet, max_flips);
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Corrupt);
                 }
                 None => {}
             }
@@ -513,6 +616,8 @@ impl World {
             let link = &mut self.links[end.link.0];
             match link.offer(self.now, packet.size, &mut self.rng) {
                 LinkOutcome::Deliver(at) => {
+                    #[cfg(feature = "obs")]
+                    self.obs.metrics.inc("netsim.delivered");
                     let seq = self.next_seq();
                     self.queue.push(ScheduledEvent {
                         at: at + extra_delay,
@@ -539,9 +644,43 @@ impl World {
                             DropReason::Loss
                         },
                     });
+                    #[cfg(feature = "obs")]
+                    {
+                        let (counter, cause) = if outcome == LinkOutcome::DropQueue {
+                            ("netsim.drop.queue", ObsDropCause::Queue)
+                        } else {
+                            ("netsim.drop.loss", ObsDropCause::Loss)
+                        };
+                        self.obs.metrics.inc(counter);
+                        self.obs.trace.record(
+                            self.now.as_nanos(),
+                            ObsEvent::LinkDrop {
+                                node: node.0 as u32,
+                                iface: iface.0 as u32,
+                                cause,
+                            },
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// Counts a fault-plan control rule firing and traces it.
+    #[cfg(feature = "obs")]
+    fn record_control_fault(&mut self, node: NodeId, kind: ObsControlKind) {
+        self.obs.metrics.inc(match kind {
+            ObsControlKind::Duplicate => "netsim.fault.duplicate",
+            ObsControlKind::Delay => "netsim.fault.delay",
+            ObsControlKind::Corrupt => "netsim.fault.corrupt",
+        });
+        self.obs.trace.record(
+            self.now.as_nanos(),
+            ObsEvent::ControlFault {
+                node: node.0 as u32,
+                kind,
+            },
+        );
     }
 
     fn next_seq(&mut self) -> u64 {

@@ -1,0 +1,466 @@
+//! Typed trace events with a stable, parseable text form.
+
+use std::fmt;
+
+/// Why the simulator dropped a packet.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Random loss from the link's loss model.
+    Loss,
+    /// The link queue was full.
+    Queue,
+    /// The destination node was down.
+    NodeDown,
+    /// A fault-plan blackout covered the link.
+    Blackout,
+    /// A fault-plan control rule dropped it.
+    Injected,
+}
+
+impl DropCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Loss => "loss",
+            DropCause::Queue => "queue",
+            DropCause::NodeDown => "node_down",
+            DropCause::Blackout => "blackout",
+            DropCause::Injected => "injected",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "loss" => DropCause::Loss,
+            "queue" => DropCause::Queue,
+            "node_down" => DropCause::NodeDown,
+            "blackout" => DropCause::Blackout,
+            "injected" => DropCause::Injected,
+            _ => return None,
+        })
+    }
+}
+
+/// Which fault-plan control rule fired on a matched packet.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Packet duplicated.
+    Duplicate,
+    /// Packet delayed by an extra latency.
+    Delay,
+    /// Packet payload corrupted.
+    Corrupt,
+}
+
+impl ControlKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ControlKind::Duplicate => "duplicate",
+            ControlKind::Delay => "delay",
+            ControlKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "duplicate" => ControlKind::Duplicate,
+            "delay" => ControlKind::Delay,
+            "corrupt" => ControlKind::Corrupt,
+            _ => return None,
+        })
+    }
+}
+
+/// Supervisor session state, mirrored from `sidecar-proto`'s state machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Handshaking, sidecar not yet active.
+    Connecting,
+    /// Sidecar assistance active.
+    Active,
+    /// Fallen back to baseline behavior.
+    Degraded,
+}
+
+impl SessionState {
+    fn as_str(self) -> &'static str {
+        match self {
+            SessionState::Connecting => "connecting",
+            SessionState::Active => "active",
+            SessionState::Degraded => "degraded",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "connecting" => SessionState::Connecting,
+            "active" => SessionState::Active,
+            "degraded" => SessionState::Degraded,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a received quACK failed to process.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QuackErrorKind {
+    /// More identifiers missing than the sketch threshold can decode.
+    Threshold,
+    /// The quACK's epoch does not match the receiver's.
+    WrongEpoch,
+    /// Cumulative count went backwards (an old quACK arrived late).
+    Stale,
+    /// The wire bytes failed to parse.
+    Malformed,
+    /// Decoded missing set inconsistent with the counts.
+    CountInconsistent,
+}
+
+impl QuackErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            QuackErrorKind::Threshold => "threshold",
+            QuackErrorKind::WrongEpoch => "wrong_epoch",
+            QuackErrorKind::Stale => "stale",
+            QuackErrorKind::Malformed => "malformed",
+            QuackErrorKind::CountInconsistent => "count_inconsistent",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "threshold" => QuackErrorKind::Threshold,
+            "wrong_epoch" => QuackErrorKind::WrongEpoch,
+            "stale" => QuackErrorKind::Stale,
+            "malformed" => QuackErrorKind::Malformed,
+            "count_inconsistent" => QuackErrorKind::CountInconsistent,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace event.
+///
+/// Fields are plain integers/enums (no strings, no references) so events are
+/// `Copy` and the ring buffer never allocates per record. The `Display` form
+/// is `kind key=value …` with keys in a fixed order; [`Event::parse`] is its
+/// exact inverse (round-trip tested in `core`'s wire-fuzz suite).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The simulator dropped a packet a node tried to transmit.
+    LinkDrop {
+        /// Transmitting node.
+        node: u32,
+        /// Interface the packet went out on.
+        iface: u32,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A fault-plan outage edge: the node went down (`up=false`) or came
+    /// back (`up=true`).
+    Outage {
+        /// Affected node.
+        node: u32,
+        /// New availability.
+        up: bool,
+    },
+    /// A fault-plan control rule matched a transmitted packet.
+    ControlFault {
+        /// Transmitting node.
+        node: u32,
+        /// Which rule fired.
+        kind: ControlKind,
+    },
+    /// A node restarted after an outage (its `on_restart` hook ran).
+    Restart {
+        /// Restarted node.
+        node: u32,
+    },
+    /// A sidecar negotiation handshake was processed.
+    Handshake {
+        /// Node that processed the hello.
+        node: u32,
+        /// Whether the offer was accepted.
+        accepted: bool,
+    },
+    /// A supervisor state transition.
+    Transition {
+        /// Node whose supervisor moved.
+        node: u32,
+        /// Previous state.
+        from: SessionState,
+        /// New state.
+        to: SessionState,
+    },
+    /// A quACK was emitted onto the wire.
+    QuackSent {
+        /// Sending node.
+        node: u32,
+        /// Sketch epoch.
+        epoch: u32,
+        /// Cumulative packet count in the sketch.
+        count: u32,
+        /// Wire bytes of the sidecar message.
+        bytes: u32,
+    },
+    /// A received quACK decoded successfully.
+    QuackDecoded {
+        /// Receiving node.
+        node: u32,
+        /// Identifiers newly confirmed received.
+        received: u32,
+        /// Identifiers newly detected missing.
+        missing: u32,
+    },
+    /// A received quACK failed to process.
+    QuackError {
+        /// Receiving node.
+        node: u32,
+        /// Failure class.
+        kind: QuackErrorKind,
+    },
+    /// Producer batch fill level at flush time (SIMD lane occupancy).
+    BatchFill {
+        /// Producing node.
+        node: u32,
+        /// Identifiers in the batch when it flushed.
+        fill: u32,
+    },
+}
+
+impl Event {
+    /// The event's kind tag (the first token of its `Display` form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::LinkDrop { .. } => "link_drop",
+            Event::Outage { .. } => "outage",
+            Event::ControlFault { .. } => "control_fault",
+            Event::Restart { .. } => "restart",
+            Event::Handshake { .. } => "handshake",
+            Event::Transition { .. } => "transition",
+            Event::QuackSent { .. } => "quack_sent",
+            Event::QuackDecoded { .. } => "quack_decoded",
+            Event::QuackError { .. } => "quack_error",
+            Event::BatchFill { .. } => "batch_fill",
+        }
+    }
+
+    /// Parses the `Display` form back into an event.
+    pub fn parse(text: &str) -> Result<Event, String> {
+        let mut parts = text.split_whitespace();
+        let kind = parts.next().ok_or("empty event")?;
+        let mut fields = Vec::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            fields.push((k, v));
+        }
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing field {key:?} in {text:?}"))
+        };
+        let num = |key: &str| -> Result<u32, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("bad numeric field {key:?} in {text:?}"))
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                other => Err(format!("bad bool {other:?} in {text:?}")),
+            }
+        };
+        let expected = match kind {
+            "link_drop" => 3,
+            "quack_sent" => 4,
+            "quack_decoded" | "transition" => 3,
+            "restart" => 1,
+            _ => 2,
+        };
+        if fields.len() != expected {
+            return Err(format!("wrong field count for {kind:?} in {text:?}"));
+        }
+        Ok(match kind {
+            "link_drop" => Event::LinkDrop {
+                node: num("node")?,
+                iface: num("iface")?,
+                cause: DropCause::from_str(get("cause")?)
+                    .ok_or_else(|| format!("bad cause in {text:?}"))?,
+            },
+            "outage" => Event::Outage {
+                node: num("node")?,
+                up: flag("up")?,
+            },
+            "control_fault" => Event::ControlFault {
+                node: num("node")?,
+                kind: ControlKind::from_str(get("kind")?)
+                    .ok_or_else(|| format!("bad control kind in {text:?}"))?,
+            },
+            "restart" => Event::Restart { node: num("node")? },
+            "handshake" => Event::Handshake {
+                node: num("node")?,
+                accepted: flag("accepted")?,
+            },
+            "transition" => Event::Transition {
+                node: num("node")?,
+                from: SessionState::from_str(get("from")?)
+                    .ok_or_else(|| format!("bad state in {text:?}"))?,
+                to: SessionState::from_str(get("to")?)
+                    .ok_or_else(|| format!("bad state in {text:?}"))?,
+            },
+            "quack_sent" => Event::QuackSent {
+                node: num("node")?,
+                epoch: num("epoch")?,
+                count: num("count")?,
+                bytes: num("bytes")?,
+            },
+            "quack_decoded" => Event::QuackDecoded {
+                node: num("node")?,
+                received: num("received")?,
+                missing: num("missing")?,
+            },
+            "quack_error" => Event::QuackError {
+                node: num("node")?,
+                kind: QuackErrorKind::from_str(get("kind")?)
+                    .ok_or_else(|| format!("bad error kind in {text:?}"))?,
+            },
+            "batch_fill" => Event::BatchFill {
+                node: num("node")?,
+                fill: num("fill")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::LinkDrop { node, iface, cause } => {
+                write!(
+                    f,
+                    "link_drop node={node} iface={iface} cause={}",
+                    cause.as_str()
+                )
+            }
+            Event::Outage { node, up } => write!(f, "outage node={node} up={up}"),
+            Event::ControlFault { node, kind } => {
+                write!(f, "control_fault node={node} kind={}", kind.as_str())
+            }
+            Event::Restart { node } => write!(f, "restart node={node}"),
+            Event::Handshake { node, accepted } => {
+                write!(f, "handshake node={node} accepted={accepted}")
+            }
+            Event::Transition { node, from, to } => {
+                write!(
+                    f,
+                    "transition node={node} from={} to={}",
+                    from.as_str(),
+                    to.as_str()
+                )
+            }
+            Event::QuackSent {
+                node,
+                epoch,
+                count,
+                bytes,
+            } => write!(
+                f,
+                "quack_sent node={node} epoch={epoch} count={count} bytes={bytes}"
+            ),
+            Event::QuackDecoded {
+                node,
+                received,
+                missing,
+            } => write!(
+                f,
+                "quack_decoded node={node} received={received} missing={missing}"
+            ),
+            Event::QuackError { node, kind } => {
+                write!(f, "quack_error node={node} kind={}", kind.as_str())
+            }
+            Event::BatchFill { node, fill } => write!(f, "batch_fill node={node} fill={fill}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::LinkDrop {
+                node: 1,
+                iface: 0,
+                cause: DropCause::Loss,
+            },
+            Event::LinkDrop {
+                node: 2,
+                iface: 1,
+                cause: DropCause::Blackout,
+            },
+            Event::Outage { node: 3, up: false },
+            Event::ControlFault {
+                node: 3,
+                kind: ControlKind::Duplicate,
+            },
+            Event::Restart { node: 3 },
+            Event::Handshake {
+                node: 4,
+                accepted: true,
+            },
+            Event::Transition {
+                node: 4,
+                from: SessionState::Connecting,
+                to: SessionState::Active,
+            },
+            Event::QuackSent {
+                node: 1,
+                epoch: 2,
+                count: 17,
+                bytes: 82,
+            },
+            Event::QuackDecoded {
+                node: 0,
+                received: 5,
+                missing: 2,
+            },
+            Event::QuackError {
+                node: 0,
+                kind: QuackErrorKind::Threshold,
+            },
+            Event::BatchFill { node: 1, fill: 8 },
+        ]
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for ev in samples() {
+            let text = ev.to_string();
+            assert_eq!(Event::parse(&text).unwrap(), ev, "{text}");
+            assert!(text.starts_with(ev.kind()));
+        }
+    }
+
+    #[test]
+    fn malformed_events_rejected() {
+        for bad in [
+            "",
+            "wat node=1",
+            "restart",
+            "restart node=x",
+            "restart node=1 extra=2",
+            "link_drop node=1 iface=0 cause=gremlins",
+            "outage node=1 up=maybe",
+            "transition node=1 from=active",
+            "quack_sent node=1 epoch=0 count=1",
+        ] {
+            assert!(Event::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

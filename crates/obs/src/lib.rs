@@ -1,0 +1,72 @@
+//! Deterministic observability: metrics + event traces for the Sidecar repro.
+//!
+//! The three sidecar protocols (paper §2.1–§2.3) are judged by *in-network
+//! mechanism* — quACK cadence, decode outcomes, proxy retransmissions,
+//! degradation events — which end-to-end throughput numbers can hide. This
+//! crate provides the measurement substrate that makes mechanism visible and
+//! testable:
+//!
+//! * [`MetricsRegistry`] — a lock-cheap registry of monotonic counters,
+//!   gauges, and fixed-bucket histograms, keyed by `&'static str`. Hot loops
+//!   hold a [`Counter`] handle (one relaxed atomic add per event, no map
+//!   lookup); everything is snapshot-able into a plain-data
+//!   [`MetricsSnapshot`] with a stable, line-based text encoding.
+//! * [`EventTrace`] — a bounded ring buffer of typed [`Event`]s stamped with
+//!   simulated-time nanoseconds. The rendering is byte-stable across runs of
+//!   the same `(topology, seed)`, which makes traces golden-testable.
+//!
+//! # Determinism contract
+//!
+//! Nothing in this crate reads a wall clock, thread id, or any other
+//! environmental entropy. Timestamps are caller-supplied `u64` nanoseconds
+//! (the simulator passes `SimTime::as_nanos()`), map iteration is `BTreeMap`
+//! order, and floats encode via shortest-roundtrip formatting. Two runs of a
+//! deterministic simulation therefore produce identical snapshots and
+//! identical trace renderings.
+//!
+//! The crate is intentionally zero-dependency (std only) and sits *below*
+//! `sidecar-netsim` in the dependency graph: the simulator depends on obs,
+//! never the reverse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod snapshot;
+mod trace;
+
+pub use event::{ControlKind, DropCause, Event, QuackErrorKind, SessionState};
+pub use metrics::{Counter, MetricsRegistry};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::EventTrace;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry.
+///
+/// Library code with no access to a per-world registry (e.g. the decoder in
+/// `sidecar-quack`) records here; scenario runners also fold their per-world
+/// snapshots in so bench binaries can dump one cumulative snapshot via
+/// `--metrics-out`. Because it is shared across threads (Rust runs `#[test]`
+/// functions concurrently), tests asserting on it must use monotone `>=`
+/// deltas, or prefer a per-world registry for exact equality.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_shared_and_monotone() {
+        let before = global().snapshot().counter("obs.test.global");
+        global().inc("obs.test.global");
+        global().add("obs.test.global", 2);
+        let after = global().snapshot().counter("obs.test.global");
+        assert!(after >= before + 3);
+    }
+}

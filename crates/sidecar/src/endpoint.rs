@@ -92,6 +92,13 @@ impl<F: Field> QuackProducer<F> {
         self.quack.count().wrapping_add(self.burst.len() as u32)
     }
 
+    /// Identifiers currently sitting in the burst buffer, not yet folded
+    /// into the power sums. Read just before [`emit`](Self::emit) it tells
+    /// how full the lane batch was when the quACK forced a flush.
+    pub fn burst_fill(&self) -> usize {
+        self.burst.len()
+    }
+
     /// Folds the burst buffer into the power sums.
     fn flush(&mut self) {
         if !self.burst.is_empty() {

@@ -15,7 +15,7 @@ use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -66,6 +66,7 @@ impl Node for AckRedProxy {
                 let mut emit = false;
                 if packet.kind == PacketKind::Data {
                     emit = self.producer.observe(packet.id);
+                    obs::observed(ctx);
                 }
                 if let Payload::Sidecar { proto, ref bytes } = packet.payload {
                     match SidecarMessage::decode(proto, bytes) {
@@ -78,7 +79,9 @@ impl Node for AckRedProxy {
                             // ack. Recovery Hellos (non-empty sketch) get a
                             // fresh epoch, startup Hellos keep the pristine
                             // one.
-                            if accept_hello(&Capabilities::default(), &hello).is_ok() {
+                            let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
+                            obs::handshake(ctx, accepted);
+                            if accepted {
                                 let epoch = if self.producer.count() == 0 {
                                     self.producer.epoch()
                                 } else {
@@ -96,9 +99,18 @@ impl Node for AckRedProxy {
                 }
                 ctx.send(IfaceId(1), packet);
                 if emit {
+                    let fill = self.producer.burst_fill();
                     let msg = self.producer.emit();
                     self.quacks_sent += 1;
-                    self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+                    let bytes = send_sidecar(msg, IfaceId(0), ctx);
+                    self.quack_bytes += bytes as u64;
+                    obs::quack_emitted(
+                        ctx,
+                        self.producer.epoch(),
+                        self.producer.count(),
+                        fill,
+                        bytes,
+                    );
                 }
             }
             // From the client: forward upstream untouched.
@@ -185,7 +197,9 @@ impl AckRedServer {
     }
 
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
+        let result = self.sidecar.process_quack(ctx.now(), epoch, bytes);
+        obs::quack_outcome(ctx, &result);
+        match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
                 // "Enable the server to move its sending window ahead more
@@ -220,6 +234,7 @@ impl AckRedServer {
                 self.supervise(ctx);
             }
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     /// Baseline fallback: drop the mirror log. No released-but-undelivered
@@ -243,6 +258,7 @@ impl AckRedServer {
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 }
 
@@ -439,6 +455,14 @@ impl AckReductionScenario {
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
 
+        // Snapshot the world registry before borrowing nodes; mirror it
+        // into the process-global registry for bench `--metrics-out` dumps.
+        #[cfg(feature = "obs")]
+        let metrics = {
+            let snap = w.obs().metrics.snapshot();
+            sidecar_obs::global().absorb(&snap);
+            snap
+        };
         let srv = w.node_as::<AckRedServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -455,6 +479,8 @@ impl AckReductionScenario {
             proxy_retransmissions: 0,
             degradations: srv.supervisor.stats.degradations,
             recoveries: srv.supervisor.stats.recoveries,
+            #[cfg(feature = "obs")]
+            metrics,
         }
     }
 

@@ -21,7 +21,7 @@ use crate::config::{SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -87,27 +87,30 @@ impl Node for CcdClient {
             Payload::Sidecar { proto, ref bytes } => {
                 match SidecarMessage::decode(proto, bytes) {
                     Ok(SidecarMessage::Reset { epoch }) => self.sidecar.reset(epoch),
-                    Ok(hello @ SidecarMessage::Hello { .. })
-                        if accept_hello(&Capabilities::default(), &hello).is_ok() =>
-                    {
-                        // Pristine producer: keep the epoch (startup
-                        // handshake is zero-cost). Otherwise this is a
-                        // recovery handshake — the consumer's mirror is
-                        // empty, so start a fresh epoch to match.
-                        let epoch = if self.sidecar.count() == 0 {
-                            self.sidecar.epoch()
-                        } else {
-                            let e = self.sidecar.epoch().wrapping_add(1);
-                            self.sidecar.reset(e);
-                            e
-                        };
-                        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                    Ok(hello @ SidecarMessage::Hello { .. }) => {
+                        let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
+                        obs::handshake(ctx, accepted);
+                        if accepted {
+                            // Pristine producer: keep the epoch (startup
+                            // handshake is zero-cost). Otherwise this is a
+                            // recovery handshake — the consumer's mirror is
+                            // empty, so start a fresh epoch to match.
+                            let epoch = if self.sidecar.count() == 0 {
+                                self.sidecar.epoch()
+                            } else {
+                                let e = self.sidecar.epoch().wrapping_add(1);
+                                self.sidecar.reset(e);
+                                e
+                            };
+                            let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                        }
                     }
                     _ => {}
                 }
             }
             _ if packet.kind == PacketKind::Data => {
                 self.sidecar.observe(packet.id);
+                obs::observed(ctx);
                 if let Some(ack) = self.transport.on_data(&packet, ctx.now()) {
                     ctx.send(IfaceId(0), ack);
                 } else if let Some(deadline) = self.transport.ack_deadline() {
@@ -121,9 +124,12 @@ impl Node for CcdClient {
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
             TOKEN_EMIT => {
+                let fill = self.sidecar.burst_fill();
                 let msg = self.sidecar.emit();
                 self.quacks_sent += 1;
-                self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+                let bytes = send_sidecar(msg, IfaceId(0), ctx);
+                self.quack_bytes += bytes as u64;
+                obs::quack_emitted(ctx, self.sidecar.epoch(), self.sidecar.count(), fill, bytes);
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
             }
             TOKEN_DELAYED_ACK => {
@@ -290,10 +296,11 @@ impl CcdProxy {
     }
 
     fn handle_client_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        match self
+        let result = self
             .downstream_consumer
-            .process_quack(ctx.now(), epoch, bytes)
-        {
+            .process_quack(ctx.now(), epoch, bytes);
+        obs::quack_outcome(ctx, &result);
+        match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
                 self.rate
@@ -323,6 +330,7 @@ impl CcdProxy {
                 self.supervise(ctx);
             }
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     /// Fall back to plain forwarding (the baseline twin's behaviour): flush
@@ -354,6 +362,7 @@ impl CcdProxy {
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 }
 
@@ -376,6 +385,7 @@ impl Node for CcdProxy {
                         // upstream producer keeps observing — that session
                         // belongs to the server, not to this one.
                         self.upstream_producer.observe(packet.id);
+                        obs::observed(ctx);
                         ctx.send(IfaceId(1), packet);
                         return;
                     }
@@ -386,6 +396,7 @@ impl Node for CcdProxy {
                         return;
                     }
                     self.upstream_producer.observe(packet.id);
+                    obs::observed(ctx);
                     let size = packet.size;
                     self.buffer.push_back(packet);
                     if !self.drain_armed {
@@ -398,21 +409,27 @@ impl Node for CcdProxy {
                             Ok(SidecarMessage::Reset { epoch }) => {
                                 self.upstream_producer.reset(epoch);
                             }
-                            Ok(hello @ SidecarMessage::Hello { .. })
-                                if accept_hello(&Capabilities::default(), &hello).is_ok() =>
-                            {
-                                // The server (re)offering the upstream
-                                // session; reply with the producer's epoch
-                                // (fresh if the sketch already has history).
-                                let epoch = if self.upstream_producer.count() == 0 {
-                                    self.upstream_producer.epoch()
-                                } else {
-                                    let e = self.upstream_producer.epoch().wrapping_add(1);
-                                    self.upstream_producer.reset(e);
-                                    e
-                                };
-                                let _ =
-                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                            Ok(hello @ SidecarMessage::Hello { .. }) => {
+                                let accepted =
+                                    accept_hello(&Capabilities::default(), &hello).is_ok();
+                                obs::handshake(ctx, accepted);
+                                if accepted {
+                                    // The server (re)offering the upstream
+                                    // session; reply with the producer's epoch
+                                    // (fresh if the sketch already has history).
+                                    let epoch = if self.upstream_producer.count() == 0 {
+                                        self.upstream_producer.epoch()
+                                    } else {
+                                        let e = self.upstream_producer.epoch().wrapping_add(1);
+                                        self.upstream_producer.reset(e);
+                                        e
+                                    };
+                                    let _ = send_sidecar(
+                                        SidecarMessage::Reset { epoch },
+                                        IfaceId(0),
+                                        ctx,
+                                    );
+                                }
                             }
                             _ => {}
                         }
@@ -460,9 +477,18 @@ impl Node for CcdProxy {
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
             TOKEN_EMIT => {
+                let fill = self.upstream_producer.burst_fill();
                 let msg = self.upstream_producer.emit();
                 self.quacks_sent += 1;
-                self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+                let bytes = send_sidecar(msg, IfaceId(0), ctx);
+                self.quack_bytes += bytes as u64;
+                obs::quack_emitted(
+                    ctx,
+                    self.upstream_producer.epoch(),
+                    self.upstream_producer.count(),
+                    fill,
+                    bytes,
+                );
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
             }
             TOKEN_DRAIN => self.drain_one(ctx),
@@ -583,7 +609,9 @@ impl CcdServer {
     }
 
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        match self.sidecar.process_quack(ctx.now(), epoch, bytes) {
+        let result = self.sidecar.process_quack(ctx.now(), epoch, bytes);
+        obs::quack_outcome(ctx, &result);
+        match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
                 // AIMD on segment-1 feedback (§2.1: grow without e2e ACKs,
@@ -619,6 +647,7 @@ impl CcdServer {
                 self.supervise(ctx);
             }
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     /// Hand the window back to real end-to-end congestion control, seeded
@@ -650,6 +679,7 @@ impl CcdServer {
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 }
 
@@ -840,6 +870,14 @@ impl CcdScenario {
         // generous deadline instead.
         w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
 
+        // Snapshot the world registry before borrowing nodes; mirror it
+        // into the process-global registry for bench `--metrics-out` dumps.
+        #[cfg(feature = "obs")]
+        let metrics = {
+            let snap = w.obs().metrics.snapshot();
+            sidecar_obs::global().absorb(&snap);
+            snap
+        };
         let srv = w.node_as::<CcdServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -856,6 +894,8 @@ impl CcdScenario {
             proxy_retransmissions: 0,
             degradations: srv.supervisor.stats.degradations + px.supervisor.stats.degradations,
             recoveries: srv.supervisor.stats.recoveries + px.supervisor.stats.recoveries,
+            #[cfg(feature = "obs")]
+            metrics,
         }
     }
 

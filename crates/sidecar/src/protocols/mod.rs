@@ -22,12 +22,166 @@ use sidecar_netsim::time::{SimDuration, SimTime};
 /// Encodes `msg` and sends it out `iface`; returns the wire size in bytes.
 pub(crate) fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Context) -> u32 {
     let size = msg.wire_size();
+    #[cfg(feature = "obs")]
+    {
+        ctx.obs_inc(match &msg {
+            SidecarMessage::Quack { .. } => "sidecar.sent.quack",
+            SidecarMessage::Configure { .. } => "sidecar.sent.configure",
+            SidecarMessage::Reset { .. } => "sidecar.sent.reset",
+            SidecarMessage::Hello { .. } => "sidecar.sent.hello",
+        });
+        ctx.obs_add("sidecar.sent_bytes", size as u64);
+    }
     let (proto, body) = msg.encode();
     ctx.send(
         iface,
         Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
     );
     size
+}
+
+/// Observability taps shared by the three protocols.
+///
+/// Every helper has an empty twin below so call sites stay free of `cfg`
+/// noise; through a [`Context`] built without a world handle (node unit
+/// tests) the obs-enabled versions are no-ops as well.
+#[cfg(feature = "obs")]
+pub(crate) mod obs {
+    use crate::endpoint::{ProcessError, QuackReport};
+    use crate::supervise::{Supervisor, SupervisorState};
+    use sidecar_netsim::node::Context;
+    use sidecar_obs::{Event, QuackErrorKind, SessionState};
+
+    /// Histogram bounds for the producer's burst-buffer fill at emit time
+    /// (the lane batch is [`sidecar_galois::LANES`] = 8 wide; larger fills
+    /// mean `observe_batch` bursts).
+    const BATCH_FILL_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
+
+    fn state(s: SupervisorState) -> SessionState {
+        match s {
+            SupervisorState::Connecting => SessionState::Connecting,
+            SupervisorState::Active => SessionState::Active,
+            SupervisorState::Degraded => SessionState::Degraded,
+        }
+    }
+
+    /// A producer observed one forwarded data packet.
+    pub(crate) fn observed(ctx: &mut Context) {
+        ctx.obs_inc("quack.observed");
+    }
+
+    /// A quACK left the producer: record the sketch coordinates and how
+    /// full the lane batch was when `emit` flushed it.
+    pub(crate) fn quack_emitted(
+        ctx: &mut Context,
+        epoch: u32,
+        count: u32,
+        fill: usize,
+        bytes: u32,
+    ) {
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_observe("quack.batch_fill", BATCH_FILL_BOUNDS, fill as u64);
+        ctx.obs_event(Event::BatchFill {
+            node,
+            fill: fill as u32,
+        });
+        ctx.obs_event(Event::QuackSent {
+            node,
+            epoch,
+            count,
+            bytes,
+        });
+    }
+
+    /// The outcome of one `process_quack` call at a consumer.
+    pub(crate) fn quack_outcome(ctx: &mut Context, result: &Result<QuackReport, ProcessError>) {
+        let node = ctx.node_id().0 as u32;
+        match result {
+            Ok(report) => {
+                ctx.obs_inc("quack.decoded");
+                ctx.obs_add("quack.confirmed_received", report.received.len() as u64);
+                ctx.obs_add("quack.newly_missing", report.newly_missing.len() as u64);
+                ctx.obs_event(Event::QuackDecoded {
+                    node,
+                    received: report.received.len() as u32,
+                    missing: report.newly_missing.len() as u32,
+                });
+            }
+            Err(err) => {
+                let (name, kind) = match err {
+                    ProcessError::ThresholdExceeded { .. } => {
+                        ("quack.err.threshold", QuackErrorKind::Threshold)
+                    }
+                    ProcessError::WrongEpoch { .. } => {
+                        ("quack.err.wrong_epoch", QuackErrorKind::WrongEpoch)
+                    }
+                    ProcessError::Stale => ("quack.err.stale", QuackErrorKind::Stale),
+                    ProcessError::Malformed => ("quack.err.malformed", QuackErrorKind::Malformed),
+                    ProcessError::CountInconsistent => (
+                        "quack.err.count_inconsistent",
+                        QuackErrorKind::CountInconsistent,
+                    ),
+                };
+                ctx.obs_inc(name);
+                ctx.obs_event(Event::QuackError { node, kind });
+            }
+        }
+    }
+
+    /// A `Hello` offer was processed by a producer.
+    pub(crate) fn handshake(ctx: &mut Context, accepted: bool) {
+        ctx.obs_inc(if accepted {
+            "sidecar.handshake.accepted"
+        } else {
+            "sidecar.handshake.rejected"
+        });
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_event(Event::Handshake { node, accepted });
+    }
+
+    /// Forwards edges the supervisor recorded since the last flush into the
+    /// world's trace and counters.
+    pub(crate) fn sup_flush(ctx: &mut Context, sup: &mut Supervisor) {
+        let node = ctx.node_id().0 as u32;
+        for t in sup.take_transitions() {
+            ctx.obs_inc("supervisor.transitions");
+            ctx.obs_event(Event::Transition {
+                node,
+                from: state(t.from),
+                to: state(t.to),
+            });
+        }
+    }
+}
+
+/// No-op twins of the observability taps (obs feature disabled).
+#[cfg(not(feature = "obs"))]
+pub(crate) mod obs {
+    use crate::endpoint::{ProcessError, QuackReport};
+    use crate::supervise::Supervisor;
+    use sidecar_netsim::node::Context;
+
+    #[inline(always)]
+    pub(crate) fn observed(_ctx: &mut Context) {}
+
+    #[inline(always)]
+    pub(crate) fn quack_emitted(
+        _ctx: &mut Context,
+        _epoch: u32,
+        _count: u32,
+        _fill: usize,
+        _bytes: u32,
+    ) {
+    }
+
+    #[inline(always)]
+    pub(crate) fn quack_outcome(_ctx: &mut Context, _result: &Result<QuackReport, ProcessError>) {}
+
+    #[inline(always)]
+    pub(crate) fn handshake(_ctx: &mut Context, _accepted: bool) {}
+
+    #[inline(always)]
+    pub(crate) fn sup_flush(_ctx: &mut Context, _sup: &mut Supervisor) {}
 }
 
 /// Deterministic post-restart epoch: a rebooted producer lost its epoch
@@ -64,6 +218,11 @@ pub struct ScenarioReport {
     pub degradations: u64,
     /// Supervisor recoveries out of degraded mode.
     pub recoveries: u64,
+    /// Snapshot of the run's world metrics registry (simulator drop/fault
+    /// counters plus the sidecar taps above). Deterministic for a given
+    /// `(scenario, seed)`; empty on baseline runs.
+    #[cfg(feature = "obs")]
+    pub metrics: sidecar_obs::MetricsSnapshot,
 }
 
 impl ScenarioReport {

@@ -16,7 +16,7 @@ use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{QuackConsumer, QuackProducer};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -160,7 +160,9 @@ impl SenderSideProxy {
     }
 
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        match self.consumer.process_quack(ctx.now(), epoch, bytes) {
+        let result = self.consumer.process_quack(ctx.now(), epoch, bytes);
+        obs::quack_outcome(ctx, &result);
+        match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
                 // Free buffer space for confirmed-received packets.
@@ -195,6 +197,7 @@ impl SenderSideProxy {
                 self.supervise(ctx);
             }
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     /// Baseline fallback: drop every piece of sidecar state. The node keeps
@@ -225,6 +228,7 @@ impl SenderSideProxy {
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
         }
+        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     fn arm_grace(&mut self, ctx: &mut Context) {
@@ -373,9 +377,18 @@ impl ReceiverSideProxy {
     }
 
     fn emit(&mut self, ctx: &mut Context) {
+        let fill = self.producer.burst_fill();
         let msg = self.producer.emit();
         self.quacks_sent += 1;
-        self.quack_bytes += send_sidecar(msg, IfaceId(0), ctx) as u64;
+        let bytes = send_sidecar(msg, IfaceId(0), ctx);
+        self.quack_bytes += bytes as u64;
+        obs::quack_emitted(
+            ctx,
+            self.producer.epoch(),
+            self.producer.count(),
+            fill,
+            bytes,
+        );
     }
 
     fn arm(&self, ctx: &mut Context) {
@@ -402,22 +415,25 @@ impl Node for ReceiverSideProxy {
                         Ok(SidecarMessage::Reset { epoch }) => {
                             self.producer.reset(epoch);
                         }
-                        Ok(hello @ SidecarMessage::Hello { .. })
-                            if accept_hello(&Capabilities::default(), &hello).is_ok() =>
-                        {
-                            // Consumer handshake; the Reset reply doubles
-                            // as the handshake ack. A recovery Hello (the
-                            // sketch already counts packets the consumer
-                            // no longer tracks) starts a fresh epoch;
-                            // a startup Hello keeps the pristine one.
-                            let epoch = if self.producer.count() == 0 {
-                                self.producer.epoch()
-                            } else {
-                                let e = self.producer.epoch().wrapping_add(1);
-                                self.producer.reset(e);
-                                e
-                            };
-                            let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                        Ok(hello @ SidecarMessage::Hello { .. }) => {
+                            let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
+                            obs::handshake(ctx, accepted);
+                            if accepted {
+                                // Consumer handshake; the Reset reply doubles
+                                // as the handshake ack. A recovery Hello (the
+                                // sketch already counts packets the consumer
+                                // no longer tracks) starts a fresh epoch;
+                                // a startup Hello keeps the pristine one.
+                                let epoch = if self.producer.count() == 0 {
+                                    self.producer.epoch()
+                                } else {
+                                    let e = self.producer.epoch().wrapping_add(1);
+                                    self.producer.reset(e);
+                                    e
+                                };
+                                let _ =
+                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                            }
                         }
                         _ => {}
                     }
@@ -425,6 +441,7 @@ impl Node for ReceiverSideProxy {
                 _ => {
                     if packet.kind == PacketKind::Data {
                         self.producer.observe(packet.id);
+                        obs::observed(ctx);
                     }
                     ctx.send(IfaceId(1), packet);
                 }
@@ -623,6 +640,15 @@ impl RetxScenario {
             let b = w.node_as::<ReceiverSideProxy>(proxy_b);
             report.sidecar_messages = b.quacks_sent + a.control_sent;
             report.sidecar_bytes = b.quack_bytes;
+            // Attach the world registry snapshot (sidecar runs only, so
+            // baselines keep the empty default) and mirror it into the
+            // process-global registry for bench `--metrics-out` dumps.
+            #[cfg(feature = "obs")]
+            {
+                let snap = w.obs().metrics.snapshot();
+                sidecar_obs::global().absorb(&snap);
+                report.metrics = snap;
+            }
         }
         report
     }

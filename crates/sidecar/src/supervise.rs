@@ -32,6 +32,7 @@
 use crate::config::SupervisionConfig;
 use crate::endpoint::ProcessError;
 use sidecar_netsim::time::SimTime;
+use std::collections::VecDeque;
 
 /// Where the supervised session currently stands.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -60,6 +61,26 @@ pub struct SupervisorStats {
     pub errors_observed: u64,
 }
 
+/// One recorded edge of the supervision state machine.
+///
+/// The supervisor keeps a bounded log of these (see
+/// [`Supervisor::transitions`]); protocols drain it into the world's event
+/// trace, and property tests assert the sequence only ever walks legal
+/// edges.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// When the edge was taken.
+    pub at: SimTime,
+    /// State before.
+    pub from: SupervisorState,
+    /// State after.
+    pub to: SupervisorState,
+}
+
+/// Bound on the undrained transition log: callers that never drain (obs-off
+/// builds) keep at most this many entries.
+pub const TRANSITION_LOG_CAP: usize = 128;
+
 /// What [`Supervisor::poll`] asks the caller to do.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PollOutcome {
@@ -86,6 +107,8 @@ pub struct Supervisor {
     /// Packets sent since the last feedback — liveness only applies when
     /// feedback is actually owed.
     sends_since_feedback: u64,
+    /// Undrained state-machine edges, oldest first (bounded).
+    transitions: VecDeque<Transition>,
     /// Counters for tests and reports.
     pub stats: SupervisorStats,
 }
@@ -103,6 +126,7 @@ impl Supervisor {
             consecutive_errors: 0,
             last_feedback: SimTime::ZERO,
             sends_since_feedback: 0,
+            transitions: VecDeque::new(),
             stats: SupervisorStats::default(),
         }
     }
@@ -110,6 +134,27 @@ impl Supervisor {
     /// Current state.
     pub fn state(&self) -> SupervisorState {
         self.state
+    }
+
+    /// Undrained state-machine edges, oldest first. The log is bounded: if
+    /// nobody drains it, only the most recent [`TRANSITION_LOG_CAP`] edges
+    /// are retained (oldest evicted first).
+    pub fn transitions(&self) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter()
+    }
+
+    /// Drains the recorded edges (oldest first), leaving the log empty.
+    /// Protocols call this after driving the supervisor to forward new
+    /// transitions into the world's event trace.
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        self.transitions.drain(..).collect()
+    }
+
+    fn record_transition(&mut self, at: SimTime, from: SupervisorState, to: SupervisorState) {
+        if self.transitions.len() >= TRANSITION_LOG_CAP {
+            self.transitions.pop_front();
+        }
+        self.transitions.push_back(Transition { at, from, to });
     }
 
     /// Whether sidecar processing should run (anything but degraded).
@@ -179,7 +224,7 @@ impl Supervisor {
         self.last_feedback = now;
         self.sends_since_feedback = 0;
         self.backoff = self.cfg.hello_timeout;
-        self.activate()
+        self.activate(now)
     }
 
     /// The producer answered a `Hello` (or announced a post-restart epoch)
@@ -194,7 +239,7 @@ impl Supervisor {
     pub fn on_handshake_ack(&mut self, now: SimTime) -> bool {
         self.last_feedback = now;
         self.sends_since_feedback = 0;
-        let recovered = self.activate();
+        let recovered = self.activate(now);
         if recovered {
             self.consecutive_errors = self.cfg.degrade_after - 1;
         } else {
@@ -236,6 +281,7 @@ impl Supervisor {
     }
 
     fn degrade(&mut self, now: SimTime) {
+        self.record_transition(now, self.state, SupervisorState::Degraded);
         self.state = SupervisorState::Degraded;
         self.stats.degradations += 1;
         self.consecutive_errors = 0;
@@ -245,14 +291,16 @@ impl Supervisor {
         self.next_hello = now; // first recovery hello goes out immediately
     }
 
-    fn activate(&mut self) -> bool {
+    fn activate(&mut self, now: SimTime) -> bool {
         match self.state {
             SupervisorState::Degraded => {
+                self.record_transition(now, self.state, SupervisorState::Active);
                 self.state = SupervisorState::Active;
                 self.stats.recoveries += 1;
                 true
             }
             SupervisorState::Connecting => {
+                self.record_transition(now, self.state, SupervisorState::Active);
                 self.state = SupervisorState::Active;
                 false
             }
@@ -412,6 +460,48 @@ mod tests {
         assert!(!s.note_error(ms(90)));
         assert!(!s.note_error(ms(100)));
         assert!(s.note_error(ms(110)));
+    }
+
+    #[test]
+    fn transition_log_records_edges_in_order() {
+        let mut s = Supervisor::new(cfg());
+        s.on_handshake_ack(ms(10)); // Connecting → Active
+        s.note_send(ms(20));
+        assert!(s.poll(ms(1_000), true).degraded_now); // Active → Degraded
+        assert!(s.on_handshake_ack(ms(1_200))); // Degraded → Active
+        let log = s.take_transitions();
+        let edges: Vec<(SupervisorState, SupervisorState)> =
+            log.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            edges,
+            vec![
+                (SupervisorState::Connecting, SupervisorState::Active),
+                (SupervisorState::Active, SupervisorState::Degraded),
+                (SupervisorState::Degraded, SupervisorState::Active),
+            ]
+        );
+        assert_eq!(log[1].at, ms(1_000));
+        // Drained: the log starts over.
+        assert!(s.take_transitions().is_empty());
+        assert_eq!(s.transitions().count(), 0);
+    }
+
+    #[test]
+    fn transition_log_is_bounded_when_never_drained() {
+        let mut s = Supervisor::new(cfg());
+        s.on_feedback_ok(ms(0));
+        for i in 0..300u64 {
+            while !s.is_degraded() {
+                s.note_error(ms(1 + i));
+            }
+            s.on_handshake_ack(ms(1 + i));
+        }
+        assert_eq!(s.transitions().count(), 128);
+        // The retained suffix is the most recent edges and stays contiguous.
+        let log: Vec<_> = s.transitions().copied().collect();
+        for pair in log.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from);
+        }
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Metric-asserting mechanism tests: one invariant per paper protocol,
+//! pinned against the `ScenarioReport::metrics` snapshot rather than ad-hoc
+//! node counters. These are the §2.1–§2.3 mechanisms stated as arithmetic
+//! over the observability registry, so a refactor that silently changes
+//! *how much* the mechanisms fire (not just whether the flow completes)
+//! fails loudly here.
+#![cfg(feature = "obs")]
+
+use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
+use sidecar_proto::protocols::ccd::CcdScenario;
+use sidecar_proto::protocols::retx::RetxScenario;
+
+/// §4.3 / §2.2: with `QuackFrequency::EveryPackets(2)` the proxy quACKs
+/// once per two observed data packets — the quACK count tracks `packets/n`
+/// within the one-packet tail, never the (reduced) ACK count.
+#[test]
+fn ackred_quacks_track_observed_packets_over_n() {
+    let scenario = AckReductionScenario {
+        total_packets: 600,
+        ..AckReductionScenario::default()
+    };
+    let report = scenario.run_sidecar(11);
+    assert!(report.completion.is_some(), "{report:?}");
+    let m = &report.metrics;
+
+    let observed = m.counter("quack.observed");
+    let quacks = m.counter("sidecar.sent.quack");
+    assert!(observed >= 600, "producer must see every data packet");
+    // Every second observation forces an emit: |observed - 2·quacks| ≤ 1.
+    assert!(
+        (2 * quacks).abs_diff(observed) <= 1,
+        "quACKs {quacks} must be ⌊observed/2⌋ of {observed}"
+    );
+    // The registry and the report count the same wire messages.
+    assert_eq!(quacks, report.sidecar_messages);
+    // Clean links: every quACK decodes, nothing burns the error budget.
+    assert!(m.counter("quack.decoded") > 0);
+    assert_eq!(m.counter("quack.err.threshold"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.malformed"), 0);
+    assert_eq!(report.degradations, 0);
+}
+
+/// §2.3: the sender-side proxy only retransmits packets the quACK stream
+/// proved missing, so in-network retransmissions are bounded by what the
+/// simulator actually dropped — and on a 2% subpath they recover most of it.
+#[test]
+fn retx_proxy_retransmissions_bounded_by_simulated_drops() {
+    let scenario = RetxScenario {
+        total_packets: 800,
+        ..RetxScenario::default()
+    };
+    let report = scenario.run_sidecar(13);
+    assert!(report.completion.is_some(), "{report:?}");
+    let m = &report.metrics;
+
+    let dropped = m.counter_sum("netsim.drop.");
+    assert!(dropped > 0, "2% subpath loss must drop packets");
+    assert!(
+        report.proxy_retransmissions <= dropped,
+        "proxy retransmitted {} of only {dropped} drops",
+        report.proxy_retransmissions
+    );
+    // The quACK feedback loop did the work: decodes happened, and the
+    // confirmed-missing stream the proxy acted on is also drop-bounded.
+    assert!(m.counter("quack.decoded") > 0);
+    assert!(m.counter("quack.newly_missing") <= dropped);
+    // Identifiers confirmed received never exceed identifiers observed.
+    assert!(m.counter("quack.confirmed_received") <= m.counter("quack.observed"));
+}
+
+/// §2.1 / §3.2: on a lossless, uncongested path every quACK decodes below
+/// the threshold — zero decode failures, zero packets reported missing.
+#[test]
+fn ccd_lossless_path_decodes_every_quack_below_threshold() {
+    let scenario = CcdScenario {
+        total_packets: 300,
+        downstream: LinkConfig {
+            loss: LossModel::None,
+            // Deep queue so slow-start bursts cannot cause congestive
+            // drops, which would legitimately show up as missing.
+            queue_packets: 8_192,
+            ..CcdScenario::default().downstream
+        },
+        buffer_cap: 8_192,
+        ..CcdScenario::default()
+    };
+    let report = scenario.run_sidecar(17);
+    assert!(report.completion.is_some(), "{report:?}");
+    let m = &report.metrics;
+
+    assert!(m.counter("quack.decoded") > 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.threshold"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.malformed"), 0);
+    assert_eq!(m.counter("quack.err.wrong_epoch"), 0);
+    assert_eq!(m.counter("quack.err.count_inconsistent"), 0);
+    assert_eq!(
+        m.counter("quack.newly_missing"),
+        0,
+        "nothing was dropped, so nothing may be reported missing: {m:?}"
+    );
+    assert_eq!(m.counter_sum("netsim.drop."), 0);
+    // Both supervised consumers (server + proxy) handshook into Active and
+    // stayed there.
+    assert_eq!(report.degradations, 0);
+    assert!(m.counter("supervisor.transitions") >= 2);
+    assert!(m.counter("sidecar.handshake.accepted") >= 2);
+    assert_eq!(m.counter("sidecar.handshake.rejected"), 0);
+}
