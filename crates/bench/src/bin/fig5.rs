@@ -70,8 +70,16 @@ fn main() {
 
     // Shape check: growth from t=10 to t=50 should be roughly linear in t
     // (paper: "directly proportional to t").
-    let first = series32.first().unwrap().1.as_nanos() as f64;
-    let last = series32.last().unwrap().1.as_nanos() as f64;
+    let first = series32
+        .first()
+        .expect("fig5 b=32 construction series is empty: no t values were benchmarked")
+        .1
+        .as_nanos() as f64;
+    let last = series32
+        .last()
+        .expect("fig5 b=32 construction series is empty: no t values were benchmarked")
+        .1
+        .as_nanos() as f64;
     println!(
         "\nb=32 growth t=10→50: {:.2}x (linear-in-t predicts ≈5x; constant \
          overheads pull it below)",

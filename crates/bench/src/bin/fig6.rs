@@ -63,8 +63,14 @@ fn main() {
     }
     table.print();
 
-    let zero = series32[0].1;
-    let full = series32.last().unwrap().1;
+    let zero = series32
+        .first()
+        .expect("fig6 b=32 decode series is empty: no m values were benchmarked")
+        .1;
+    let full = series32
+        .last()
+        .expect("fig6 b=32 decode series is empty: no m values were benchmarked")
+        .1;
     println!(
         "\nm=0 decodes in {} (paper: 'virtually no time'); m={T} in {} \
          (paper: 61 us on their hardware)",

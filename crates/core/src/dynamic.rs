@@ -182,17 +182,16 @@ impl DynQuack {
         bytes: &[u8],
         count_override: Option<u32>,
     ) -> Result<Self, DynError> {
-        let fmt = WireFormat {
-            id_bits: bits,
-            threshold,
-            count_bits,
-        };
-        Ok(match bits {
-            16 => DynQuack::B16(fmt.decode(bytes, count_override)?),
-            24 => DynQuack::B24(fmt.decode(bytes, count_override)?),
-            32 => DynQuack::B32(fmt.decode(bytes, count_override)?),
-            64 => DynQuack::B64(fmt.decode(bytes, count_override)?),
-            other => return Err(DynError::UnsupportedWidth(other)),
+        // Width validation and wire-format construction live in `new` /
+        // `wire_format`; decoding re-uses them instead of re-deriving the
+        // format, so the two paths can never disagree on the shape.
+        let shaped = DynQuack::new(bits, threshold)?;
+        let fmt = shaped.wire_format(count_bits);
+        Ok(match shaped {
+            DynQuack::B16(_) => DynQuack::B16(fmt.decode(bytes, count_override)?),
+            DynQuack::B24(_) => DynQuack::B24(fmt.decode(bytes, count_override)?),
+            DynQuack::B32(_) => DynQuack::B32(fmt.decode(bytes, count_override)?),
+            DynQuack::B64(_) => DynQuack::B64(fmt.decode(bytes, count_override)?),
         })
     }
 }
@@ -225,6 +224,44 @@ mod tests {
             let expected: Vec<usize> = (0..sent.len()).filter(|i| i % 40 == 3).collect();
             assert_eq!(decoded.missing(), &expected[..], "bits {bits}");
             assert_eq!(diff.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn combine_after_wire_roundtrip() {
+        // Multipath aggregation (§5): two vantage points each observe half
+        // the traffic, ship their quACKs over the wire, and an aggregator
+        // combines the decoded copies before differencing with the sender.
+        for bits in [16u32, 24, 32, 64] {
+            let mut ids = IdentifierGenerator::new(bits, 7 + bits as u64);
+            let sent = ids.take_ids(120);
+            let mut sender = DynQuack::new(bits, 12).unwrap();
+            for &id in &sent {
+                sender.insert(id);
+            }
+            let mut path_a = DynQuack::new(bits, 12).unwrap();
+            let mut path_b = DynQuack::new(bits, 12).unwrap();
+            for (i, &id) in sent.iter().enumerate() {
+                if i % 30 == 7 {
+                    continue; // lost before either vantage point
+                }
+                if i % 2 == 0 {
+                    path_a.insert(id);
+                } else {
+                    path_b.insert(id);
+                }
+            }
+            let a = DynQuack::decode_wire(bits, 12, 16, &path_a.encode(16), None).unwrap();
+            let b = DynQuack::decode_wire(bits, 12, 16, &path_b.encode(16), None).unwrap();
+            // The wire carries sums and count (not the last-value fast-path
+            // cache), so compare what the wire promises to preserve.
+            assert_eq!(a.count(), path_a.count(), "bits {bits}");
+            assert_eq!(a.encode(16), path_a.encode(16), "bits {bits}");
+            let union = a.combine(&b).unwrap();
+            let diff = sender.difference(&union).unwrap();
+            let decoded = diff.decode_with_log(&sent).unwrap();
+            let expected: Vec<usize> = (0..sent.len()).filter(|i| i % 30 == 7).collect();
+            assert_eq!(decoded.missing(), &expected[..], "bits {bits}");
         }
     }
 

@@ -128,6 +128,14 @@ impl<'a> Context<'a> {
         }
     }
 
+    /// Sets a world-scoped gauge to `value` (no-op without a world handle).
+    #[cfg(feature = "obs")]
+    pub fn obs_gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.metrics.gauge_set(name, value);
+        }
+    }
+
     /// Appends `event` to the world's trace, stamped with the current sim
     /// time (no-op without a world handle).
     #[cfg(feature = "obs")]

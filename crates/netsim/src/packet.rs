@@ -6,10 +6,12 @@
 //!
 //! * **Opaque-but-visible** — what a real middlebox can see on the wire:
 //!   the pseudo-random [`identifier`](Packet::id) (a window of encrypted
-//!   header bytes, §3.2), the size, and nothing else. Sidecars key off
-//!   `id` only.
-//! * **Ground truth** — `seq`, `flow`, and the typed payload, standing in
-//!   for the *encrypted* contents only end hosts can decrypt. Simulator
+//!   header bytes, §3.2), the size, and the [`flow`](Packet::flow) (the
+//!   cleartext IP/UDP 4-tuple — even fully encrypted transports expose
+//!   which connection a datagram belongs to). Sidecars key per-packet
+//!   decisions off `id` and per-connection state off `flow`.
+//! * **Ground truth** — `seq` and the typed payload, standing in for the
+//!   *encrypted* contents only end hosts can decrypt. Simulator
 //!   bookkeeping and end-host logic may use them; in-network node
 //!   implementations must not (the sidecar crate upholds this by
 //!   convention, tested in its integration suite).
@@ -84,7 +86,9 @@ impl AckInfo {
 /// A simulated packet.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Packet {
-    /// Flow this packet belongs to (ground truth).
+    /// Flow this packet belongs to. Models the cleartext IP/UDP 4-tuple:
+    /// visible on the wire, so in-network code may key per-connection
+    /// state on it (like any NAT or PEP does).
     pub flow: FlowId,
     /// Packet class.
     pub kind: PacketKind,

@@ -1,0 +1,401 @@
+//! A bounded, sharded table of per-flow sidecar sessions.
+//!
+//! The paper's three protocols (§2.1–§2.3) are *per-connection* mechanisms:
+//! a quACK sketch summarizes the packets of one flow, and mixing two flows
+//! into one sketch makes the decoded missing-set meaningless to both. A
+//! deployed sidecar therefore keys its producer/consumer state on the
+//! cleartext 4-tuple ([`sidecar_netsim::packet::Packet::flow`]) — and,
+//! because it serves arbitrarily many connections with finite memory, that
+//! state must live behind a bounded table with an explicit eviction policy
+//! (the central deployment problem for transparent QUIC PEPs; see
+//! PEMI / Secure Middlebox-Assisted QUIC).
+//!
+//! [`FlowTable`] is that table: a fixed number of shards (flow ids are
+//! spread by a multiplicative hash), a per-shard capacity cap, and two
+//! eviction triggers — an idle deadline (a flow that has not been touched
+//! for [`FlowTableConfig::idle_timeout`] is reclaimable) and LRU-within-
+//! shard when an insert finds its shard full. Eviction is deliberately
+//! *safe*: sidecar state is an accelerator, never the source of truth, so
+//! a reclaimed session costs one epoch resynchronization round (the
+//! existing `Reset`/`Hello` machinery) and the flow falls back to its
+//! end-to-end transport in the meantime.
+//!
+//! The table is deterministic: shard placement depends only on the flow id
+//! and iteration order only on placement plus insertion order, so simulated
+//! runs stay reproducible for a given seed.
+
+use sidecar_netsim::packet::FlowId;
+use sidecar_netsim::time::{SimDuration, SimTime};
+
+/// Sizing and eviction knobs for a [`FlowTable`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlowTableConfig {
+    /// Number of shards (fixed at construction; values are clamped to at
+    /// least 1). Flow ids are spread across shards by a multiplicative
+    /// hash, so shard count bounds worst-case scan cost, not correctness.
+    pub shards: usize,
+    /// Maximum live sessions per shard (clamped to at least 1). Total
+    /// capacity is `shards * per_shard`.
+    pub per_shard: usize,
+    /// A session untouched for this long is evictable: inserts reclaim
+    /// idle sessions before resorting to LRU, and [`FlowTable::sweep_idle`]
+    /// reclaims them eagerly.
+    pub idle_timeout: SimDuration,
+}
+
+impl Default for FlowTableConfig {
+    /// Defaults sized so the classic single-flow scenarios never evict
+    /// (capacity 8×64 = 512, idle deadline beyond their 120 s horizon).
+    fn default() -> Self {
+        FlowTableConfig {
+            shards: 8,
+            per_shard: 64,
+            idle_timeout: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// Monotonic occupancy/eviction counters, drained with
+/// [`FlowTable::take_stats`] (delta-since-last-drain, so callers can feed
+/// them straight into monotonic obs counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Sessions created.
+    pub created: u64,
+    /// Sessions reclaimed by the idle deadline.
+    pub evicted_idle: u64,
+    /// Sessions reclaimed by LRU pressure (insert into a full shard).
+    pub evicted_capacity: u64,
+    /// Inserts that landed in a shard already holding another flow.
+    pub shard_collisions: u64,
+}
+
+impl FlowTableStats {
+    /// Total evictions, either cause.
+    pub fn evicted(&self) -> u64 {
+        self.evicted_idle + self.evicted_capacity
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == FlowTableStats::default()
+    }
+}
+
+struct Entry<S> {
+    flow: FlowId,
+    last_used: SimTime,
+    session: S,
+}
+
+/// A sharded `FlowId → session` map with bounded capacity, LRU-within-shard
+/// eviction, and idle-deadline reclamation. See the module docs for policy.
+pub struct FlowTable<S> {
+    cfg: FlowTableConfig,
+    shards: Vec<Vec<Entry<S>>>,
+    stats: FlowTableStats,
+}
+
+impl<S> FlowTable<S> {
+    /// Builds an empty table. Zero `shards`/`per_shard` are clamped to 1.
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        let cfg = FlowTableConfig {
+            shards: cfg.shards.max(1),
+            per_shard: cfg.per_shard.max(1),
+            ..cfg
+        };
+        let mut shards = Vec::with_capacity(cfg.shards);
+        shards.resize_with(cfg.shards, Vec::new);
+        FlowTable {
+            cfg,
+            shards,
+            stats: FlowTableStats::default(),
+        }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &FlowTableConfig {
+        &self.cfg
+    }
+
+    /// Maximum number of live sessions.
+    pub fn capacity(&self) -> usize {
+        self.cfg.shards * self.cfg.per_shard
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+
+    /// Fibonacci multiplicative spread of the flow id over the shards:
+    /// cheap, stateless, and well-distributed even for sequential ids.
+    fn shard_index(&self, flow: FlowId) -> usize {
+        let mixed = (flow.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) as usize) % self.cfg.shards
+    }
+
+    /// Looks up `flow`, refreshing its LRU/idle clock to `now`.
+    pub fn get_mut(&mut self, flow: FlowId, now: SimTime) -> Option<&mut S> {
+        let shard = self.shard_index(flow);
+        let entry = self.shards[shard].iter_mut().find(|e| e.flow == flow)?;
+        entry.last_used = now;
+        Some(&mut entry.session)
+    }
+
+    /// Whether a session for `flow` is live (no LRU refresh).
+    pub fn contains(&self, flow: FlowId) -> bool {
+        let shard = self.shard_index(flow);
+        self.shards[shard].iter().any(|e| e.flow == flow)
+    }
+
+    /// Looks up `flow` *without* refreshing its LRU/idle clock — for
+    /// housekeeping paths (timer callbacks) that must not keep an otherwise
+    /// idle session alive.
+    pub fn peek_mut(&mut self, flow: FlowId) -> Option<&mut S> {
+        let shard = self.shard_index(flow);
+        self.shards[shard]
+            .iter_mut()
+            .find(|e| e.flow == flow)
+            .map(|e| &mut e.session)
+    }
+
+    /// Removes and returns `flow`'s session iff it is idle past the
+    /// deadline (a targeted, O(shard) alternative to a full
+    /// [`FlowTable::sweep_idle`]).
+    pub fn evict_if_idle(&mut self, flow: FlowId, now: SimTime) -> Option<S> {
+        let deadline = self.cfg.idle_timeout;
+        let shard = self.shard_index(flow);
+        let pos = self.shards[shard]
+            .iter()
+            .position(|e| e.flow == flow && e.last_used + deadline <= now)?;
+        self.stats.evicted_idle += 1;
+        Some(self.shards[shard].remove(pos).session)
+    }
+
+    /// Looks up `flow`, creating its session with `init` if absent; returns
+    /// `(created, session)`. Creation first reclaims idle sessions in the
+    /// target shard, then — if the shard is still full — evicts its least
+    /// recently used entry. Evicted sessions are dropped (callers that need
+    /// teardown hooks should use [`FlowTable::sweep_idle`] proactively).
+    pub fn get_or_insert_with(
+        &mut self,
+        flow: FlowId,
+        now: SimTime,
+        init: impl FnOnce() -> S,
+    ) -> (bool, &mut S) {
+        let shard = self.shard_index(flow);
+        if let Some(pos) = self.shards[shard].iter().position(|e| e.flow == flow) {
+            let entry = &mut self.shards[shard][pos];
+            entry.last_used = now;
+            return (false, &mut entry.session);
+        }
+        // Reclaim idle entries before applying LRU pressure.
+        let deadline = self.cfg.idle_timeout;
+        let before = self.shards[shard].len();
+        self.shards[shard].retain(|e| e.last_used + deadline > now);
+        self.stats.evicted_idle += (before - self.shards[shard].len()) as u64;
+        if self.shards[shard].len() >= self.cfg.per_shard {
+            let lru = self.shards[shard]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            self.shards[shard].remove(lru);
+            self.stats.evicted_capacity += 1;
+        }
+        if !self.shards[shard].is_empty() {
+            self.stats.shard_collisions += 1;
+        }
+        self.stats.created += 1;
+        self.shards[shard].push(Entry {
+            flow,
+            last_used: now,
+            session: init(),
+        });
+        let entry = self.shards[shard].last_mut().expect("just pushed");
+        (true, &mut entry.session)
+    }
+
+    /// Removes and returns `flow`'s session.
+    pub fn remove(&mut self, flow: FlowId) -> Option<S> {
+        let shard = self.shard_index(flow);
+        let pos = self.shards[shard].iter().position(|e| e.flow == flow)?;
+        Some(self.shards[shard].remove(pos).session)
+    }
+
+    /// Reclaims every session idle past the deadline, returning them so
+    /// callers can record per-flow teardown metrics.
+    pub fn sweep_idle(&mut self, now: SimTime) -> Vec<(FlowId, S)> {
+        let deadline = self.cfg.idle_timeout;
+        let mut evicted = Vec::new();
+        for shard in &mut self.shards {
+            let mut kept = Vec::with_capacity(shard.len());
+            for entry in shard.drain(..) {
+                if entry.last_used + deadline <= now {
+                    evicted.push((entry.flow, entry.session));
+                } else {
+                    kept.push(entry);
+                }
+            }
+            *shard = kept;
+        }
+        self.stats.evicted_idle += evicted.len() as u64;
+        evicted
+    }
+
+    /// Iterates live sessions in deterministic order (shard index, then
+    /// insertion order within the shard).
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &S)> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.iter().map(|e| (e.flow, &e.session)))
+    }
+
+    /// Mutable twin of [`FlowTable::iter`], same deterministic order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FlowId, &mut S)> {
+        self.shards
+            .iter_mut()
+            .flat_map(|shard| shard.iter_mut().map(|e| (e.flow, &mut e.session)))
+    }
+
+    /// Drains the counters accumulated since the last call (delta
+    /// semantics, for feeding monotonic obs counters). Returns `None` when
+    /// nothing changed so callers can skip the publish entirely.
+    pub fn take_stats(&mut self) -> Option<FlowTableStats> {
+        if self.stats.is_empty() {
+            return None;
+        }
+        Some(core::mem::take(&mut self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn small(shards: usize, per_shard: usize, idle_ms: u64) -> FlowTable<u32> {
+        FlowTable::new(FlowTableConfig {
+            shards,
+            per_shard,
+            idle_timeout: SimDuration::from_millis(idle_ms),
+        })
+    }
+
+    #[test]
+    fn create_lookup_remove() {
+        let mut table = small(4, 4, 1000);
+        let (created, s) = table.get_or_insert_with(FlowId(7), t(0), || 70);
+        assert!(created);
+        assert_eq!(*s, 70);
+        let (created, s) = table.get_or_insert_with(FlowId(7), t(1), || 99);
+        assert!(!created, "existing session must not be re-created");
+        assert_eq!(*s, 70);
+        assert_eq!(table.len(), 1);
+        assert!(table.contains(FlowId(7)));
+        assert_eq!(table.get_mut(FlowId(7), t(2)).copied(), Some(70));
+        assert_eq!(table.remove(FlowId(7)), Some(70));
+        assert!(table.is_empty());
+        assert_eq!(table.get_mut(FlowId(7), t(3)), None);
+    }
+
+    #[test]
+    fn capacity_is_respected_with_lru_eviction() {
+        // One shard so every flow collides; cap 2.
+        let mut table = small(1, 2, 1_000_000);
+        table.get_or_insert_with(FlowId(1), t(0), || 1);
+        table.get_or_insert_with(FlowId(2), t(1), || 2);
+        // Touch flow 1 so flow 2 becomes the LRU victim.
+        table.get_mut(FlowId(1), t(5));
+        table.get_or_insert_with(FlowId(3), t(6), || 3);
+        assert_eq!(table.len(), 2);
+        assert!(table.contains(FlowId(1)), "recently used flow survives");
+        assert!(!table.contains(FlowId(2)), "LRU flow evicted");
+        assert!(table.contains(FlowId(3)));
+        let stats = table.take_stats().unwrap();
+        assert_eq!(stats.created, 3);
+        assert_eq!(stats.evicted_capacity, 1);
+        assert_eq!(stats.evicted_idle, 0);
+        assert!(stats.shard_collisions >= 2);
+    }
+
+    #[test]
+    fn idle_sessions_are_reclaimed_before_lru() {
+        let mut table = small(1, 2, 100);
+        table.get_or_insert_with(FlowId(1), t(0), || 1);
+        table.get_or_insert_with(FlowId(2), t(90), || 2);
+        // At t=200 flow 1 (idle 200ms) is past the 100ms deadline, flow 2
+        // (idle 110ms) is too: both are reclaimed, so no LRU eviction.
+        table.get_or_insert_with(FlowId(3), t(200), || 3);
+        let stats = table.take_stats().unwrap();
+        assert_eq!(stats.evicted_idle, 2);
+        assert_eq!(stats.evicted_capacity, 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn sweep_idle_returns_sessions() {
+        let mut table = small(4, 4, 100);
+        table.get_or_insert_with(FlowId(1), t(0), || 10);
+        table.get_or_insert_with(FlowId(2), t(50), || 20);
+        let mut swept = table.sweep_idle(t(120));
+        swept.sort_by_key(|(f, _)| *f);
+        assert_eq!(swept, vec![(FlowId(1), 10)]);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.take_stats().unwrap().evicted_idle, 1);
+        // Nothing further to drain.
+        assert_eq!(table.take_stats(), None);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut a = small(8, 8, 1000);
+        let mut b = small(8, 8, 1000);
+        for f in [9u32, 3, 7, 1, 200, 42] {
+            a.get_or_insert_with(FlowId(f), t(f as u64), || f);
+            b.get_or_insert_with(FlowId(f), t(f as u64), || f);
+        }
+        let fa: Vec<_> = a.iter_mut().map(|(f, _)| f).collect();
+        let fb: Vec<_> = b.iter_mut().map(|(f, _)| f).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(fa.len(), 6);
+    }
+
+    #[test]
+    fn zero_config_is_clamped() {
+        let table: FlowTable<()> = FlowTable::new(FlowTableConfig {
+            shards: 0,
+            per_shard: 0,
+            idle_timeout: SimDuration::from_secs(1),
+        });
+        assert_eq!(table.capacity(), 1);
+    }
+
+    #[test]
+    fn flows_spread_across_shards() {
+        let mut table = small(8, 256, 1000);
+        for f in 0..64u32 {
+            table.get_or_insert_with(FlowId(f), t(0), || f);
+        }
+        // The multiplicative hash should not funnel sequential ids into a
+        // single shard: with 64 flows over 8 shards, collisions must be
+        // well below the all-in-one-shard worst case of 63.
+        let stats = table.take_stats().unwrap();
+        assert_eq!(stats.created, 64);
+        assert!(
+            stats.shard_collisions <= 60,
+            "hash degenerated: {} collisions",
+            stats.shard_collisions
+        );
+        assert_eq!(table.len(), 64);
+    }
+}

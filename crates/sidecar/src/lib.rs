@@ -15,6 +15,9 @@
 //!   hello).
 //! * [`negotiate`] — the offer/accept handshake turning a `Hello` into an
 //!   agreed parameter set (§3.2's `t`, `b`, `c` and the schedule).
+//! * [`flows`] — the bounded, sharded [`FlowTable`] mapping flow ids to
+//!   per-flow sidecar sessions (a proxy serves many connections; each gets
+//!   its own sketch, epoch, and supervision).
 //! * [`protocols`] — the three protocols of Table 1 as runnable simulation
 //!   scenarios with baselines:
 //!   [`protocols::ccd`] (congestion-control division, §2.1),
@@ -28,6 +31,7 @@
 
 pub mod config;
 pub mod endpoint;
+pub mod flows;
 pub mod messages;
 pub mod negotiate;
 pub mod protocols;
@@ -37,6 +41,7 @@ pub use config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 pub use endpoint::{
     ConfirmedLoss, ConsumerStats, LogEntry, ProcessError, QuackConsumer, QuackProducer, QuackReport,
 };
+pub use flows::{FlowTable, FlowTableConfig, FlowTableStats};
 pub use messages::{MessageError, SidecarMessage};
 pub use negotiate::{accept_hello, offer, Capabilities, NegotiationError};
 pub use supervise::{PollOutcome, Supervisor, SupervisorState, SupervisorStats};

@@ -11,6 +11,12 @@
 use sidecar_netsim::time::SimDuration;
 
 /// Message-type tags (the `proto` byte of `Payload::Sidecar`).
+///
+/// Each legacy tag has a flow-tagged twin at `tag + FLOW_OFFSET` whose body
+/// is prefixed with a 4-byte big-endian flow id (carried next to the epoch
+/// for `Quack`). Flow 0 always encodes with the legacy tag, so single-flow
+/// wire traffic is byte-identical to pre-flow-table builds, and legacy
+/// untagged messages parse as flow 0.
 pub mod tag {
     /// A quACK payload.
     pub const QUACK: u8 = 1;
@@ -20,6 +26,16 @@ pub mod tag {
     pub const RESET: u8 = 3;
     /// A parameter offer opening (or re-opening) a sidecar session.
     pub const HELLO: u8 = 4;
+    /// Distance between a legacy tag and its flow-tagged twin.
+    pub const FLOW_OFFSET: u8 = 4;
+    /// A quACK payload tagged with a non-zero flow id.
+    pub const QUACK_FLOW: u8 = QUACK + FLOW_OFFSET;
+    /// A configuration update tagged with a non-zero flow id.
+    pub const CONFIGURE_FLOW: u8 = CONFIGURE + FLOW_OFFSET;
+    /// A reset announcement tagged with a non-zero flow id.
+    pub const RESET_FLOW: u8 = RESET + FLOW_OFFSET;
+    /// A parameter offer tagged with a non-zero flow id.
+    pub const HELLO_FLOW: u8 = HELLO + FLOW_OFFSET;
 }
 
 /// A decoded sidecar message.
@@ -154,12 +170,50 @@ impl SidecarMessage {
         }
     }
 
+    /// Serializes to `(tag, body)` for a sidecar datagram belonging to
+    /// `flow`. Flow 0 uses the legacy untagged encoding (byte-identical to
+    /// [`SidecarMessage::encode`]); any other flow uses the flow-tagged twin
+    /// tag with the flow id as a 4-byte big-endian body prefix, sitting
+    /// right next to the epoch for `Quack` bodies.
+    pub fn encode_for_flow(&self, flow: u32) -> (u8, Vec<u8>) {
+        let (t, body) = self.encode();
+        if flow == 0 {
+            return (t, body);
+        }
+        let mut tagged = Vec::with_capacity(4 + body.len());
+        tagged.extend_from_slice(&flow.to_be_bytes());
+        tagged.extend_from_slice(&body);
+        (t + tag::FLOW_OFFSET, tagged)
+    }
+
+    /// Parses a sidecar datagram body into `(flow, message)`. Legacy tags
+    /// parse as flow 0; flow-tagged twins strip the 4-byte flow prefix and
+    /// parse the remainder with the legacy decoder.
+    pub fn decode_flow(tag_byte: u8, body: &[u8]) -> Result<(u32, Self), MessageError> {
+        if (tag::QUACK_FLOW..=tag::HELLO_FLOW).contains(&tag_byte) {
+            if body.len() < 4 {
+                return Err(MessageError::Truncated);
+            }
+            let flow = u32::from_be_bytes(body[..4].try_into().expect("4 bytes"));
+            let msg = Self::decode(tag_byte - tag::FLOW_OFFSET, &body[4..])?;
+            Ok((flow, msg))
+        } else {
+            Ok((0, Self::decode(tag_byte, body)?))
+        }
+    }
+
     /// On-the-wire size of the sidecar datagram body plus a nominal
     /// UDP/IP-style header overhead used for link accounting.
     pub fn wire_size(&self) -> u32 {
         const HEADER_OVERHEAD: u32 = 28; // IPv4 + UDP
         let (_, body) = self.encode();
         HEADER_OVERHEAD + body.len() as u32
+    }
+
+    /// [`SidecarMessage::wire_size`] for the flow-tagged encoding: non-zero
+    /// flows pay 4 extra bytes for the flow id prefix.
+    pub fn wire_size_for_flow(&self, flow: u32) -> u32 {
+        self.wire_size() + if flow == 0 { 0 } else { 4 }
     }
 }
 
@@ -231,6 +285,74 @@ mod tests {
             Err(MessageError::Truncated)
         );
         assert!(MessageError::UnknownTag(99).to_string().contains("99"));
+    }
+
+    #[test]
+    fn flow_zero_encodes_legacy() {
+        // Flow 0 must stay byte-identical to the untagged encoding so
+        // pre-flow-table golden traces and wire sizes are unchanged.
+        let msg = SidecarMessage::Quack {
+            epoch: 3,
+            bytes: vec![1, 2, 3],
+        };
+        assert_eq!(msg.encode_for_flow(0), msg.encode());
+        assert_eq!(msg.wire_size_for_flow(0), msg.wire_size());
+    }
+
+    #[test]
+    fn flow_tagged_roundtrip_every_message() {
+        let msgs = [
+            SidecarMessage::Quack {
+                epoch: 9,
+                bytes: vec![0xAB; 82],
+            },
+            SidecarMessage::Configure {
+                interval: SimDuration::from_millis(7),
+            },
+            SidecarMessage::Reset { epoch: 11 },
+            SidecarMessage::Hello {
+                threshold: 20,
+                id_bits: 32,
+                count_bits: 16,
+                interval: SimDuration::from_millis(60),
+            },
+        ];
+        for msg in msgs {
+            let (t, body) = msg.encode_for_flow(0xC0FFEE);
+            let (legacy_t, _) = msg.encode();
+            assert_eq!(t, legacy_t + tag::FLOW_OFFSET);
+            assert_eq!(&body[..4], &0xC0FFEE_u32.to_be_bytes());
+            let (flow, decoded) = SidecarMessage::decode_flow(t, &body).unwrap();
+            assert_eq!(flow, 0xC0FFEE);
+            assert_eq!(decoded, msg);
+            assert_eq!(msg.wire_size_for_flow(0xC0FFEE), msg.wire_size() + 4);
+        }
+    }
+
+    #[test]
+    fn legacy_tags_decode_as_flow_zero() {
+        let msg = SidecarMessage::Reset { epoch: 5 };
+        let (t, body) = msg.encode();
+        assert_eq!(SidecarMessage::decode_flow(t, &body).unwrap(), (0, msg));
+    }
+
+    #[test]
+    fn flow_tagged_decode_errors() {
+        // Too short for even the flow prefix.
+        assert_eq!(
+            SidecarMessage::decode_flow(tag::QUACK_FLOW, &[1, 2]),
+            Err(MessageError::Truncated)
+        );
+        // Flow prefix present but inner body truncated (Reset wants 4 bytes).
+        assert_eq!(
+            SidecarMessage::decode_flow(tag::RESET_FLOW, &[0, 0, 0, 1, 9]),
+            Err(MessageError::Truncated)
+        );
+        // Unknown tag above the flow-tagged range.
+        assert_eq!(
+            SidecarMessage::decode_flow(99, &[0; 8]),
+            Err(MessageError::UnknownTag(99))
+        );
     }
 
     #[test]

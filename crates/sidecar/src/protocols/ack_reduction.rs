@@ -13,6 +13,7 @@
 
 use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
+use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
@@ -20,7 +21,7 @@ use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderCore, SenderNode,
@@ -32,13 +33,32 @@ use std::any::Any;
 const TOKEN_RTO: u64 = 1;
 const TOKEN_GRACE: u64 = 2;
 const TOKEN_SUPERVISE: u64 = 3;
+/// Periodic proxy housekeeping: reap idle flow sessions even when no
+/// traffic arrives to piggyback the sweep on.
+const TOKEN_SWEEP: u64 = 4;
+
+/// One flow's producer state inside the proxy's flow table.
+struct ProducerSession {
+    producer: QuackProducer<Fp32>,
+    /// Lifetime quACKs emitted for this flow (reported at eviction).
+    quacks: u64,
+}
 
 /// The ACK-reduction proxy: a regular router whose sidecar quACKs every
 /// `n` data packets toward the server (paper: "every other packet such as
 /// in TCP, much more frequently than in the protocol for congestion
-/// control").
+/// control"). One producer session per flow, muxed through a bounded
+/// [`FlowTable`].
 pub struct AckRedProxy {
-    producer: QuackProducer<Fp32>,
+    cfg: SidecarConfig,
+    table: FlowTable<ProducerSession>,
+    /// Epoch to announce when a session is (re)created after a restart:
+    /// the sketches died with the node, so each flow's first post-restart
+    /// packet triggers a `Reset` that stops the server interpreting quACKs
+    /// against its stale mirror.
+    restart_announce: Option<u32>,
+    /// Data packets observed (drives the periodic idle sweep).
+    observed_packets: u64,
     /// QuACK datagrams emitted.
     pub quacks_sent: u64,
     /// QuACK bytes emitted.
@@ -49,11 +69,47 @@ impl AckRedProxy {
     /// Creates the proxy; `cfg.frequency` should be
     /// [`QuackFrequency::EveryPackets`].
     pub fn new(cfg: SidecarConfig) -> Self {
+        Self::with_flow_table(cfg, FlowTableConfig::default())
+    }
+
+    /// Creates the proxy with explicit flow-table sizing.
+    pub fn with_flow_table(cfg: SidecarConfig, table: FlowTableConfig) -> Self {
         AckRedProxy {
-            producer: QuackProducer::new(cfg),
+            cfg,
+            table: FlowTable::new(table),
+            restart_announce: None,
+            observed_packets: 0,
             quacks_sent: 0,
             quack_bytes: 0,
         }
+    }
+
+    /// Live per-flow sessions.
+    pub fn live_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Looks up (or lazily creates) `flow`'s producer session. A session
+    /// created by a data packet after a restart announces the fresh epoch.
+    fn session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) -> &mut ProducerSession {
+        let cfg = self.cfg;
+        let epoch = self.restart_announce;
+        let (created, session) = self.table.get_or_insert_with(flow, ctx.now(), || {
+            let mut producer = QuackProducer::new(cfg);
+            if let Some(e) = epoch {
+                producer.reset(e);
+            }
+            ProducerSession {
+                producer,
+                quacks: 0,
+            }
+        });
+        if created && announce {
+            if let Some(e) = epoch {
+                let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+            }
+        }
+        session
     }
 }
 
@@ -63,35 +119,51 @@ impl Node for AckRedProxy {
             // From the server: observe and forward to the client; quACK on
             // schedule.
             IfaceId(0) => {
+                let flow = packet.flow;
                 let mut emit = false;
                 if packet.kind == PacketKind::Data {
-                    emit = self.producer.observe(packet.id);
+                    emit = self.session(flow, true, ctx).producer.observe(packet.id);
                     obs::observed(ctx);
+                    self.observed_packets += 1;
+                    if self.observed_packets.is_multiple_of(64) {
+                        for (_, s) in self.table.sweep_idle(ctx.now()) {
+                            obs::flow_evicted(ctx, s.quacks);
+                        }
+                    }
                 }
                 if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                    match SidecarMessage::decode(proto, bytes) {
-                        Ok(SidecarMessage::Reset { epoch }) => {
-                            self.producer.reset(epoch);
+                    match SidecarMessage::decode_flow(proto, bytes) {
+                        Ok((mflow, SidecarMessage::Reset { epoch })) => {
+                            let flow = FlowId(mflow);
+                            self.session(flow, false, ctx).producer.reset(epoch);
+                            obs::flow_table(ctx, &mut self.table);
                             return;
                         }
-                        Ok(hello @ SidecarMessage::Hello { .. }) => {
+                        Ok((mflow, hello @ SidecarMessage::Hello { .. })) => {
                             // Server handshake; Reset reply doubles as the
                             // ack. Recovery Hellos (non-empty sketch) get a
                             // fresh epoch, startup Hellos keep the pristine
                             // one.
+                            let flow = FlowId(mflow);
                             let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
                             obs::handshake(ctx, accepted);
                             if accepted {
-                                let epoch = if self.producer.count() == 0 {
-                                    self.producer.epoch()
+                                let producer = &mut self.session(flow, false, ctx).producer;
+                                let epoch = if producer.count() == 0 {
+                                    producer.epoch()
                                 } else {
-                                    let e = self.producer.epoch().wrapping_add(1);
-                                    self.producer.reset(e);
+                                    let e = producer.epoch().wrapping_add(1);
+                                    producer.reset(e);
                                     e
                                 };
-                                let _ =
-                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                                let _ = send_sidecar(
+                                    SidecarMessage::Reset { epoch },
+                                    flow,
+                                    IfaceId(0),
+                                    ctx,
+                                );
                             }
+                            obs::flow_table(ctx, &mut self.table);
                             return;
                         }
                         _ => {}
@@ -99,19 +171,21 @@ impl Node for AckRedProxy {
                 }
                 ctx.send(IfaceId(1), packet);
                 if emit {
-                    let fill = self.producer.burst_fill();
-                    let msg = self.producer.emit();
+                    let session = self
+                        .table
+                        .get_mut(flow, ctx.now())
+                        .expect("session created above");
+                    let fill = session.producer.burst_fill();
+                    let msg = session.producer.emit();
+                    let epoch = session.producer.epoch();
+                    let count = session.producer.count();
+                    session.quacks += 1;
                     self.quacks_sent += 1;
-                    let bytes = send_sidecar(msg, IfaceId(0), ctx);
+                    let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
                     self.quack_bytes += bytes as u64;
-                    obs::quack_emitted(
-                        ctx,
-                        self.producer.epoch(),
-                        self.producer.count(),
-                        fill,
-                        bytes,
-                    );
+                    obs::quack_emitted(ctx, epoch, count, fill, bytes);
                 }
+                obs::flow_table(ctx, &mut self.table);
             }
             // From the client: forward upstream untouched.
             IfaceId(1) => ctx.send(IfaceId(0), packet),
@@ -119,13 +193,28 @@ impl Node for AckRedProxy {
         }
     }
 
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer_after(self.table.config().idle_timeout, TOKEN_SWEEP);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        if token == TOKEN_SWEEP {
+            for (_, s) in self.table.sweep_idle(ctx.now()) {
+                obs::flow_evicted(ctx, s.quacks);
+            }
+            obs::flow_table(ctx, &mut self.table);
+            ctx.set_timer_after(self.table.config().idle_timeout, TOKEN_SWEEP);
+        }
+    }
+
     fn on_restart(&mut self, ctx: &mut Context) {
-        // The sketch died with the node: announce a fresh time-derived
-        // epoch so the server stops interpreting quACKs against the old
-        // mirror log.
-        let epoch = restart_epoch(ctx.now());
-        self.producer.reset(epoch);
-        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+        // Every sketch died with the node. Sessions are rebuilt lazily as
+        // flows reappear; each rebuild announces this time-derived epoch so
+        // the corresponding server stops interpreting quACKs against its
+        // stale mirror.
+        self.table = FlowTable::new(*self.table.config());
+        self.restart_announce = Some(restart_epoch(ctx.now()));
+        ctx.set_timer_after(self.table.config().idle_timeout, TOKEN_SWEEP);
     }
 
     fn name(&self) -> &str {
@@ -147,6 +236,9 @@ pub struct AckRedServer {
     transport: SenderCore,
     sidecar: QuackConsumer<Fp32>,
     cfg: SidecarConfig,
+    /// The transport's flow id: all sidecar messages are tagged with it,
+    /// and inbound sidecar traffic for other flows is ignored.
+    flow: FlowId,
     /// Session supervision: hello handshake, liveness, degraded fallback.
     pub supervisor: Supervisor,
     /// Packets released from window accounting by quACKs.
@@ -161,10 +253,12 @@ impl AckRedServer {
         segment_rtt: SimDuration,
         supervision: SupervisionConfig,
     ) -> Self {
+        let flow = transport.flow;
         AckRedServer {
             transport: SenderCore::new(transport),
             sidecar: QuackConsumer::new(sidecar, segment_rtt),
             cfg: sidecar,
+            flow,
             supervisor: Supervisor::new(supervision),
             window_releases: 0,
         }
@@ -221,7 +315,7 @@ impl AckRedServer {
             ) => {
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
-                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
                 if self.supervisor.on_quack_error(&err, ctx.now()) {
                     self.enter_degraded();
                 }
@@ -253,7 +347,7 @@ impl AckRedServer {
             self.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), IfaceId(0), ctx);
+            let _ = send_sidecar(offer(&self.cfg), self.flow, IfaceId(0), ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
@@ -276,14 +370,20 @@ impl Node for AckRedServer {
                 self.pump(ctx);
             }
             Payload::Sidecar { proto, ref bytes } => {
-                match SidecarMessage::decode(proto, bytes) {
-                    Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                match SidecarMessage::decode_flow(proto, bytes) {
+                    Ok((mflow, _)) if mflow != self.flow.0 => {
+                        // A datagram for some other session (misrouted, or
+                        // the proxy muxing another flow): not ours.
+                        #[cfg(feature = "obs")]
+                        ctx.obs_inc("sidecar.flow_mismatch");
+                    }
+                    Ok((_, SidecarMessage::Quack { epoch, bytes })) => {
                         if self.supervisor.enabled() {
                             self.handle_quack(epoch, &bytes, ctx);
                             self.pump(ctx);
                         }
                     }
-                    Ok(SidecarMessage::Reset { epoch }) => {
+                    Ok((_, SidecarMessage::Reset { epoch })) => {
                         // Handshake ack / proxy-restart announcement.
                         if epoch != self.sidecar.epoch() {
                             let _ = self.sidecar.reset(epoch);

@@ -19,6 +19,7 @@
 
 use crate::config::{SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
+use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
@@ -26,7 +27,7 @@ use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverCore, ReceiverNode, SenderConfig, SenderCore, SenderNode,
@@ -45,13 +46,16 @@ const TOKEN_SUPERVISE: u64 = 6;
 
 /// The window-steering "congestion control" of the sidecar run: effectively
 /// unbounded, with the real window enforced through the cwnd cap.
-const STEERED_CC: CcAlgorithm = CcAlgorithm::Fixed(u64::MAX / 2);
+pub(crate) const STEERED_CC: CcAlgorithm = CcAlgorithm::Fixed(u64::MAX / 2);
 
 /// The client end host: unchanged transport receiver plus a quACK-producing
 /// sidecar library.
 pub struct CcdClient {
     transport: ReceiverCore,
     sidecar: QuackProducer<Fp32>,
+    /// The connection this sidecar belongs to; its messages carry this flow
+    /// and inbound control for other flows is ignored.
+    flow: FlowId,
     interval: SimDuration,
     /// QuACK datagrams emitted.
     pub quacks_sent: u64,
@@ -62,9 +66,11 @@ pub struct CcdClient {
 impl CcdClient {
     /// Creates the client. `interval` is the quACK period (≈ one RTT).
     pub fn new(transport: ReceiverConfig, sidecar: SidecarConfig, interval: SimDuration) -> Self {
+        let flow = transport.flow;
         CcdClient {
             transport: ReceiverCore::new(transport),
             sidecar: QuackProducer::new(sidecar),
+            flow,
             interval,
             quacks_sent: 0,
             quack_bytes: 0,
@@ -85,9 +91,15 @@ impl Node for CcdClient {
     fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match packet.payload {
             Payload::Sidecar { proto, ref bytes } => {
-                match SidecarMessage::decode(proto, bytes) {
-                    Ok(SidecarMessage::Reset { epoch }) => self.sidecar.reset(epoch),
-                    Ok(hello @ SidecarMessage::Hello { .. }) => {
+                match SidecarMessage::decode_flow(proto, bytes) {
+                    // An end-host sidecar owns exactly one connection:
+                    // control tagged for any other flow is not ours.
+                    Ok((mflow, _)) if mflow != self.flow.0 => {
+                        #[cfg(feature = "obs")]
+                        ctx.obs_inc("sidecar.flow_mismatch");
+                    }
+                    Ok((_, SidecarMessage::Reset { epoch })) => self.sidecar.reset(epoch),
+                    Ok((_, hello @ SidecarMessage::Hello { .. })) => {
                         let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
                         obs::handshake(ctx, accepted);
                         if accepted {
@@ -102,7 +114,12 @@ impl Node for CcdClient {
                                 self.sidecar.reset(e);
                                 e
                             };
-                            let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                            let _ = send_sidecar(
+                                SidecarMessage::Reset { epoch },
+                                self.flow,
+                                IfaceId(0),
+                                ctx,
+                            );
                         }
                     }
                     _ => {}
@@ -127,7 +144,7 @@ impl Node for CcdClient {
                 let fill = self.sidecar.burst_fill();
                 let msg = self.sidecar.emit();
                 self.quacks_sent += 1;
-                let bytes = send_sidecar(msg, IfaceId(0), ctx);
+                let bytes = send_sidecar(msg, self.flow, IfaceId(0), ctx);
                 self.quack_bytes += bytes as u64;
                 obs::quack_emitted(ctx, self.sidecar.epoch(), self.sidecar.count(), fill, bytes);
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
@@ -146,7 +163,7 @@ impl Node for CcdClient {
         // epoch and announce it so the proxy resyncs its mirror.
         let epoch = restart_epoch(ctx.now());
         self.sidecar.reset(epoch);
-        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+        let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
         ctx.set_timer_after(self.interval, TOKEN_EMIT);
     }
 
@@ -197,16 +214,31 @@ impl RateController {
     }
 }
 
-/// The division proxy: a regular router for the base protocol that paces
-/// its downstream egress, produces quACKs upstream, and consumes the
-/// client's quACKs (paper Fig. 1b).
-pub struct CcdProxy {
-    /// Sidecar parameters (kept for handshakes and post-restart rebuilds).
-    cfg: SidecarConfig,
+/// One flow's sidecar state inside the division proxy: the upstream
+/// producer (server→proxy segment), the downstream consumer mirror
+/// (proxy→client segment), and that downstream session's supervision.
+struct CcdFlow {
     /// QuACK producer toward the server (covers the server→proxy segment).
     upstream_producer: QuackProducer<Fp32>,
     /// QuACK consumer for client quACKs (covers the proxy→client segment).
     downstream_consumer: QuackConsumer<Fp32>,
+    /// Local tag counter for the downstream mirror log.
+    next_tag: u64,
+    /// Supervises the proxy→client quACK session (the adaptive pacing loop).
+    supervisor: Supervisor,
+    /// QuACKs emitted upstream for this flow.
+    quacks: u64,
+}
+
+/// The division proxy: a regular router for the base protocol that paces
+/// its downstream egress, produces quACKs upstream, and consumes the
+/// client's quACKs (paper Fig. 1b) — per flow, muxed through a bounded
+/// [`FlowTable`]. The pacing buffer and rate controller stay shared: the
+/// proxy meters one egress link, whatever mix of flows crosses it.
+pub struct CcdProxy {
+    /// Sidecar parameters (kept for handshakes and new-flow sessions).
+    cfg: SidecarConfig,
+    table: FlowTable<CcdFlow>,
     /// Pacing buffer of data packets awaiting the downstream segment.
     buffer: VecDeque<Packet>,
     /// Buffer capacity; overflow drops (creating segment-1 backpressure).
@@ -214,20 +246,29 @@ pub struct CcdProxy {
     rate: RateController,
     /// Configured initial pacing rate — the degraded fallback.
     initial_rate_bps: f64,
-    /// Local tag counter for the downstream mirror log.
-    next_tag: u64,
     /// Emission interval toward the server.
     interval: SimDuration,
-    /// Downstream in-transit window (for post-restart consumer rebuilds).
+    /// Downstream in-transit window (for consumer builds).
     downstream_rtt: SimDuration,
     /// Whether a drain timer is outstanding.
     drain_armed: bool,
-    /// Supervises the proxy→client quACK session (the adaptive pacing loop).
-    pub supervisor: Supervisor,
     supervision: SupervisionConfig,
-    /// QuACKs emitted upstream.
+    /// Set after a restart: the fresh epoch each recreated flow announces
+    /// upstream when its data reappears.
+    restart_announce: Option<u32>,
+    /// Supervisor outcomes of sessions the table already reclaimed
+    /// (`(degradations, recoveries)`), so report totals survive eviction.
+    evicted_sup: (u64, u64),
+    /// Earliest armed `TOKEN_GRACE` deadline. Timers are one-shot and
+    /// accumulate, and the grace timer is shared across flows with many
+    /// arm sites; without this guard every arm spawns another timer chain
+    /// and the event queue melts down under multi-flow load.
+    grace_armed: Option<SimTime>,
+    /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard).
+    sup_armed: Option<SimTime>,
+    /// QuACKs emitted upstream (all flows).
     pub quacks_sent: u64,
-    /// QuACK bytes emitted upstream.
+    /// QuACK bytes emitted upstream (all flows).
     pub quack_bytes: u64,
     /// Packets dropped by the pacing buffer.
     pub buffer_drops: u64,
@@ -243,20 +284,43 @@ impl CcdProxy {
         downstream_rtt: SimDuration,
         supervision: SupervisionConfig,
     ) -> Self {
+        Self::with_flow_table(
+            sidecar,
+            interval,
+            initial_rate_bps,
+            buffer_cap,
+            downstream_rtt,
+            supervision,
+            FlowTableConfig::default(),
+        )
+    }
+
+    /// Creates the proxy with explicit flow-table sizing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_flow_table(
+        sidecar: SidecarConfig,
+        interval: SimDuration,
+        initial_rate_bps: f64,
+        buffer_cap: usize,
+        downstream_rtt: SimDuration,
+        supervision: SupervisionConfig,
+        table: FlowTableConfig,
+    ) -> Self {
         CcdProxy {
             cfg: sidecar,
-            upstream_producer: QuackProducer::new(sidecar),
-            downstream_consumer: QuackConsumer::new(sidecar, downstream_rtt),
+            table: FlowTable::new(table),
             buffer: VecDeque::new(),
             buffer_cap,
             rate: RateController::new(initial_rate_bps, 1_000_000.0, 10_000_000_000.0),
             initial_rate_bps,
-            next_tag: 0,
             interval,
             downstream_rtt,
             drain_armed: false,
-            supervisor: Supervisor::new(supervision),
             supervision,
+            restart_announce: None,
+            evicted_sup: (0, 0),
+            grace_armed: None,
+            sup_armed: None,
             quacks_sent: 0,
             quack_bytes: 0,
             buffer_drops: 0,
@@ -268,6 +332,66 @@ impl CcdProxy {
         self.rate.rate_bps
     }
 
+    /// Live per-flow sessions.
+    pub fn live_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Supervisor degradations summed over live and reclaimed sessions.
+    pub fn degradations(&self) -> u64 {
+        self.evicted_sup.0
+            + self
+                .table
+                .iter()
+                .map(|(_, s)| s.supervisor.stats.degradations)
+                .sum::<u64>()
+    }
+
+    /// Supervisor recoveries summed over live and reclaimed sessions.
+    pub fn recoveries(&self) -> u64 {
+        self.evicted_sup.1
+            + self
+                .table
+                .iter()
+                .map(|(_, s)| s.supervisor.stats.recoveries)
+                .sum::<u64>()
+    }
+
+    fn any_enabled(&self) -> bool {
+        self.table.iter().any(|(_, s)| s.supervisor.enabled())
+    }
+
+    /// Ensures `flow` has a session. A fresh session is supervised at once
+    /// (its downstream Hello is queued before the data packet that created
+    /// it reaches the pacing buffer's egress), and — post-restart — tells
+    /// the server this flow's fresh upstream epoch.
+    fn ensure_session(&mut self, flow: FlowId, ctx: &mut Context) {
+        let cfg = self.cfg;
+        let rtt = self.downstream_rtt;
+        let supervision = self.supervision;
+        let epoch = self.restart_announce;
+        let now = ctx.now();
+        let (created, _) = self.table.get_or_insert_with(flow, now, || {
+            let mut upstream_producer = QuackProducer::new(cfg);
+            if let Some(e) = epoch {
+                upstream_producer.reset(e);
+            }
+            CcdFlow {
+                upstream_producer,
+                downstream_consumer: QuackConsumer::new(cfg, rtt),
+                next_tag: 0,
+                supervisor: Supervisor::new(supervision),
+                quacks: 0,
+            }
+        });
+        if created {
+            if let Some(e) = epoch {
+                let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+            }
+            self.supervise_flow(flow, ctx);
+        }
+    }
+
     fn arm_drain(&mut self, pkt_size: u32, ctx: &mut Context) {
         let gap = SimDuration::from_secs_f64(pkt_size as f64 * 8.0 / self.rate.rate_bps);
         self.drain_armed = true;
@@ -277,15 +401,18 @@ impl CcdProxy {
     fn drain_one(&mut self, ctx: &mut Context) {
         self.drain_armed = false;
         if let Some(pkt) = self.buffer.pop_front() {
-            // Forwarding downstream: mirror the identifier for the
-            // proxy→client segment (tag is a local counter — the proxy
-            // never reads protocol fields). Skipped in degraded mode: the
-            // proxy is then a plain pacer at the configured line rate.
-            if self.supervisor.enabled() {
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                self.downstream_consumer.record_sent(pkt.id, tag, ctx.now());
-                self.supervisor.note_send(ctx.now());
+            // Forwarding downstream: mirror the identifier into the packet's
+            // flow session (tag is a local counter — the proxy never reads
+            // protocol fields). A degraded or reclaimed session forwards
+            // unmirrored: the proxy is then a plain pacer for that flow.
+            let now = ctx.now();
+            if let Some(session) = self.table.peek_mut(pkt.flow) {
+                if session.supervisor.enabled() {
+                    let tag = session.next_tag;
+                    session.next_tag += 1;
+                    session.downstream_consumer.record_sent(pkt.id, tag, now);
+                    session.supervisor.note_send(now);
+                }
             }
             let size = pkt.size;
             ctx.send(IfaceId(1), pkt);
@@ -295,19 +422,27 @@ impl CcdProxy {
         }
     }
 
-    fn handle_client_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        let result = self
-            .downstream_consumer
-            .process_quack(ctx.now(), epoch, bytes);
+    fn handle_client_quack(&mut self, flow: FlowId, epoch: u32, bytes: &[u8], ctx: &mut Context) {
+        let now = ctx.now();
+        let result = match self.table.peek_mut(flow) {
+            Some(session) => session.downstream_consumer.process_quack(now, epoch, bytes),
+            None => {
+                // QuACK for a flow with no mirror (never seen or already
+                // reclaimed): nothing to decode against.
+                #[cfg(feature = "obs")]
+                ctx.obs_inc("sidecar.flow_mismatch");
+                return;
+            }
+        };
         obs::quack_outcome(ctx, &result);
         match result {
             Ok(report) => {
-                self.supervisor.on_feedback_ok(ctx.now());
                 self.rate
                     .on_feedback(report.received.len(), report.newly_missing.len());
-                if let Some(deadline) = self.downstream_consumer.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                if let Some(session) = self.table.peek_mut(flow) {
+                    session.supervisor.on_feedback_ok(now);
                 }
+                self.arm_grace(ctx);
             }
             Err(
                 err @ (ProcessError::ThresholdExceeded { .. } | ProcessError::CountInconsistent),
@@ -315,77 +450,149 @@ impl CcdProxy {
                 // Heavy downstream loss: slash the rate and reset the
                 // segment sidecar.
                 self.rate.rate_bps = (self.rate.rate_bps * 0.5).max(self.rate.min_bps);
-                let epoch = self.downstream_consumer.epoch() + 1;
-                let _ = self.downstream_consumer.reset(epoch);
-                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(1), ctx);
-                if self.supervisor.on_quack_error(&err, ctx.now()) {
-                    self.enter_degraded(ctx);
+                let (new_epoch, degrade) = {
+                    let session = self.table.peek_mut(flow).expect("session checked above");
+                    let new_epoch = session.downstream_consumer.epoch() + 1;
+                    let _ = session.downstream_consumer.reset(new_epoch);
+                    (new_epoch, session.supervisor.on_quack_error(&err, now))
+                };
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch: new_epoch },
+                    flow,
+                    IfaceId(1),
+                    ctx,
+                );
+                if degrade {
+                    self.enter_degraded_flow(flow, ctx);
                 }
-                self.supervise(ctx);
+                self.supervise_flow(flow, ctx);
             }
             Err(err) => {
-                if self.supervisor.on_quack_error(&err, ctx.now()) {
-                    self.enter_degraded(ctx);
+                let degrade = self
+                    .table
+                    .peek_mut(flow)
+                    .is_some_and(|s| s.supervisor.on_quack_error(&err, now));
+                if degrade {
+                    self.enter_degraded_flow(flow, ctx);
                 }
-                self.supervise(ctx);
+                self.supervise_flow(flow, ctx);
             }
         }
-        obs::sup_flush(ctx, &mut self.supervisor);
+        if let Some(session) = self.table.peek_mut(flow) {
+            obs::sup_flush(ctx, &mut session.supervisor);
+        }
     }
 
-    /// Fall back to plain forwarding (the baseline twin's behaviour): flush
-    /// the pacing buffer and stop metering — the downstream quACK session
-    /// is no longer trustworthy, so adaptive pacing has nothing to adapt to.
-    fn enter_degraded(&mut self, ctx: &mut Context) {
-        while let Some(pkt) = self.buffer.pop_front() {
-            ctx.send(IfaceId(1), pkt);
+    /// One flow's downstream session fell back to plain forwarding. Only
+    /// when *no* trusted session remains does the proxy stop metering
+    /// altogether (flush the shared buffer, line-rate pacing) — a single
+    /// bad flow must not unpace everyone else.
+    fn enter_degraded_flow(&mut self, flow: FlowId, ctx: &mut Context) {
+        if let Some(session) = self.table.peek_mut(flow) {
+            let epoch = session.downstream_consumer.epoch().wrapping_add(1);
+            let _ = session.downstream_consumer.reset(epoch);
         }
-        self.drain_armed = false;
-        self.rate.rate_bps = self
-            .initial_rate_bps
-            .clamp(self.rate.min_bps, self.rate.max_bps);
-        let epoch = self.downstream_consumer.epoch().wrapping_add(1);
-        let _ = self.downstream_consumer.reset(epoch);
+        if !self.any_enabled() {
+            while let Some(pkt) = self.buffer.pop_front() {
+                ctx.send(IfaceId(1), pkt);
+            }
+            self.drain_armed = false;
+            self.rate.rate_bps = self
+                .initial_rate_bps
+                .clamp(self.rate.min_bps, self.rate.max_bps);
+        }
     }
 
-    /// Drives the downstream session supervisor: hellos while connecting or
-    /// degraded, liveness while active.
-    fn supervise(&mut self, ctx: &mut Context) {
-        let expecting = !self.buffer.is_empty() || self.downstream_consumer.log_len() > 0;
-        let outcome = self.supervisor.poll(ctx.now(), expecting);
-        if outcome.degraded_now {
-            self.enter_degraded(ctx);
+    /// Drives one flow's downstream supervisor: hellos while connecting or
+    /// degraded, liveness while active. The supervision timer is shared;
+    /// every fire polls all flows, so the earliest deadline wins.
+    fn supervise_flow(&mut self, flow: FlowId, ctx: &mut Context) {
+        let cfg = self.cfg;
+        let buffered = !self.buffer.is_empty();
+        let now = ctx.now();
+        let (degraded_now, send_hello, next_deadline) = {
+            let Some(session) = self.table.peek_mut(flow) else {
+                return;
+            };
+            let expecting = buffered || session.downstream_consumer.log_len() > 0;
+            let outcome = session.supervisor.poll(now, expecting);
+            (
+                outcome.degraded_now,
+                outcome.send_hello,
+                outcome.next_deadline,
+            )
+        };
+        if degraded_now {
+            self.enter_degraded_flow(flow, ctx);
         }
-        if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), IfaceId(1), ctx);
+        if send_hello {
+            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), ctx);
         }
-        if let Some(deadline) = outcome.next_deadline {
-            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+        if let Some(deadline) = next_deadline {
+            self.arm_supervise(deadline, ctx);
         }
-        obs::sup_flush(ctx, &mut self.supervisor);
+        if let Some(session) = self.table.peek_mut(flow) {
+            obs::sup_flush(ctx, &mut session.supervisor);
+        }
+    }
+
+    fn supervise_all(&mut self, ctx: &mut Context) {
+        let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
+        for flow in flows {
+            self.supervise_flow(flow, ctx);
+        }
+    }
+
+    /// Arms the shared supervision timer, keeping at most one live chain.
+    fn arm_supervise(&mut self, deadline: SimTime, ctx: &mut Context) {
+        let deadline = deadline.max(ctx.now());
+        if self.sup_armed.is_some_and(|at| at <= deadline) {
+            return; // an earlier fire will re-arm past this deadline
+        }
+        self.sup_armed = Some(deadline);
+        ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+    }
+
+    /// Arms the shared grace timer at the earliest deadline across flows.
+    fn arm_grace(&mut self, ctx: &mut Context) {
+        let deadline = self
+            .table
+            .iter()
+            .filter_map(|(_, s)| s.downstream_consumer.next_grace_deadline())
+            .min();
+        let Some(deadline) = deadline else {
+            return;
+        };
+        let deadline = deadline.max(ctx.now());
+        if self.grace_armed.is_some_and(|at| at <= deadline) {
+            return;
+        }
+        self.grace_armed = Some(deadline);
+        ctx.set_timer_at(deadline, TOKEN_GRACE);
     }
 }
 
 impl Node for CcdProxy {
-    fn on_start(&mut self, ctx: &mut Context) {
-        // Offer the downstream session before any data is paced out (FIFO
-        // links: the hello reaches the client ahead of the first packet).
-        self.supervise(ctx);
-        ctx.set_timer_after(self.interval, TOKEN_EMIT);
-    }
-
     fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match iface {
             // From the server: observe + enqueue for paced downstream
             // forwarding.
             IfaceId(0) => {
                 if packet.kind == PacketKind::Data {
-                    if !self.supervisor.enabled() {
-                        // Degraded: plain forwarding, no pacing. The
+                    self.ensure_session(packet.flow, ctx);
+                    let enabled = self
+                        .table
+                        .get_mut(packet.flow, ctx.now())
+                        .is_some_and(|s| s.supervisor.enabled());
+                    if !enabled {
+                        // Degraded flow: plain forwarding, no pacing. The
                         // upstream producer keeps observing — that session
                         // belongs to the server, not to this one.
-                        self.upstream_producer.observe(packet.id);
-                        obs::observed(ctx);
+                        if let Some(session) = self.table.peek_mut(packet.flow) {
+                            session.upstream_producer.observe(packet.id);
+                            obs::observed(ctx);
+                        }
+                        obs::flow_table(ctx, &mut self.table);
                         ctx.send(IfaceId(1), packet);
                         return;
                     }
@@ -395,8 +602,13 @@ impl Node for CcdProxy {
                         self.buffer_drops += 1;
                         return;
                     }
-                    self.upstream_producer.observe(packet.id);
+                    let session = self
+                        .table
+                        .peek_mut(packet.flow)
+                        .expect("session ensured above");
+                    session.upstream_producer.observe(packet.id);
                     obs::observed(ctx);
+                    obs::flow_table(ctx, &mut self.table);
                     let size = packet.size;
                     self.buffer.push_back(packet);
                     if !self.drain_armed {
@@ -405,27 +617,42 @@ impl Node for CcdProxy {
                 } else {
                     // Control/sidecar traffic from the server side.
                     if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                        match SidecarMessage::decode(proto, bytes) {
-                            Ok(SidecarMessage::Reset { epoch }) => {
-                                self.upstream_producer.reset(epoch);
+                        match SidecarMessage::decode_flow(proto, bytes) {
+                            Ok((mflow, SidecarMessage::Reset { epoch })) => {
+                                let flow = FlowId(mflow);
+                                self.ensure_session(flow, ctx);
+                                if let Some(session) = self.table.peek_mut(flow) {
+                                    session.upstream_producer.reset(epoch);
+                                }
                             }
-                            Ok(hello @ SidecarMessage::Hello { .. }) => {
+                            Ok((mflow, hello @ SidecarMessage::Hello { .. })) => {
+                                let flow = FlowId(mflow);
                                 let accepted =
                                     accept_hello(&Capabilities::default(), &hello).is_ok();
                                 obs::handshake(ctx, accepted);
                                 if accepted {
                                     // The server (re)offering the upstream
-                                    // session; reply with the producer's epoch
-                                    // (fresh if the sketch already has history).
-                                    let epoch = if self.upstream_producer.count() == 0 {
-                                        self.upstream_producer.epoch()
-                                    } else {
-                                        let e = self.upstream_producer.epoch().wrapping_add(1);
-                                        self.upstream_producer.reset(e);
-                                        e
+                                    // session; reply with the flow producer's
+                                    // epoch (fresh if the sketch already has
+                                    // history).
+                                    self.ensure_session(flow, ctx);
+                                    let epoch = {
+                                        let session = self
+                                            .table
+                                            .peek_mut(flow)
+                                            .expect("session just ensured");
+                                        if session.upstream_producer.count() == 0 {
+                                            session.upstream_producer.epoch()
+                                        } else {
+                                            let e =
+                                                session.upstream_producer.epoch().wrapping_add(1);
+                                            session.upstream_producer.reset(e);
+                                            e
+                                        }
                                     };
                                     let _ = send_sidecar(
                                         SidecarMessage::Reset { epoch },
+                                        flow,
                                         IfaceId(0),
                                         ctx,
                                     );
@@ -433,6 +660,7 @@ impl Node for CcdProxy {
                             }
                             _ => {}
                         }
+                        obs::flow_table(ctx, &mut self.table);
                         return;
                     }
                     ctx.send(IfaceId(1), packet);
@@ -441,32 +669,48 @@ impl Node for CcdProxy {
             // From the client: consume quACKs, forward the rest upstream.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode(proto, bytes) {
-                        Ok(SidecarMessage::Quack { epoch, bytes }) => {
-                            if self.supervisor.enabled() {
-                                self.handle_client_quack(epoch, &bytes, ctx);
+                    match SidecarMessage::decode_flow(proto, bytes) {
+                        Ok((mflow, SidecarMessage::Quack { epoch, bytes })) => {
+                            let flow = FlowId(mflow);
+                            let enabled = self
+                                .table
+                                .peek_mut(flow)
+                                .is_some_and(|s| s.supervisor.enabled());
+                            if enabled {
+                                self.handle_client_quack(flow, epoch, &bytes, ctx);
                             }
                         }
-                        Ok(SidecarMessage::Reset { epoch }) => {
+                        Ok((mflow, SidecarMessage::Reset { epoch })) => {
                             // Handshake-ack / resync from the client's
                             // producer.
-                            if epoch != self.downstream_consumer.epoch() {
-                                let _ = self.downstream_consumer.reset(epoch);
+                            let flow = FlowId(mflow);
+                            self.ensure_session(flow, ctx);
+                            if let Some(session) = self.table.peek_mut(flow) {
+                                if epoch != session.downstream_consumer.epoch() {
+                                    let _ = session.downstream_consumer.reset(epoch);
+                                }
+                                session.supervisor.on_handshake_ack(ctx.now());
                             }
-                            self.supervisor.on_handshake_ack(ctx.now());
-                            self.supervise(ctx);
+                            self.supervise_flow(flow, ctx);
                         }
                         Ok(_) => {}
                         Err(_) => {
                             // Undecodable sidecar datagram (e.g. corrupted
                             // in flight): a hard session error, never a
-                            // panic.
-                            if self.supervisor.note_error(ctx.now()) {
-                                self.enter_degraded(ctx);
+                            // panic. Content is garbage, so attribute it by
+                            // the datagram's 4-tuple.
+                            let flow = packet.flow;
+                            let degrade = self
+                                .table
+                                .peek_mut(flow)
+                                .is_some_and(|s| s.supervisor.note_error(ctx.now()));
+                            if degrade {
+                                self.enter_degraded_flow(flow, ctx);
                             }
-                            self.supervise(ctx);
+                            self.supervise_flow(flow, ctx);
                         }
                     }
+                    obs::flow_table(ctx, &mut self.table);
                 }
                 _ => ctx.send(IfaceId(0), packet),
             },
@@ -474,54 +718,95 @@ impl Node for CcdProxy {
         }
     }
 
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer_after(self.interval, TOKEN_EMIT);
+    }
+
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
             TOKEN_EMIT => {
-                let fill = self.upstream_producer.burst_fill();
-                let msg = self.upstream_producer.emit();
-                self.quacks_sent += 1;
-                let bytes = send_sidecar(msg, IfaceId(0), ctx);
-                self.quack_bytes += bytes as u64;
-                obs::quack_emitted(
-                    ctx,
-                    self.upstream_producer.epoch(),
-                    self.upstream_producer.count(),
-                    fill,
-                    bytes,
-                );
+                // Reap idle flows first: finished flows stop costing
+                // upstream emissions on the very next tick.
+                for (_, session) in self.table.sweep_idle(ctx.now()) {
+                    self.evicted_sup.0 += session.supervisor.stats.degradations;
+                    self.evicted_sup.1 += session.supervisor.stats.recoveries;
+                    obs::flow_evicted(ctx, session.quacks);
+                }
+                let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
+                for flow in flows {
+                    let (msg, fill, epoch, count) = {
+                        let session = self.table.peek_mut(flow).expect("listed above");
+                        let fill = session.upstream_producer.burst_fill();
+                        let msg = session.upstream_producer.emit();
+                        session.quacks += 1;
+                        (
+                            msg,
+                            fill,
+                            session.upstream_producer.epoch(),
+                            session.upstream_producer.count(),
+                        )
+                    };
+                    self.quacks_sent += 1;
+                    let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
+                    self.quack_bytes += bytes as u64;
+                    obs::quack_emitted(ctx, epoch, count, fill, bytes);
+                }
+                obs::flow_table(ctx, &mut self.table);
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
             }
             TOKEN_DRAIN => self.drain_one(ctx),
+            // A fire only counts if it is the chain the guard armed;
+            // superseded events from earlier arms are dropped here.
             TOKEN_GRACE => {
+                if self.grace_armed != Some(ctx.now()) {
+                    return;
+                }
+                self.grace_armed = None;
                 // Confirmed downstream losses: the client will recover via
                 // the end-to-end protocol; the proxy only meters its rate.
-                let _ = self.downstream_consumer.poll_expired(ctx.now());
-                if let Some(deadline) = self.downstream_consumer.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
+                for flow in flows {
+                    if let Some(session) = self.table.peek_mut(flow) {
+                        let _ = session.downstream_consumer.poll_expired(ctx.now());
+                    }
                 }
+                self.arm_grace(ctx);
             }
-            TOKEN_SUPERVISE => self.supervise(ctx),
+            TOKEN_SUPERVISE => {
+                if self.sup_armed != Some(ctx.now()) {
+                    return;
+                }
+                self.sup_armed = None;
+                self.supervise_all(ctx);
+            }
             _ => {}
         }
     }
 
     fn on_restart(&mut self, ctx: &mut Context) {
-        // Everything volatile is gone: pacing buffer, sketches, mirror log,
-        // session state. Resync the upstream producer with a time-derived
-        // epoch and re-handshake the downstream session from scratch.
+        // Everything volatile is gone: pacing buffer, sketches, mirror
+        // logs, session state. Each flow resyncs lazily as its data
+        // reappears — announcing a fresh time-derived upstream epoch and
+        // re-handshaking its downstream session from scratch.
         self.buffer.clear();
         self.drain_armed = false;
-        self.next_tag = 0;
         self.rate.rate_bps = self
             .initial_rate_bps
             .clamp(self.rate.min_bps, self.rate.max_bps);
-        let epoch = restart_epoch(ctx.now());
-        self.upstream_producer.reset(epoch);
-        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
-        self.downstream_consumer = QuackConsumer::new(self.cfg, self.downstream_rtt);
-        self.supervisor = Supervisor::new(self.supervision);
+        let (mut deg, mut rec) = (0, 0);
+        for (_, s) in self.table.iter() {
+            deg += s.supervisor.stats.degradations;
+            rec += s.supervisor.stats.recoveries;
+        }
+        self.evicted_sup.0 += deg;
+        self.evicted_sup.1 += rec;
+        self.table = FlowTable::new(*self.table.config());
+        // Stale guard times would suppress re-arming for reborn sessions;
+        // any leftover queued events are dropped by the fire-time check.
+        self.grace_armed = None;
+        self.sup_armed = None;
+        self.restart_announce = Some(restart_epoch(ctx.now()));
         ctx.set_timer_after(self.interval, TOKEN_EMIT);
-        self.supervise(ctx);
     }
 
     fn name(&self) -> &str {
@@ -543,6 +828,9 @@ pub struct CcdServer {
     transport: SenderCore,
     cfg: SidecarConfig,
     sidecar: QuackConsumer<Fp32>,
+    /// The connection this sidecar belongs to; its messages carry this flow
+    /// and inbound control for other flows is ignored.
+    flow: FlowId,
     /// Sidecar-controlled window (packets).
     window: f64,
     max_window: f64,
@@ -563,12 +851,14 @@ impl CcdServer {
         supervision: SupervisionConfig,
     ) -> Self {
         let initial = transport.initial_cwnd as f64;
+        let flow = transport.flow;
         let mut core = SenderCore::new(transport);
         core.set_cwnd_cap(Some(initial as u64));
         CcdServer {
             transport: core,
             cfg: sidecar,
             sidecar: QuackConsumer::new(sidecar, segment_rtt),
+            flow,
             window: initial,
             max_window: 10_000.0,
             fallback_cc,
@@ -634,7 +924,7 @@ impl CcdServer {
                 self.transport.set_cwnd_cap(Some(self.window as u64));
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
-                let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
                 if self.supervisor.on_quack_error(&err, ctx.now()) {
                     self.enter_degraded();
                 }
@@ -674,7 +964,7 @@ impl CcdServer {
             self.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), IfaceId(0), ctx);
+            let _ = send_sidecar(offer(&self.cfg), self.flow, IfaceId(0), ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
@@ -697,33 +987,41 @@ impl Node for CcdServer {
                 self.transport.on_ack(info, ctx.now());
                 self.pump(ctx);
             }
-            Payload::Sidecar { proto, ref bytes } => match SidecarMessage::decode(proto, bytes) {
-                Ok(SidecarMessage::Quack { epoch, bytes }) => {
-                    if self.supervisor.enabled() {
-                        self.handle_quack(epoch, &bytes, ctx);
-                        self.pump(ctx);
+            Payload::Sidecar { proto, ref bytes } => {
+                match SidecarMessage::decode_flow(proto, bytes) {
+                    // An end-host sidecar owns exactly one connection: control
+                    // tagged for any other flow is not ours.
+                    Ok((mflow, _)) if mflow != self.flow.0 => {
+                        #[cfg(feature = "obs")]
+                        ctx.obs_inc("sidecar.flow_mismatch");
+                    }
+                    Ok((_, SidecarMessage::Quack { epoch, bytes })) => {
+                        if self.supervisor.enabled() {
+                            self.handle_quack(epoch, &bytes, ctx);
+                            self.pump(ctx);
+                        }
+                    }
+                    Ok((_, SidecarMessage::Reset { epoch })) => {
+                        // Handshake-ack / resync from the proxy's producer.
+                        if epoch != self.sidecar.epoch() {
+                            let _ = self.sidecar.reset(epoch);
+                        }
+                        if self.supervisor.on_handshake_ack(ctx.now()) {
+                            self.exit_degraded();
+                        }
+                        self.supervise(ctx);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        // Undecodable sidecar datagram: count it against the
+                        // session, never panic or mis-steer.
+                        if self.supervisor.note_error(ctx.now()) {
+                            self.enter_degraded();
+                        }
+                        self.supervise(ctx);
                     }
                 }
-                Ok(SidecarMessage::Reset { epoch }) => {
-                    // Handshake-ack / resync from the proxy's producer.
-                    if epoch != self.sidecar.epoch() {
-                        let _ = self.sidecar.reset(epoch);
-                    }
-                    if self.supervisor.on_handshake_ack(ctx.now()) {
-                        self.exit_degraded();
-                    }
-                    self.supervise(ctx);
-                }
-                Ok(_) => {}
-                Err(_) => {
-                    // Undecodable sidecar datagram: count it against the
-                    // session, never panic or mis-steer.
-                    if self.supervisor.note_error(ctx.now()) {
-                        self.enter_degraded();
-                    }
-                    self.supervise(ctx);
-                }
-            },
+            }
             _ => {}
         }
     }
@@ -892,8 +1190,8 @@ impl CcdScenario {
             sidecar_messages: px.quacks_sent + cl.quacks_sent,
             sidecar_bytes: px.quack_bytes + cl.quack_bytes,
             proxy_retransmissions: 0,
-            degradations: srv.supervisor.stats.degradations + px.supervisor.stats.degradations,
-            recoveries: srv.supervisor.stats.recoveries + px.supervisor.stats.recoveries,
+            degradations: srv.supervisor.stats.degradations + px.degradations(),
+            recoveries: srv.supervisor.stats.recoveries + px.recoveries(),
             #[cfg(feature = "obs")]
             metrics,
         }

@@ -1,0 +1,570 @@
+//! Many-flow muxing: N concurrent connections through one sidecar proxy.
+//!
+//! A real vantage point serves many connections at once; the paper's §4.2
+//! memory argument ("the quACK is O(1) in space") only pays off if the
+//! proxy's *per-flow* state is bounded too. This scenario drives N
+//! independent sender/receiver pairs through a [`FlowRouter`] mux, a single
+//! flow-aware proxy (or proxy pair), and a demux — exercising the
+//! [`FlowTable`]'s sharding, LRU/idle eviction, and the flow-tagged wire
+//! format under contention. All three Table-1 protocols are covered.
+//!
+//! [`FlowTable`]: crate::flows::FlowTable
+
+use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
+use crate::flows::FlowTableConfig;
+use crate::protocols::ack_reduction::{AckRedProxy, AckRedServer};
+use crate::protocols::ccd::{CcdClient, CcdProxy, CcdServer, STEERED_CC};
+use crate::protocols::retx::{ReceiverSideProxy, SenderSideProxy};
+use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_netsim::node::IfaceId;
+use sidecar_netsim::node::NodeId;
+use sidecar_netsim::packet::FlowId;
+use sidecar_netsim::router::FlowRouter;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{
+    CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode,
+};
+use sidecar_netsim::world::World;
+
+/// Which Table-1 protocol the muxed proxy speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManyFlowProtocol {
+    /// §2.1 congestion-control division (client/proxy/server sidecars).
+    CongestionDivision,
+    /// §2.2 ACK reduction (proxy producer, server consumer).
+    AckReduction,
+    /// §2.3 in-network retransmission (proxy pair brackets the trunk).
+    Retx,
+}
+
+impl ManyFlowProtocol {
+    /// Short label for tables and metric params.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManyFlowProtocol::CongestionDivision => "ccd",
+            ManyFlowProtocol::AckReduction => "ackred",
+            ManyFlowProtocol::Retx => "retx",
+        }
+    }
+}
+
+/// Aggregate outcome of one many-flow run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ManyFlowReport {
+    /// Flows in the run.
+    pub flows: u32,
+    /// Flows whose sender delivered every packet within the horizon.
+    pub completed: u32,
+    /// Worst per-flow completion time (seconds; ∞ if any flow unfinished).
+    pub slowest_completion_secs: f64,
+    /// Sum of per-flow application goodput (bits/s) over completed flows.
+    pub aggregate_goodput_bps: f64,
+    /// Sidecar datagrams emitted by the proxy tier.
+    pub sidecar_messages: u64,
+    /// Sidecar bytes emitted by the proxy tier.
+    pub sidecar_bytes: u64,
+    /// Per-flow sessions still resident in the proxy tier's flow tables
+    /// when the run ended (idle eviction reaps finished flows).
+    pub live_flows_at_end: usize,
+    /// Idle-deadline evictions across the proxy tier (always 0 when the
+    /// `obs` feature is off — the counter lives in the metrics registry).
+    pub evictions_idle: u64,
+    /// Capacity (LRU) evictions across the proxy tier (0 without `obs`).
+    pub evictions_capacity: u64,
+    /// Snapshot of the run's world metrics registry (includes the
+    /// `flowtable.*` occupancy/eviction counters).
+    #[cfg(feature = "obs")]
+    pub metrics: sidecar_obs::MetricsSnapshot,
+}
+
+impl ManyFlowReport {
+    /// Flow-table evictions (idle + capacity) recorded by the run.
+    pub fn evictions(&self) -> u64 {
+        self.evictions_idle + self.evictions_capacity
+    }
+}
+
+/// Scenario parameters for the many-flow muxing experiment.
+#[derive(Clone, Debug)]
+pub struct ManyFlowScenario {
+    /// Protocol under test.
+    pub protocol: ManyFlowProtocol,
+    /// Concurrent flows (ids 1..=flows; 0 is reserved for legacy traffic).
+    pub flows: u32,
+    /// Data units each flow's sender must deliver.
+    pub packets_per_flow: u64,
+    /// Flow-table sizing for every proxy in the run. The short idle
+    /// timeout matters: finished flows must be reaped, not retained for
+    /// the classic 300 s default.
+    pub table: FlowTableConfig,
+    /// Per-flow access links (sender↔mux, demux↔receiver).
+    pub edge: LinkConfig,
+    /// The shared trunk every flow crosses (the proxy sits on it).
+    pub trunk: LinkConfig,
+    /// Wall-clock bound on the simulation.
+    pub horizon: SimDuration,
+    /// Session supervision knobs.
+    pub supervision: SupervisionConfig,
+    /// Base seed; per-flow id streams derive from it.
+    pub seed: u64,
+}
+
+impl ManyFlowScenario {
+    /// Protocol-appropriate defaults for an N-flow run.
+    pub fn new(protocol: ManyFlowProtocol, flows: u32) -> Self {
+        let trunk = match protocol {
+            // Division: the trunk is the slow/lossy downstream segment.
+            ManyFlowProtocol::CongestionDivision => LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(20),
+                loss: LossModel::Bernoulli { p: 0.005 },
+                queue_packets: 1_024,
+                ..LinkConfig::default()
+            },
+            // ACK reduction: the trunk is the long server↔proxy segment.
+            ManyFlowProtocol::AckReduction => LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(25),
+                queue_packets: 1_024,
+                ..LinkConfig::default()
+            },
+            // Retx: the trunk is the lossy subpath between the proxies.
+            ManyFlowProtocol::Retx => LinkConfig {
+                rate_bps: 50_000_000,
+                delay: SimDuration::from_millis(5),
+                loss: LossModel::Bernoulli { p: 0.01 },
+                queue_packets: 1_024,
+                ..LinkConfig::default()
+            },
+        };
+        ManyFlowScenario {
+            protocol,
+            flows,
+            packets_per_flow: 64,
+            table: FlowTableConfig {
+                idle_timeout: SimDuration::from_secs(2),
+                ..FlowTableConfig::default()
+            },
+            edge: LinkConfig {
+                rate_bps: 1_000_000_000,
+                delay: SimDuration::from_millis(2),
+                queue_packets: 1_024,
+                ..LinkConfig::default()
+            },
+            trunk,
+            horizon: SimDuration::from_secs(60),
+            supervision: SupervisionConfig::default(),
+            seed: 1,
+        }
+    }
+
+    fn sidecar_cfg(&self) -> SidecarConfig {
+        match self.protocol {
+            ManyFlowProtocol::CongestionDivision => SidecarConfig {
+                threshold: 50,
+                reorder_grace: SimDuration::from_millis(10),
+                ..SidecarConfig::paper_default()
+            },
+            ManyFlowProtocol::AckReduction => SidecarConfig {
+                frequency: QuackFrequency::EveryPackets(2),
+                reorder_grace: SimDuration::from_millis(20),
+                ..SidecarConfig::paper_default()
+            },
+            ManyFlowProtocol::Retx => SidecarConfig {
+                frequency: QuackFrequency::Adaptive(SimDuration::from_millis(5)),
+                reorder_grace: SimDuration::from_millis(3),
+                ..SidecarConfig::paper_default()
+            },
+        }
+    }
+
+    /// Flow ids start at 1: flow 0 is the untagged legacy id, and keeping
+    /// it off the wire here proves the tagged path carries everything.
+    fn flow_ids(&self) -> Vec<FlowId> {
+        (1..=self.flows).map(FlowId).collect()
+    }
+
+    /// Builds the mux/demux pair: mux ifaces `0..N` face the senders and
+    /// iface `N` faces the trunk; demux iface `0` faces the trunk and
+    /// `1..=N` face the receivers.
+    fn routers(&self) -> (FlowRouter, FlowRouter) {
+        let n = self.flows as usize;
+        let mut mux = FlowRouter::new();
+        let mut demux = FlowRouter::new();
+        for (i, flow) in self.flow_ids().into_iter().enumerate() {
+            mux.add_duplex_route(flow, IfaceId(i), IfaceId(n));
+            demux.add_duplex_route(flow, IfaceId(0), IfaceId(i + 1));
+        }
+        (mux, demux)
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self) -> ManyFlowReport {
+        match self.protocol {
+            ManyFlowProtocol::CongestionDivision => self.run_ccd(),
+            ManyFlowProtocol::AckReduction => self.run_ackred(),
+            ManyFlowProtocol::Retx => self.run_retx(),
+        }
+    }
+
+    fn finish<F>(
+        &self,
+        w: World,
+        senders: &[NodeId],
+        completed_at: F,
+        sidecar: (u64, u64),
+        live: usize,
+    ) -> ManyFlowReport
+    where
+        F: Fn(&World, NodeId) -> (Option<SimTime>, Option<f64>),
+    {
+        let mut report = ManyFlowReport {
+            flows: self.flows,
+            live_flows_at_end: live,
+            sidecar_messages: sidecar.0,
+            sidecar_bytes: sidecar.1,
+            ..ManyFlowReport::default()
+        };
+        for &s in senders {
+            let (done, goodput) = completed_at(&w, s);
+            if let Some(t) = done {
+                report.completed += 1;
+                report.slowest_completion_secs =
+                    report.slowest_completion_secs.max(t.as_secs_f64());
+                report.aggregate_goodput_bps += goodput.unwrap_or(0.0);
+            } else {
+                report.slowest_completion_secs = f64::INFINITY;
+            }
+        }
+        #[cfg(feature = "obs")]
+        {
+            let snap = w.obs().metrics.snapshot();
+            report.evictions_idle = snap.counter("flowtable.evicted.idle");
+            report.evictions_capacity = snap.counter("flowtable.evicted.capacity");
+            sidecar_obs::global().absorb(&snap);
+            report.metrics = snap;
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = w;
+        report
+    }
+
+    fn run_retx(&self) -> ManyFlowReport {
+        let cfg = self.sidecar_cfg();
+        let mut w = World::new(self.seed);
+        let senders: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(SenderNode::boxed(SenderConfig {
+                    flow,
+                    total_packets: Some(self.packets_per_flow),
+                    id_seed: self.seed ^ (0x5E7 << 32) ^ flow.0 as u64,
+                    peer_max_ack_delay: SimDuration::from_millis(100),
+                    ..SenderConfig::default()
+                }))
+            })
+            .collect();
+        let (mux, demux) = self.routers();
+        let mux = w.add_node(mux.boxed());
+        let subpath_rtt = self.trunk.delay * 2 + SimDuration::from_millis(2);
+        let a = w.add_node(Box::new(SenderSideProxy::with_flow_table(
+            cfg,
+            subpath_rtt,
+            4_096,
+            self.supervision,
+            self.table,
+        )));
+        let b = w.add_node(Box::new(ReceiverSideProxy::with_flow_table(
+            cfg, self.table,
+        )));
+        let demux = w.add_node(demux.boxed());
+        let receivers: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(ReceiverNode::boxed(ReceiverConfig {
+                    flow,
+                    ack_every: 32,
+                    max_ack_delay: SimDuration::from_millis(50),
+                    immediate_on_gap: false,
+                    ..ReceiverConfig::default()
+                }))
+            })
+            .collect();
+        for &s in &senders {
+            w.connect(s, mux, self.edge.clone(), self.edge.clone());
+        }
+        w.connect(mux, a, self.edge.clone(), self.edge.clone());
+        w.connect(a, b, self.trunk.clone(), self.trunk.clone());
+        w.connect(b, demux, self.edge.clone(), self.edge.clone());
+        for &r in &receivers {
+            w.connect(demux, r, self.edge.clone(), self.edge.clone());
+        }
+        w.run_until(SimTime::ZERO + self.horizon);
+
+        let (sidecar, live) = {
+            let pa = w.node_as::<SenderSideProxy>(a);
+            let pb = w.node_as::<ReceiverSideProxy>(b);
+            (
+                (pb.quacks_sent + pa.control_sent, pb.quack_bytes),
+                pa.live_flows() + pb.live_flows(),
+            )
+        };
+        self.finish(
+            w,
+            &senders,
+            |w, s| {
+                let node = w.node_as::<SenderNode>(s);
+                let stats = node.stats();
+                (
+                    stats.completed_at,
+                    stats.goodput_bps(node.core().config().mtu),
+                )
+            },
+            sidecar,
+            live,
+        )
+    }
+
+    fn run_ackred(&self) -> ManyFlowReport {
+        let cfg = self.sidecar_cfg();
+        let mut w = World::new(self.seed);
+        let senders: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(Box::new(AckRedServer::new(
+                    SenderConfig {
+                        flow,
+                        total_packets: Some(self.packets_per_flow),
+                        cc: CcAlgorithm::NewReno,
+                        id_seed: self.seed ^ (0xAC4 << 32) ^ flow.0 as u64,
+                        peer_max_ack_delay: SimDuration::from_millis(200),
+                        ..SenderConfig::default()
+                    },
+                    cfg,
+                    self.trunk.delay * 2 + SimDuration::from_millis(5),
+                    self.supervision,
+                )))
+            })
+            .collect();
+        let (mux, demux) = self.routers();
+        let mux = w.add_node(mux.boxed());
+        let proxy = w.add_node(Box::new(AckRedProxy::with_flow_table(cfg, self.table)));
+        let demux = w.add_node(demux.boxed());
+        let receivers: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(ReceiverNode::boxed(ReceiverConfig {
+                    flow,
+                    ack_every: 32,
+                    max_ack_delay: SimDuration::from_millis(150),
+                    immediate_on_gap: false,
+                    ..ReceiverConfig::default()
+                }))
+            })
+            .collect();
+        for &s in &senders {
+            w.connect(s, mux, self.edge.clone(), self.edge.clone());
+        }
+        w.connect(mux, proxy, self.trunk.clone(), self.trunk.clone());
+        w.connect(proxy, demux, self.edge.clone(), self.edge.clone());
+        for &r in &receivers {
+            w.connect(demux, r, self.edge.clone(), self.edge.clone());
+        }
+        w.run_until(SimTime::ZERO + self.horizon);
+
+        let (sidecar, live) = {
+            let px = w.node_as::<AckRedProxy>(proxy);
+            ((px.quacks_sent, px.quack_bytes), px.live_flows())
+        };
+        self.finish(
+            w,
+            &senders,
+            |w, s| {
+                let node = w.node_as::<AckRedServer>(s);
+                let stats = node.stats();
+                (
+                    stats.completed_at,
+                    stats.goodput_bps(node.core().config().mtu),
+                )
+            },
+            sidecar,
+            live,
+        )
+    }
+
+    fn run_ccd(&self) -> ManyFlowReport {
+        let cfg = self.sidecar_cfg();
+        let quack_interval = SimDuration::from_millis(30);
+        let mut w = World::new(self.seed);
+        let senders: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(Box::new(CcdServer::new(
+                    SenderConfig {
+                        flow,
+                        total_packets: Some(self.packets_per_flow),
+                        cc: STEERED_CC,
+                        id_seed: self.seed ^ (0xCCD << 32) ^ flow.0 as u64,
+                        ..SenderConfig::default()
+                    },
+                    cfg,
+                    self.edge.delay * 2 + SimDuration::from_millis(5),
+                    CcAlgorithm::NewReno,
+                    self.supervision,
+                )))
+            })
+            .collect();
+        let (mux, demux) = self.routers();
+        let mux = w.add_node(mux.boxed());
+        let proxy = w.add_node(Box::new(CcdProxy::with_flow_table(
+            cfg,
+            quack_interval,
+            self.trunk.rate_bps as f64 * 0.9,
+            2_048,
+            self.trunk.delay * 2 + SimDuration::from_millis(5),
+            self.supervision,
+            self.table,
+        )));
+        let demux = w.add_node(demux.boxed());
+        let receivers: Vec<NodeId> = self
+            .flow_ids()
+            .iter()
+            .map(|&flow| {
+                w.add_node(Box::new(CcdClient::new(
+                    ReceiverConfig {
+                        flow,
+                        ..ReceiverConfig::default()
+                    },
+                    cfg,
+                    quack_interval,
+                )))
+            })
+            .collect();
+        for &s in &senders {
+            w.connect(s, mux, self.edge.clone(), self.edge.clone());
+        }
+        w.connect(mux, proxy, self.edge.clone(), self.edge.clone());
+        w.connect(proxy, demux, self.trunk.clone(), self.trunk.clone());
+        for &r in &receivers {
+            w.connect(demux, r, self.edge.clone(), self.edge.clone());
+        }
+        w.run_until(SimTime::ZERO + self.horizon);
+
+        let (sidecar, live) = {
+            let px = w.node_as::<CcdProxy>(proxy);
+            let client_quacks: u64 = receivers
+                .iter()
+                .map(|&r| w.node_as::<CcdClient>(r).quacks_sent)
+                .sum();
+            let client_bytes: u64 = receivers
+                .iter()
+                .map(|&r| w.node_as::<CcdClient>(r).quack_bytes)
+                .sum();
+            (
+                (
+                    px.quacks_sent + client_quacks,
+                    px.quack_bytes + client_bytes,
+                ),
+                px.live_flows(),
+            )
+        };
+        self.finish(
+            w,
+            &senders,
+            |w, s| {
+                let node = w.node_as::<CcdServer>(s);
+                let stats = node.stats();
+                (
+                    stats.completed_at,
+                    stats.goodput_bps(node.core().config().mtu),
+                )
+            },
+            sidecar,
+            live,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(protocol: ManyFlowProtocol, flows: u32) -> ManyFlowScenario {
+        let mut s = ManyFlowScenario::new(protocol, flows);
+        s.packets_per_flow = 32;
+        s.horizon = SimDuration::from_secs(30);
+        s
+    }
+
+    #[test]
+    fn retx_muxes_eight_flows_to_completion() {
+        let report = small(ManyFlowProtocol::Retx, 8).run();
+        assert_eq!(report.completed, 8, "{report:?}");
+        assert!(report.sidecar_messages > 0);
+    }
+
+    #[test]
+    fn ackred_muxes_eight_flows_to_completion() {
+        let report = small(ManyFlowProtocol::AckReduction, 8).run();
+        assert_eq!(report.completed, 8, "{report:?}");
+        assert!(report.sidecar_messages > 0);
+    }
+
+    #[test]
+    fn ccd_muxes_eight_flows_to_completion() {
+        let report = small(ManyFlowProtocol::CongestionDivision, 8).run();
+        assert_eq!(report.completed, 8, "{report:?}");
+        assert!(report.sidecar_messages > 0);
+    }
+
+    #[test]
+    fn finished_flows_are_reaped_by_idle_eviction() {
+        // 2 s idle timeout, 30 s horizon: long after the last packet, the
+        // proxies must have evicted (nearly) every session.
+        for protocol in [
+            ManyFlowProtocol::Retx,
+            ManyFlowProtocol::AckReduction,
+            ManyFlowProtocol::CongestionDivision,
+        ] {
+            let report = small(protocol, 8).run();
+            assert_eq!(report.completed, 8, "{protocol:?}: {report:?}");
+            assert!(
+                report.live_flows_at_end < 8,
+                "{protocol:?} kept every session resident: {report:?}"
+            );
+            #[cfg(feature = "obs")]
+            assert!(
+                report.evictions() > 0,
+                "{protocol:?} reported no evictions: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_cap_is_enforced_under_flow_pressure() {
+        // More flows than table slots: the proxy must keep serving (flows
+        // complete via e2e recovery + resync) with bounded state.
+        let mut s = small(ManyFlowProtocol::AckReduction, 24);
+        s.table = FlowTableConfig {
+            shards: 2,
+            per_shard: 4,
+            idle_timeout: SimDuration::from_secs(2),
+        };
+        let report = s.run();
+        assert!(report.live_flows_at_end <= 8, "{report:?}");
+        assert_eq!(report.completed, 24, "{report:?}");
+        #[cfg(feature = "obs")]
+        assert!(report.evictions() > 0, "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let s = small(ManyFlowProtocol::Retx, 4);
+        assert_eq!(s.run(), s.run());
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ack_reduction;
 pub mod ccd;
+pub mod manyflow;
 pub mod retx;
 
 use crate::messages::SidecarMessage;
@@ -19,9 +20,17 @@ use sidecar_netsim::node::{Context, IfaceId, NodeId};
 use sidecar_netsim::packet::{FlowId, Packet};
 use sidecar_netsim::time::{SimDuration, SimTime};
 
-/// Encodes `msg` and sends it out `iface`; returns the wire size in bytes.
-pub(crate) fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Context) -> u32 {
-    let size = msg.wire_size();
+/// Encodes `msg` for `flow` and sends it out `iface`; returns the wire size
+/// in bytes. The datagram is stamped with the session's real flow id (so
+/// per-flow router/trace accounting sees control bytes where they belong)
+/// and flow-tagged on the wire; flow 0 keeps the legacy untagged encoding.
+pub(crate) fn send_sidecar(
+    msg: SidecarMessage,
+    flow: FlowId,
+    iface: IfaceId,
+    ctx: &mut Context,
+) -> u32 {
+    let size = msg.wire_size_for_flow(flow.0);
     #[cfg(feature = "obs")]
     {
         ctx.obs_inc(match &msg {
@@ -32,11 +41,8 @@ pub(crate) fn send_sidecar(msg: SidecarMessage, iface: IfaceId, ctx: &mut Contex
         });
         ctx.obs_add("sidecar.sent_bytes", size as u64);
     }
-    let (proto, body) = msg.encode();
-    ctx.send(
-        iface,
-        Packet::sidecar(FlowId(0), proto, body, size, ctx.now()),
-    );
+    let (proto, body) = msg.encode_for_flow(flow.0);
+    ctx.send(iface, Packet::sidecar(flow, proto, body, size, ctx.now()));
     size
 }
 
@@ -152,6 +158,27 @@ pub(crate) mod obs {
             });
         }
     }
+
+    /// Histogram bounds for a session's lifetime quACK count, recorded when
+    /// the flow table reclaims it.
+    const FLOW_QUACKS_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+    /// Publishes a flow table's counters-since-last-flush and its current
+    /// occupancy gauge.
+    pub(crate) fn flow_table<S>(ctx: &mut Context, table: &mut crate::flows::FlowTable<S>) {
+        if let Some(d) = table.take_stats() {
+            ctx.obs_add("flowtable.created", d.created);
+            ctx.obs_add("flowtable.evicted.idle", d.evicted_idle);
+            ctx.obs_add("flowtable.evicted.capacity", d.evicted_capacity);
+            ctx.obs_add("flowtable.collisions", d.shard_collisions);
+        }
+        ctx.obs_gauge("flowtable.occupancy", table.len() as f64);
+    }
+
+    /// A per-flow session was reclaimed after emitting `quacks` quACKs.
+    pub(crate) fn flow_evicted(ctx: &mut Context, quacks: u64) {
+        ctx.obs_observe("flowtable.flow_quacks", FLOW_QUACKS_BOUNDS, quacks);
+    }
 }
 
 /// No-op twins of the observability taps (obs feature disabled).
@@ -182,6 +209,12 @@ pub(crate) mod obs {
 
     #[inline(always)]
     pub(crate) fn sup_flush(_ctx: &mut Context, _sup: &mut Supervisor) {}
+
+    #[inline(always)]
+    pub(crate) fn flow_table<S>(_ctx: &mut Context, _table: &mut crate::flows::FlowTable<S>) {}
+
+    #[inline(always)]
+    pub(crate) fn flow_evicted(_ctx: &mut Context, _quacks: u64) {}
 }
 
 /// Deterministic post-restart epoch: a rebooted producer lost its epoch

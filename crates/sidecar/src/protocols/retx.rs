@@ -14,6 +14,7 @@
 
 use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{QuackConsumer, QuackProducer};
+use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
@@ -21,7 +22,7 @@ use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::node::{Context, IfaceId, Node};
-use sidecar_netsim::packet::{Packet, PacketKind, Payload};
+use sidecar_netsim::packet::{FlowId, Packet, PacketKind, Payload};
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_netsim::transport::{
     CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode,
@@ -31,21 +32,30 @@ use sidecar_netsim::Forwarder;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
-/// Timer tokens.
+/// Timer tokens (low 32 bits; per-flow timers carry the flow id in the
+/// high 32 bits).
 const TOKEN_EMIT: u64 = 1;
 const TOKEN_GRACE: u64 = 2;
 const TOKEN_SUPERVISE: u64 = 3;
 
-/// The sender-side proxy (right-hand side of paper Fig. 4): forwards,
-/// buffers, consumes quACKs, retransmits, and tunes the quACK frequency.
-pub struct SenderSideProxy {
+/// Per-flow timer token: base token in the low word, flow id in the high.
+fn flow_token(base: u64, flow: FlowId) -> u64 {
+    base | ((flow.0 as u64) << 32)
+}
+
+/// Splits a timer token into `(base, flow)`.
+fn split_token(token: u64) -> (u64, FlowId) {
+    (token & 0xFFFF_FFFF, FlowId((token >> 32) as u32))
+}
+
+/// One flow's consumer-side session inside the sender-side proxy: mirror
+/// log, retransmission buffer, loss-ratio window, and supervision.
+struct ConsumerSession {
     consumer: QuackConsumer<Fp32>,
     /// Buffered copies of forwarded data packets, by tag.
     buffer: HashMap<u64, Packet>,
     /// Tags in insertion order for eviction.
     order: VecDeque<u64>,
-    /// Maximum buffered packets.
-    buffer_cap: usize,
     next_tag: u64,
     /// Loss-ratio measurement for frequency tuning.
     window_sent: u64,
@@ -54,59 +64,32 @@ pub struct SenderSideProxy {
     window_start: SimTime,
     /// Last interval requested from the producer.
     requested_interval: Option<SimDuration>,
-    /// Upper bound on the requested interval: recovery latency is roughly
-    /// one interval plus a subpath RTT, so the cap keeps in-network
-    /// recovery meaningfully faster than end-to-end recovery even on very
-    /// stable links (where the pure §4.3 bandwidth target would stretch
-    /// the interval arbitrarily).
-    max_interval: SimDuration,
-    cfg: SidecarConfig,
-    /// In-transit window, kept so a restart can rebuild the consumer.
-    in_transit_window: SimDuration,
     /// Session supervision: hello handshake, liveness, degraded fallback.
-    pub supervisor: Supervisor,
-    supervision: SupervisionConfig,
-    /// In-network retransmissions performed.
-    pub retransmitted: u64,
-    /// Sidecar control messages sent.
-    pub control_sent: u64,
+    supervisor: Supervisor,
 }
 
-impl SenderSideProxy {
-    /// Creates the proxy. `in_transit_window` ≈ one subpath RTT.
-    pub fn new(
+impl ConsumerSession {
+    fn new(
         cfg: SidecarConfig,
         in_transit_window: SimDuration,
-        buffer_cap: usize,
         supervision: SupervisionConfig,
+        now: SimTime,
     ) -> Self {
-        SenderSideProxy {
+        ConsumerSession {
             consumer: QuackConsumer::new(cfg, in_transit_window),
             buffer: HashMap::new(),
             order: VecDeque::new(),
-            buffer_cap,
             next_tag: 0,
             window_sent: 0,
             window_lost: 0,
-            window_start: SimTime::ZERO,
+            window_start: now,
             requested_interval: None,
-            max_interval: in_transit_window.saturating_mul(2),
-            cfg,
-            in_transit_window,
             supervisor: Supervisor::new(supervision),
-            supervision,
-            retransmitted: 0,
-            control_sent: 0,
         }
     }
 
-    /// Consumer statistics (for tests/reports).
-    pub fn consumer_stats(&self) -> &crate::endpoint::ConsumerStats {
-        &self.consumer.stats
-    }
-
-    fn buffer_insert(&mut self, tag: u64, pkt: Packet) {
-        if self.buffer.len() >= self.buffer_cap {
+    fn buffer_insert(&mut self, buffer_cap: usize, tag: u64, pkt: Packet) {
+        if self.buffer.len() >= buffer_cap {
             // Evict oldest still-buffered entry.
             while let Some(old) = self.order.pop_front() {
                 if self.buffer.remove(&old).is_some() {
@@ -116,88 +99,6 @@ impl SenderSideProxy {
         }
         self.buffer.insert(tag, pkt);
         self.order.push_back(tag);
-    }
-
-    /// §4.3: pick the emission interval so a quACK window carries roughly
-    /// `t/2` missing packets at the observed loss ratio and packet rate:
-    /// "the sender who configures this frequency could target a constant
-    /// t = 20 missing packets per quACK. If the link is relatively stable,
-    /// the sender-side proxy could decrease the frequency".
-    fn retune_frequency(&mut self, ctx: &mut Context) {
-        if self.window_sent < 200 {
-            return; // not enough signal yet
-        }
-        let elapsed = (ctx.now() - self.window_start).as_secs_f64();
-        if elapsed <= 0.0 {
-            return;
-        }
-        let loss_ratio = (self.window_lost as f64 / self.window_sent as f64).max(1e-4);
-        let packet_rate = self.window_sent as f64 / elapsed; // packets/s
-        self.window_sent = 0;
-        self.window_lost = 0;
-        self.window_start = ctx.now();
-        // Interval such that expected missing per quACK ≈ t/2:
-        // loss_ratio · packet_rate · interval = t/2.
-        let target_missing = self.cfg.threshold as f64 / 2.0;
-        let seconds = target_missing / (loss_ratio * packet_rate);
-        let cap = self.max_interval.as_secs_f64().max(0.004);
-        let new_interval = SimDuration::from_secs_f64(seconds.clamp(0.002, cap));
-        let changed = match self.requested_interval {
-            Some(prev) => {
-                let ratio = new_interval.as_nanos() as f64 / prev.as_nanos().max(1) as f64;
-                !(0.5..=2.0).contains(&ratio)
-            }
-            None => true,
-        };
-        if changed {
-            self.requested_interval = Some(new_interval);
-            let msg = SidecarMessage::Configure {
-                interval: new_interval,
-            };
-            let _ = send_sidecar(msg, IfaceId(1), ctx);
-            self.control_sent += 1;
-        }
-    }
-
-    fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
-        let result = self.consumer.process_quack(ctx.now(), epoch, bytes);
-        obs::quack_outcome(ctx, &result);
-        match result {
-            Ok(report) => {
-                self.supervisor.on_feedback_ok(ctx.now());
-                // Free buffer space for confirmed-received packets.
-                for &(_, tag) in &report.received {
-                    self.buffer.remove(&tag);
-                }
-                self.arm_grace(ctx);
-            }
-            Err(
-                err @ (crate::endpoint::ProcessError::ThresholdExceeded { .. }
-                | crate::endpoint::ProcessError::CountInconsistent),
-            ) => {
-                // Reset both sides to a fresh epoch (§3.3).
-                let new_epoch = self.consumer.epoch() + 1;
-                let leftovers = self.consumer.reset(new_epoch);
-                for entry in leftovers {
-                    self.buffer.remove(&entry.tag);
-                }
-                let _ = send_sidecar(SidecarMessage::Reset { epoch: new_epoch }, IfaceId(1), ctx);
-                self.control_sent += 1;
-                if self.supervisor.on_quack_error(&err, ctx.now()) {
-                    self.enter_degraded();
-                }
-                self.supervise(ctx);
-            }
-            Err(err) => {
-                // Stale quACKs refresh liveness inside the supervisor;
-                // wrong-epoch/malformed ones burn the error budget.
-                if self.supervisor.on_quack_error(&err, ctx.now()) {
-                    self.enter_degraded();
-                }
-                self.supervise(ctx);
-            }
-        }
-        obs::sup_flush(ctx, &mut self.supervisor);
     }
 
     /// Baseline fallback: drop every piece of sidecar state. The node keeps
@@ -212,106 +113,410 @@ impl SenderSideProxy {
         self.window_lost = 0;
         self.requested_interval = None;
     }
+}
 
-    /// Drives the supervisor: hello (re)sends, liveness checks, timer
-    /// re-arming.
-    fn supervise(&mut self, ctx: &mut Context) {
-        let expecting = !self.buffer.is_empty() || self.consumer.log_len() > 0;
-        let outcome = self.supervisor.poll(ctx.now(), expecting);
+/// The sender-side proxy (right-hand side of paper Fig. 4): forwards,
+/// buffers, consumes quACKs, retransmits, and tunes the quACK frequency —
+/// per flow, muxed through a bounded [`FlowTable`].
+pub struct SenderSideProxy {
+    table: FlowTable<ConsumerSession>,
+    /// Maximum buffered packets per flow.
+    buffer_cap: usize,
+    /// Upper bound on the requested interval: recovery latency is roughly
+    /// one interval plus a subpath RTT, so the cap keeps in-network
+    /// recovery meaningfully faster than end-to-end recovery even on very
+    /// stable links (where the pure §4.3 bandwidth target would stretch
+    /// the interval arbitrarily).
+    max_interval: SimDuration,
+    cfg: SidecarConfig,
+    /// In-transit window, kept so restarts/new flows can build consumers.
+    in_transit_window: SimDuration,
+    supervision: SupervisionConfig,
+    /// Supervisor outcomes of sessions the table already reclaimed
+    /// (`(degradations, recoveries)`), so report totals survive eviction.
+    evicted_sup: (u64, u64),
+    /// Earliest armed `TOKEN_GRACE` deadline. Timers are one-shot and
+    /// accumulate, and the grace timer is shared across flows with many
+    /// arm sites (every quACK, every fire); without this guard each arm
+    /// spawns another immortal timer chain and the event queue melts down
+    /// under multi-flow load.
+    grace_armed: Option<SimTime>,
+    /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard: one
+    /// shared timer chain, not one per flow per poll).
+    sup_armed: Option<SimTime>,
+    /// In-network retransmissions performed (all flows).
+    pub retransmitted: u64,
+    /// Sidecar control messages sent (all flows).
+    pub control_sent: u64,
+}
+
+impl SenderSideProxy {
+    /// Creates the proxy. `in_transit_window` ≈ one subpath RTT.
+    pub fn new(
+        cfg: SidecarConfig,
+        in_transit_window: SimDuration,
+        buffer_cap: usize,
+        supervision: SupervisionConfig,
+    ) -> Self {
+        Self::with_flow_table(
+            cfg,
+            in_transit_window,
+            buffer_cap,
+            supervision,
+            FlowTableConfig::default(),
+        )
+    }
+
+    /// Creates the proxy with explicit flow-table sizing.
+    pub fn with_flow_table(
+        cfg: SidecarConfig,
+        in_transit_window: SimDuration,
+        buffer_cap: usize,
+        supervision: SupervisionConfig,
+        table: FlowTableConfig,
+    ) -> Self {
+        SenderSideProxy {
+            table: FlowTable::new(table),
+            buffer_cap,
+            max_interval: in_transit_window.saturating_mul(2),
+            cfg,
+            in_transit_window,
+            supervision,
+            evicted_sup: (0, 0),
+            grace_armed: None,
+            sup_armed: None,
+            retransmitted: 0,
+            control_sent: 0,
+        }
+    }
+
+    /// Consumer statistics for one flow's live session.
+    pub fn consumer_stats(&self, flow: FlowId) -> Option<&crate::endpoint::ConsumerStats> {
+        self.table
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, s)| &s.consumer.stats)
+    }
+
+    /// Live per-flow sessions.
+    pub fn live_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Supervisor degradations summed over live and reclaimed sessions.
+    pub fn degradations(&self) -> u64 {
+        self.evicted_sup.0
+            + self
+                .table
+                .iter()
+                .map(|(_, s)| s.supervisor.stats.degradations)
+                .sum::<u64>()
+    }
+
+    /// Supervisor recoveries summed over live and reclaimed sessions.
+    pub fn recoveries(&self) -> u64 {
+        self.evicted_sup.1
+            + self
+                .table
+                .iter()
+                .map(|(_, s)| s.supervisor.stats.recoveries)
+                .sum::<u64>()
+    }
+
+    /// Looks up (or lazily creates) `flow`'s session. A freshly created
+    /// session is immediately supervised, which sends its opening `Hello` —
+    /// queued *before* the data packet that triggered creation, so the
+    /// producer side handshakes on a pristine sketch exactly as the old
+    /// single-flow `on_start` path did.
+    fn session(&mut self, flow: FlowId, ctx: &mut Context) -> &mut ConsumerSession {
+        let cfg = self.cfg;
+        let window = self.in_transit_window;
+        let supervision = self.supervision;
+        let now = ctx.now();
+        let (created, _) = self.table.get_or_insert_with(flow, now, || {
+            ConsumerSession::new(cfg, window, supervision, now)
+        });
+        if created {
+            self.supervise_flow(flow, ctx);
+        }
+        self.table.peek_mut(flow).expect("session just ensured")
+    }
+
+    /// §4.3: pick the emission interval so a quACK window carries roughly
+    /// `t/2` missing packets at the observed loss ratio and packet rate:
+    /// "the sender who configures this frequency could target a constant
+    /// t = 20 missing packets per quACK. If the link is relatively stable,
+    /// the sender-side proxy could decrease the frequency".
+    fn retune_frequency(&mut self, flow: FlowId, ctx: &mut Context) {
+        let threshold = self.cfg.threshold as f64;
+        let max_interval = self.max_interval;
+        let Some(session) = self.table.peek_mut(flow) else {
+            return;
+        };
+        if session.window_sent < 200 {
+            return; // not enough signal yet
+        }
+        let elapsed = (ctx.now() - session.window_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            return;
+        }
+        let loss_ratio = (session.window_lost as f64 / session.window_sent as f64).max(1e-4);
+        let packet_rate = session.window_sent as f64 / elapsed; // packets/s
+        session.window_sent = 0;
+        session.window_lost = 0;
+        session.window_start = ctx.now();
+        // Interval such that expected missing per quACK ≈ t/2:
+        // loss_ratio · packet_rate · interval = t/2.
+        let target_missing = threshold / 2.0;
+        let seconds = target_missing / (loss_ratio * packet_rate);
+        let cap = max_interval.as_secs_f64().max(0.004);
+        let new_interval = SimDuration::from_secs_f64(seconds.clamp(0.002, cap));
+        let changed = match session.requested_interval {
+            Some(prev) => {
+                let ratio = new_interval.as_nanos() as f64 / prev.as_nanos().max(1) as f64;
+                !(0.5..=2.0).contains(&ratio)
+            }
+            None => true,
+        };
+        if changed {
+            session.requested_interval = Some(new_interval);
+            let msg = SidecarMessage::Configure {
+                interval: new_interval,
+            };
+            let _ = send_sidecar(msg, flow, IfaceId(1), ctx);
+            self.control_sent += 1;
+        }
+    }
+
+    fn handle_quack(&mut self, flow: FlowId, epoch: u32, bytes: &[u8], ctx: &mut Context) {
+        let Some(session) = self.table.peek_mut(flow) else {
+            // No mirror for this flow (never seen, or reclaimed): nothing
+            // to decode against. The epoch machinery resynchronizes once
+            // the flow's data reappears.
+            #[cfg(feature = "obs")]
+            ctx.obs_inc("sidecar.flow_mismatch");
+            return;
+        };
+        let result = session.consumer.process_quack(ctx.now(), epoch, bytes);
+        obs::quack_outcome(ctx, &result);
+        match result {
+            Ok(report) => {
+                session.supervisor.on_feedback_ok(ctx.now());
+                // Free buffer space for confirmed-received packets.
+                for &(_, tag) in &report.received {
+                    session.buffer.remove(&tag);
+                }
+                self.arm_grace(ctx);
+            }
+            Err(
+                err @ (crate::endpoint::ProcessError::ThresholdExceeded { .. }
+                | crate::endpoint::ProcessError::CountInconsistent),
+            ) => {
+                // Reset both sides to a fresh epoch (§3.3).
+                let new_epoch = session.consumer.epoch() + 1;
+                let leftovers = session.consumer.reset(new_epoch);
+                for entry in leftovers {
+                    session.buffer.remove(&entry.tag);
+                }
+                let degrade = session.supervisor.on_quack_error(&err, ctx.now());
+                if degrade {
+                    session.enter_degraded();
+                }
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch: new_epoch },
+                    flow,
+                    IfaceId(1),
+                    ctx,
+                );
+                self.control_sent += 1;
+                self.supervise_flow(flow, ctx);
+            }
+            Err(err) => {
+                // Stale quACKs refresh liveness inside the supervisor;
+                // wrong-epoch/malformed ones burn the error budget.
+                if session.supervisor.on_quack_error(&err, ctx.now()) {
+                    session.enter_degraded();
+                }
+                self.supervise_flow(flow, ctx);
+            }
+        }
+        if let Some(session) = self.table.peek_mut(flow) {
+            obs::sup_flush(ctx, &mut session.supervisor);
+        }
+    }
+
+    /// Drives one flow's supervisor: hello (re)sends, liveness checks,
+    /// timer re-arming (the supervision timer is shared; every fire polls
+    /// all flows, so the earliest deadline wins).
+    fn supervise_flow(&mut self, flow: FlowId, ctx: &mut Context) {
+        let cfg = self.cfg;
+        let Some(session) = self.table.peek_mut(flow) else {
+            return;
+        };
+        let expecting = !session.buffer.is_empty() || session.consumer.log_len() > 0;
+        let outcome = session.supervisor.poll(ctx.now(), expecting);
         if outcome.degraded_now {
-            self.enter_degraded();
+            session.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), IfaceId(1), ctx);
+            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), ctx);
             self.control_sent += 1;
         }
         if let Some(deadline) = outcome.next_deadline {
-            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+            self.arm_supervise(deadline, ctx);
         }
-        obs::sup_flush(ctx, &mut self.supervisor);
+        if let Some(session) = self.table.peek_mut(flow) {
+            obs::sup_flush(ctx, &mut session.supervisor);
+        }
     }
 
-    fn arm_grace(&mut self, ctx: &mut Context) {
-        if let Some(deadline) = self.consumer.next_grace_deadline() {
-            ctx.set_timer_at(deadline, TOKEN_GRACE);
+    /// Arms the shared supervision timer, keeping at most one live chain.
+    fn arm_supervise(&mut self, deadline: SimTime, ctx: &mut Context) {
+        let deadline = deadline.max(ctx.now());
+        if self.sup_armed.is_some_and(|at| at <= deadline) {
+            return; // an earlier fire will re-arm past this deadline
         }
+        self.sup_armed = Some(deadline);
+        ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+    }
+
+    fn supervise_all(&mut self, ctx: &mut Context) {
+        // Reap idle flows first so finished flows stop being polled (and
+        // their buffers freed); fold their supervisor outcomes into the
+        // report accumulators.
+        for (_, session) in self.table.sweep_idle(ctx.now()) {
+            self.evicted_sup.0 += session.supervisor.stats.degradations;
+            self.evicted_sup.1 += session.supervisor.stats.recoveries;
+        }
+        let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
+        for flow in flows {
+            self.supervise_flow(flow, ctx);
+        }
+        obs::flow_table(ctx, &mut self.table);
+    }
+
+    /// Arms the shared grace timer at the earliest deadline across flows
+    /// whose session is active (degraded flows are skipped by
+    /// [`Self::fire_grace`], so their deadlines must not drive the timer).
+    fn arm_grace(&mut self, ctx: &mut Context) {
+        let deadline = self
+            .table
+            .iter()
+            .filter(|(_, s)| s.supervisor.enabled())
+            .filter_map(|(_, s)| s.consumer.next_grace_deadline())
+            .min();
+        let Some(deadline) = deadline else {
+            return;
+        };
+        let deadline = deadline.max(ctx.now());
+        if self.grace_armed.is_some_and(|at| at <= deadline) {
+            return;
+        }
+        self.grace_armed = Some(deadline);
+        ctx.set_timer_at(deadline, TOKEN_GRACE);
     }
 
     fn fire_grace(&mut self, ctx: &mut Context) {
-        let losses = self.consumer.poll_expired(ctx.now());
-        for loss in losses {
-            self.window_lost += 1;
-            if let Some(pkt) = self.buffer.remove(&loss.tag) {
-                // Retransmit the identical ciphertext: same identifier, so
-                // the far sidecar's multiset stays consistent. Re-record it
-                // under a fresh tag.
-                let tag = self.next_tag;
-                self.next_tag += 1;
-                self.consumer.record_sent(pkt.id, tag, ctx.now());
-                self.buffer_insert(tag, pkt.clone());
-                ctx.send(IfaceId(1), pkt);
-                self.retransmitted += 1;
-                self.window_sent += 1;
+        let buffer_cap = self.buffer_cap;
+        let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
+        for flow in flows {
+            let Some(session) = self.table.peek_mut(flow) else {
+                continue;
+            };
+            if !session.supervisor.enabled() {
+                continue;
             }
+            let losses = session.consumer.poll_expired(ctx.now());
+            let mut retransmitted = 0u64;
+            for loss in losses {
+                session.window_lost += 1;
+                if let Some(pkt) = session.buffer.remove(&loss.tag) {
+                    // Retransmit the identical ciphertext: same identifier,
+                    // so the far sidecar's multiset stays consistent.
+                    // Re-record it under a fresh tag.
+                    let tag = session.next_tag;
+                    session.next_tag += 1;
+                    session.consumer.record_sent(pkt.id, tag, ctx.now());
+                    session.buffer_insert(buffer_cap, tag, pkt.clone());
+                    ctx.send(IfaceId(1), pkt);
+                    retransmitted += 1;
+                    session.window_sent += 1;
+                }
+            }
+            self.retransmitted += retransmitted;
+            self.retune_frequency(flow, ctx);
         }
-        self.retune_frequency(ctx);
         self.arm_grace(ctx);
     }
 }
 
 impl Node for SenderSideProxy {
-    fn on_start(&mut self, ctx: &mut Context) {
-        // Opens the session: first Hello goes out, supervision timer arms.
-        self.supervise(ctx);
-    }
-
     fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match iface {
             // From the server side: forward data downstream, buffering it
-            // (unless degraded, in which case we are a plain forwarder).
+            // (unless that flow is degraded, in which case the proxy is a
+            // plain forwarder for it).
             IfaceId(0) => {
-                if packet.kind == PacketKind::Data && self.supervisor.enabled() {
-                    let tag = self.next_tag;
-                    self.next_tag += 1;
-                    self.consumer.record_sent(packet.id, tag, ctx.now());
-                    self.supervisor.note_send(ctx.now());
-                    self.buffer_insert(tag, packet.clone());
-                    self.window_sent += 1;
+                if packet.kind == PacketKind::Data {
+                    let buffer_cap = self.buffer_cap;
+                    let session = self.session(packet.flow, ctx);
+                    if session.supervisor.enabled() {
+                        let tag = session.next_tag;
+                        session.next_tag += 1;
+                        session.consumer.record_sent(packet.id, tag, ctx.now());
+                        session.supervisor.note_send(ctx.now());
+                        session.buffer_insert(buffer_cap, tag, packet.clone());
+                        session.window_sent += 1;
+                    }
+                    obs::flow_table(ctx, &mut self.table);
                 }
                 ctx.send(IfaceId(1), packet);
             }
             // From the subpath side: quACKs are consumed, the rest forwarded.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode(proto, bytes) {
-                        Ok(SidecarMessage::Quack { epoch, bytes }) => {
+                    match SidecarMessage::decode_flow(proto, bytes) {
+                        Ok((mflow, SidecarMessage::Quack { epoch, bytes })) => {
+                            let flow = FlowId(mflow);
                             // Degraded sessions ignore quACKs outright;
                             // recovery goes through the hello handshake.
-                            if self.supervisor.enabled() {
-                                self.handle_quack(epoch, &bytes, ctx);
+                            let enabled = self
+                                .table
+                                .peek_mut(flow)
+                                .is_some_and(|s| s.supervisor.enabled());
+                            if enabled {
+                                self.handle_quack(flow, epoch, &bytes, ctx);
                             }
                         }
-                        Ok(SidecarMessage::Reset { epoch }) => {
+                        Ok((mflow, SidecarMessage::Reset { epoch })) => {
                             // Producer handshake-ack, or its post-restart
                             // epoch announcement: adopt the epoch and mark
-                            // the session live.
-                            if epoch != self.consumer.epoch() {
-                                let leftovers = self.consumer.reset(epoch);
+                            // the flow's session live (creating it if the
+                            // announcement precedes the flow's data).
+                            let flow = FlowId(mflow);
+                            let session = self.session(flow, ctx);
+                            if epoch != session.consumer.epoch() {
+                                let leftovers = session.consumer.reset(epoch);
                                 for entry in leftovers {
-                                    self.buffer.remove(&entry.tag);
+                                    session.buffer.remove(&entry.tag);
                                 }
                             }
-                            self.supervisor.on_handshake_ack(ctx.now());
-                            self.supervise(ctx);
+                            session.supervisor.on_handshake_ack(ctx.now());
+                            self.supervise_flow(flow, ctx);
                         }
                         Ok(_) => {}
                         Err(_) => {
-                            // Undecodable sidecar frame (corruption):
-                            // counts against the session's error budget.
-                            if self.supervisor.note_error(ctx.now()) {
-                                self.enter_degraded();
+                            // Undecodable sidecar frame (corruption): counts
+                            // against the session's error budget. Content is
+                            // garbage, so attribute it by the datagram's
+                            // 4-tuple.
+                            let flow = packet.flow;
+                            if let Some(session) = self.table.peek_mut(flow) {
+                                if session.supervisor.note_error(ctx.now()) {
+                                    session.enter_degraded();
+                                }
+                                self.supervise_flow(flow, ctx);
                             }
-                            self.supervise(ctx);
                         }
                     }
                 }
@@ -323,24 +528,47 @@ impl Node for SenderSideProxy {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
-            TOKEN_GRACE if self.supervisor.enabled() => self.fire_grace(ctx),
-            TOKEN_SUPERVISE => self.supervise(ctx),
+            // A fire only counts if it is the chain the guard armed;
+            // superseded events from earlier arms are dropped here.
+            TOKEN_GRACE => {
+                if self.grace_armed != Some(ctx.now()) {
+                    return;
+                }
+                self.grace_armed = None;
+                self.fire_grace(ctx);
+            }
+            TOKEN_SUPERVISE => {
+                if self.sup_armed != Some(ctx.now()) {
+                    return;
+                }
+                self.sup_armed = None;
+                self.supervise_all(ctx);
+            }
             _ => {}
         }
     }
 
     fn on_restart(&mut self, ctx: &mut Context) {
-        // A crashed proxy lost its buffer, mirror log, and session: come
-        // back as a plain forwarder and re-handshake from scratch.
-        self.buffer.clear();
-        self.order.clear();
-        self.consumer = QuackConsumer::new(self.cfg, self.in_transit_window);
-        self.window_sent = 0;
-        self.window_lost = 0;
-        self.window_start = ctx.now();
-        self.requested_interval = None;
-        self.supervisor = Supervisor::new(self.supervision);
-        self.supervise(ctx);
+        // A crashed proxy lost every flow's buffer, mirror log, and
+        // session: come back as a plain forwarder and re-handshake each
+        // flow from scratch as its packets reappear.
+        let (mut deg, mut rec) = (0, 0);
+        for (_, s) in self.table.iter() {
+            deg += s.supervisor.stats.degradations;
+            rec += s.supervisor.stats.recoveries;
+        }
+        // A reboot wipes the aggregates a real process would keep in RAM;
+        // the accumulator models persistent (exported) telemetry, which is
+        // also what the scenario reports compare. Fold live stats in before
+        // dropping the table.
+        self.evicted_sup.0 += deg;
+        self.evicted_sup.1 += rec;
+        self.table = FlowTable::new(*self.table.config());
+        // Stale guard times would suppress re-arming for reborn sessions;
+        // any leftover queued events are dropped by the fire-time check.
+        self.grace_armed = None;
+        self.sup_armed = None;
+        let _ = ctx;
     }
 
     fn name(&self) -> &str {
@@ -356,66 +584,138 @@ impl Node for SenderSideProxy {
     }
 }
 
-/// The receiver-side proxy (left-hand side of paper Fig. 4): forwards,
-/// observes identifiers, emits quACKs upstream on an adaptive interval.
-pub struct ReceiverSideProxy {
+/// One flow's producer-side session inside the receiver-side proxy.
+struct ProducerSession {
     producer: QuackProducer<Fp32>,
-    /// QuACK datagrams emitted.
+    /// Earliest instant the flow's emit-timer chain may legitimately fire;
+    /// an earlier fire is a stale duplicate chain and dies unanswered.
+    next_emit: SimTime,
+    /// quACKs emitted for this flow (feeds the eviction histogram).
+    quacks: u64,
+}
+
+/// The receiver-side proxy (left-hand side of paper Fig. 4): forwards,
+/// observes identifiers, emits quACKs upstream on an adaptive interval —
+/// one sketch, epoch, and emit-timer chain per flow.
+pub struct ReceiverSideProxy {
+    cfg: SidecarConfig,
+    table: FlowTable<ProducerSession>,
+    /// Set after a restart: the fresh epoch each recreated flow announces
+    /// when its data reappears (lazy per-flow version of the old broadcast
+    /// restart announcement).
+    restart_announce: Option<u32>,
+    /// QuACK datagrams emitted (all flows).
     pub quacks_sent: u64,
-    /// QuACK bytes emitted (body + headers).
+    /// QuACK bytes emitted (body + headers, all flows).
     pub quack_bytes: u64,
 }
 
 impl ReceiverSideProxy {
     /// Creates the proxy.
     pub fn new(cfg: SidecarConfig) -> Self {
+        Self::with_flow_table(cfg, FlowTableConfig::default())
+    }
+
+    /// Creates the proxy with explicit flow-table sizing.
+    pub fn with_flow_table(cfg: SidecarConfig, table: FlowTableConfig) -> Self {
         ReceiverSideProxy {
-            producer: QuackProducer::new(cfg),
+            cfg,
+            table: FlowTable::new(table),
+            restart_announce: None,
             quacks_sent: 0,
             quack_bytes: 0,
         }
     }
 
-    fn emit(&mut self, ctx: &mut Context) {
-        let fill = self.producer.burst_fill();
-        let msg = self.producer.emit();
-        self.quacks_sent += 1;
-        let bytes = send_sidecar(msg, IfaceId(0), ctx);
-        self.quack_bytes += bytes as u64;
-        obs::quack_emitted(
-            ctx,
-            self.producer.epoch(),
-            self.producer.count(),
-            fill,
-            bytes,
-        );
+    /// Live per-flow sessions.
+    pub fn live_flows(&self) -> usize {
+        self.table.len()
     }
 
-    fn arm(&self, ctx: &mut Context) {
-        if let Some(interval) = self.producer.interval() {
-            ctx.set_timer_after(interval, TOKEN_EMIT);
+    /// Ensures `flow` has a session. A fresh session starts its own emit
+    /// chain; when `announce` is set and the proxy restarted, the fresh
+    /// post-restart epoch is announced to the consumer for this flow.
+    fn ensure_session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) {
+        let cfg = self.cfg;
+        let epoch = self.restart_announce;
+        let now = ctx.now();
+        let (created, _) = self.table.get_or_insert_with(flow, now, || {
+            let mut producer = QuackProducer::new(cfg);
+            if let Some(e) = epoch {
+                producer.reset(e);
+            }
+            ProducerSession {
+                producer,
+                next_emit: now,
+                quacks: 0,
+            }
+        });
+        if created {
+            if announce {
+                if let Some(e) = epoch {
+                    let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+                }
+            }
+            self.arm(flow, ctx);
+        }
+    }
+
+    fn emit(&mut self, flow: FlowId, ctx: &mut Context) {
+        let (msg, fill, epoch, count) = {
+            let Some(session) = self.table.peek_mut(flow) else {
+                return;
+            };
+            let fill = session.producer.burst_fill();
+            let msg = session.producer.emit();
+            session.quacks += 1;
+            (
+                msg,
+                fill,
+                session.producer.epoch(),
+                session.producer.count(),
+            )
+        };
+        self.quacks_sent += 1;
+        let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
+        self.quack_bytes += bytes as u64;
+        obs::quack_emitted(ctx, epoch, count, fill, bytes);
+    }
+
+    fn arm(&mut self, flow: FlowId, ctx: &mut Context) {
+        let now = ctx.now();
+        let Some(session) = self.table.peek_mut(flow) else {
+            return;
+        };
+        if let Some(interval) = session.producer.interval() {
+            session.next_emit = now + interval;
+            ctx.set_timer_after(interval, flow_token(TOKEN_EMIT, flow));
         }
     }
 }
 
 impl Node for ReceiverSideProxy {
-    fn on_start(&mut self, ctx: &mut Context) {
-        self.arm(ctx);
-    }
-
     fn on_packet(&mut self, iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match iface {
             // From the subpath: observe data identifiers, forward downstream.
             IfaceId(0) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode(proto, bytes) {
-                        Ok(SidecarMessage::Configure { interval }) => {
-                            self.producer.set_interval(interval);
+                    match SidecarMessage::decode_flow(proto, bytes) {
+                        Ok((mflow, SidecarMessage::Configure { interval })) => {
+                            let flow = FlowId(mflow);
+                            self.ensure_session(flow, false, ctx);
+                            if let Some(session) = self.table.peek_mut(flow) {
+                                session.producer.set_interval(interval);
+                            }
                         }
-                        Ok(SidecarMessage::Reset { epoch }) => {
-                            self.producer.reset(epoch);
+                        Ok((mflow, SidecarMessage::Reset { epoch })) => {
+                            let flow = FlowId(mflow);
+                            self.ensure_session(flow, false, ctx);
+                            if let Some(session) = self.table.peek_mut(flow) {
+                                session.producer.reset(epoch);
+                            }
                         }
-                        Ok(hello @ SidecarMessage::Hello { .. }) => {
+                        Ok((mflow, hello @ SidecarMessage::Hello { .. })) => {
+                            let flow = FlowId(mflow);
                             let accepted = accept_hello(&Capabilities::default(), &hello).is_ok();
                             obs::handshake(ctx, accepted);
                             if accepted {
@@ -424,24 +724,40 @@ impl Node for ReceiverSideProxy {
                                 // sketch already counts packets the consumer
                                 // no longer tracks) starts a fresh epoch;
                                 // a startup Hello keeps the pristine one.
-                                let epoch = if self.producer.count() == 0 {
-                                    self.producer.epoch()
-                                } else {
-                                    let e = self.producer.epoch().wrapping_add(1);
-                                    self.producer.reset(e);
-                                    e
+                                self.ensure_session(flow, false, ctx);
+                                let epoch = {
+                                    let session =
+                                        self.table.peek_mut(flow).expect("session just ensured");
+                                    if session.producer.count() == 0 {
+                                        session.producer.epoch()
+                                    } else {
+                                        let e = session.producer.epoch().wrapping_add(1);
+                                        session.producer.reset(e);
+                                        e
+                                    }
                                 };
-                                let _ =
-                                    send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
+                                let _ = send_sidecar(
+                                    SidecarMessage::Reset { epoch },
+                                    flow,
+                                    IfaceId(0),
+                                    ctx,
+                                );
                             }
                         }
                         _ => {}
                     }
+                    obs::flow_table(ctx, &mut self.table);
                 }
                 _ => {
                     if packet.kind == PacketKind::Data {
-                        self.producer.observe(packet.id);
+                        self.ensure_session(packet.flow, true, ctx);
+                        let session = self
+                            .table
+                            .get_mut(packet.flow, ctx.now())
+                            .expect("session just ensured");
+                        session.producer.observe(packet.id);
                         obs::observed(ctx);
+                        obs::flow_table(ctx, &mut self.table);
                     }
                     ctx.send(IfaceId(1), packet);
                 }
@@ -453,20 +769,37 @@ impl Node for ReceiverSideProxy {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
-        if token == TOKEN_EMIT {
-            self.emit(ctx);
-            self.arm(ctx);
+        let (base, flow) = split_token(token);
+        if base != TOKEN_EMIT {
+            return;
+        }
+        // An idle flow's own timer is its reaper: evict, report, and let
+        // the chain die so finished flows stop costing emissions.
+        if let Some(evicted) = self.table.evict_if_idle(flow, ctx.now()) {
+            obs::flow_evicted(ctx, evicted.quacks);
+            obs::flow_table(ctx, &mut self.table);
+            return;
+        }
+        match self.table.peek_mut(flow) {
+            // Stale duplicate chain (the session was recreated and armed a
+            // new one): drop this fire, the newer chain owns emission.
+            Some(session) if ctx.now() < session.next_emit => {}
+            Some(_) => {
+                self.emit(flow, ctx);
+                self.arm(flow, ctx);
+            }
+            None => {}
         }
     }
 
     fn on_restart(&mut self, ctx: &mut Context) {
-        // The multiset is gone; continuing the old epoch would decode
-        // garbage. Start a fresh time-derived epoch, announce it, and
-        // restart the emission timer chain (timers died with the node).
-        let epoch = restart_epoch(ctx.now());
-        self.producer.reset(epoch);
-        let _ = send_sidecar(SidecarMessage::Reset { epoch }, IfaceId(0), ctx);
-        self.arm(ctx);
+        // Every multiset is gone; continuing old epochs would decode
+        // garbage. Drop all sessions and note a fresh time-derived epoch:
+        // each flow announces it lazily as its data reappears (the old
+        // single-flow code broadcast one Reset here; per-flow tagging makes
+        // that a per-flow event).
+        self.table = FlowTable::new(*self.table.config());
+        self.restart_announce = Some(restart_epoch(ctx.now()));
     }
 
     fn name(&self) -> &str {
@@ -635,8 +968,8 @@ impl RetxScenario {
         if sidecar {
             let a = w.node_as::<SenderSideProxy>(proxy_a);
             report.proxy_retransmissions = a.retransmitted;
-            report.degradations = a.supervisor.stats.degradations;
-            report.recoveries = a.supervisor.stats.recoveries;
+            report.degradations = a.degradations();
+            report.recoveries = a.recoveries();
             let b = w.node_as::<ReceiverSideProxy>(proxy_b);
             report.sidecar_messages = b.quacks_sent + a.control_sent;
             report.sidecar_bytes = b.quack_bytes;
@@ -791,7 +1124,7 @@ mod debug_tests {
             let cwnd = s.core().effective_cwnd();
             let nt = s.core().next_timeout();
             let a = w.node_as::<SenderSideProxy>(proxy_a);
-            let cstats = a.consumer_stats().clone();
+            let cstats = a.consumer_stats(FlowId(0)).cloned().unwrap_or_default();
             let cl = w.node_as::<ReceiverNode>(client);
             let sub = w.link_stats(proxy_a, a_to_b).clone();
             println!("t={step_ms}ms sent={} retx={} deliv={} lost={} ce={} rtos={} inflight={inflight} cwnd={cwnd} next_to={nt:?} | proxyA retx={} resets={} conf_lost={} conf_recv={} stale={} | client units={} acks={} | sub offered={} dloss={} dq={}",

@@ -1,0 +1,180 @@
+//! Mux-transparency property: K flows interleaved through one flow table
+//! must behave bit-identically to K isolated single-flow runs.
+//!
+//! The flow-aware refactor claims the [`FlowTable`] is pure plumbing — a
+//! per-flow session looked up by id, with no cross-flow interference. This
+//! test drives an arbitrary interleaving of K producer/consumer pairs
+//! through one shared table, replays each flow's exact event subsequence
+//! (same timestamps, same delivery pattern, same quACK schedule) through a
+//! standalone pair, and demands identical confirmed-loss sets, epochs, and
+//! counts.
+
+use proptest::prelude::*;
+use sidecar_galois::Fp32;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::FlowId;
+use sidecar_proto::{
+    FlowTable, FlowTableConfig, ProcessError, QuackConsumer, QuackProducer, SidecarConfig,
+    SidecarMessage,
+};
+use std::collections::BTreeSet;
+
+fn cfg(threshold: usize) -> SidecarConfig {
+    SidecarConfig {
+        threshold,
+        reorder_grace: SimDuration::from_millis(1),
+        ..SidecarConfig::paper_default()
+    }
+}
+
+/// Distinct deterministic identifiers, disjoint across flows.
+fn id_for(flow: usize, seq: u64) -> u64 {
+    (flow as u64)
+        .wrapping_mul(1_000_003)
+        .wrapping_add(seq)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(1)
+        % 4_294_967_291
+}
+
+/// One flow's session state, identical for muxed and isolated runs.
+struct Session {
+    producer: QuackProducer<Fp32>,
+    consumer: QuackConsumer<Fp32>,
+    seq: u64,
+    lost: BTreeSet<u64>,
+    resets: u32,
+}
+
+impl Session {
+    fn new(threshold: usize) -> Self {
+        Session {
+            producer: QuackProducer::new(cfg(threshold)),
+            consumer: QuackConsumer::new(cfg(threshold), SimDuration::from_millis(1)),
+            seq: 0,
+            lost: BTreeSet::new(),
+            resets: 0,
+        }
+    }
+
+    /// Ships one quACK producer→consumer and absorbs the outcome the way
+    /// the protocols do (coordinated reset on overflow, leftovers lost).
+    fn exchange(&mut self, t: SimTime) {
+        let SidecarMessage::Quack { epoch, bytes } = self.producer.emit() else {
+            unreachable!("emit() always yields a quACK");
+        };
+        match self.consumer.process_quack(t, epoch, &bytes) {
+            Ok(_) | Err(ProcessError::Stale) => {}
+            Err(ProcessError::ThresholdExceeded { .. }) | Err(ProcessError::CountInconsistent) => {
+                let next = self.consumer.epoch().wrapping_add(1);
+                for entry in self.consumer.reset(next) {
+                    self.lost.insert(entry.tag);
+                }
+                self.producer.reset(next);
+                self.resets += 1;
+            }
+            Err(other) => panic!("unexpected quACK outcome: {other:?}"),
+        }
+    }
+
+    /// One data packet: recorded at the consumer, observed by the producer
+    /// iff it survived the subpath.
+    fn step(&mut self, flow: usize, delivered: bool, quack_every: u64, t: SimTime) {
+        let id = id_for(flow, self.seq);
+        self.consumer.record_sent(id, self.seq, t);
+        if delivered {
+            self.producer.observe(id);
+        }
+        self.seq += 1;
+        if self.seq.is_multiple_of(quack_every) {
+            self.exchange(t);
+        }
+    }
+
+    /// Final quACK plus grace expiry; returns the flow's fingerprint.
+    fn finish(mut self, t: SimTime) -> (BTreeSet<u64>, u32, u32, u64) {
+        self.exchange(t);
+        for loss in self.consumer.poll_expired(t + SimDuration::from_secs(1)) {
+            self.lost.insert(loss.tag);
+        }
+        (self.lost, self.resets, self.consumer.epoch(), self.seq)
+    }
+}
+
+/// Runs the interleaved schedule through one shared flow table.
+fn run_muxed(
+    events: &[(usize, bool)],
+    flows: usize,
+    quack_every: u64,
+    threshold: usize,
+) -> Vec<(BTreeSet<u64>, u32, u32, u64)> {
+    let mut table: FlowTable<Session> = FlowTable::new(FlowTableConfig {
+        shards: 4,
+        per_shard: 4,
+        idle_timeout: SimDuration::from_secs(3_600),
+    });
+    for (i, &(flow, delivered)) in events.iter().enumerate() {
+        let t = SimTime::ZERO + SimDuration::from_millis(i as u64);
+        let (_, session) =
+            table.get_or_insert_with(FlowId(flow as u32), t, || Session::new(threshold));
+        session.step(flow, delivered, quack_every, t);
+    }
+    let t_end = SimTime::ZERO + SimDuration::from_millis(events.len() as u64);
+    (0..flows)
+        .map(|flow| {
+            table
+                .remove(FlowId(flow as u32))
+                .map(|s| s.finish(t_end))
+                .unwrap_or_else(|| (BTreeSet::new(), 0, 0, 0))
+        })
+        .collect()
+}
+
+/// Replays one flow's exact subsequence through an isolated pair.
+fn run_isolated(
+    events: &[(usize, bool)],
+    flow: usize,
+    quack_every: u64,
+    threshold: usize,
+) -> (BTreeSet<u64>, u32, u32, u64) {
+    let mut session = Session::new(threshold);
+    let mut touched = false;
+    for (i, &(f, delivered)) in events.iter().enumerate() {
+        if f != flow {
+            continue;
+        }
+        touched = true;
+        let t = SimTime::ZERO + SimDuration::from_millis(i as u64);
+        session.step(flow, delivered, quack_every, t);
+    }
+    if !touched {
+        return (BTreeSet::new(), 0, 0, 0);
+    }
+    session.finish(SimTime::ZERO + SimDuration::from_millis(events.len() as u64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K interleaved flows through one table ≡ K isolated runs.
+    #[test]
+    fn muxing_is_transparent(
+        flows in 2usize..6,
+        events in proptest::collection::vec((0usize..6, any::<bool>()), 1..300),
+        quack_every in 2u64..20,
+        threshold in 4usize..16,
+    ) {
+        let events: Vec<(usize, bool)> =
+            events.into_iter().map(|(f, d)| (f % flows, d)).collect();
+        let muxed = run_muxed(&events, flows, quack_every, threshold);
+        for (flow, muxed_flow) in muxed.iter().enumerate() {
+            let isolated = run_isolated(&events, flow, quack_every, threshold);
+            prop_assert_eq!(
+                muxed_flow,
+                &isolated,
+                "flow {} diverged between muxed and isolated runs",
+                flow
+            );
+        }
+    }
+}

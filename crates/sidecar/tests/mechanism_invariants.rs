@@ -106,4 +106,44 @@ fn ccd_lossless_path_decodes_every_quack_below_threshold() {
     assert!(m.counter("supervisor.transitions") >= 2);
     assert!(m.counter("sidecar.handshake.accepted") >= 2);
     assert_eq!(m.counter("sidecar.handshake.rejected"), 0);
+    // The proxy's flow table held the single flow for the whole run.
+    assert!(m.counter("flowtable.created") >= 1, "{m:?}");
+    assert_eq!(m.counter("flowtable.evicted.idle"), 0, "{m:?}");
+    assert_eq!(m.counter("flowtable.evicted.capacity"), 0, "{m:?}");
+}
+
+/// DESIGN §10: the flow table evicts only on idle expiry or capacity
+/// pressure. A lossless single-flow transfer neither idles mid-flight nor
+/// pressures the default 8 × 64 table, so both eviction counters must stay
+/// at zero for every protocol — a nonzero count here means per-flow quACK
+/// state was silently dropped and rebuilt behind a healthy flow's back.
+#[test]
+fn flow_table_never_evicts_in_lossless_scenarios() {
+    let retx = RetxScenario {
+        total_packets: 400,
+        subpath: LinkConfig {
+            loss: LossModel::None,
+            ..RetxScenario::default().subpath
+        },
+        ..RetxScenario::default()
+    };
+    let ackred = AckReductionScenario {
+        total_packets: 400,
+        ..AckReductionScenario::default() // both links lossless by default
+    };
+    for (label, report) in [
+        ("retx", retx.run_sidecar(19)),
+        ("ackred", ackred.run_sidecar(23)),
+    ] {
+        assert!(report.completion.is_some(), "{label}: {report:?}");
+        let m = &report.metrics;
+        assert_eq!(m.counter_sum("netsim.drop."), 0, "{label}: {m:?}");
+        assert!(
+            m.counter("flowtable.created") >= 1,
+            "{label}: the proxy must route through the flow table: {m:?}"
+        );
+        assert_eq!(m.counter("flowtable.evicted.idle"), 0, "{label}: {m:?}");
+        assert_eq!(m.counter("flowtable.evicted.capacity"), 0, "{label}: {m:?}");
+        assert_eq!(m.counter("sidecar.flow_mismatch"), 0, "{label}: {m:?}");
+    }
 }
