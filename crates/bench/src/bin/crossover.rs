@@ -90,6 +90,7 @@ fn main() {
     }
     report.write_default().expect("write BENCH_crossover.json");
     sidecar_bench::write_metrics_out("crossover");
+    sidecar_bench::write_trace_out("crossover");
     match crossover {
         Some(n) => println!(
             "\ncrossover at n ≈ {n}: below it plug candidates (the paper's \

@@ -80,6 +80,7 @@ fn main() {
     table.print();
     report.write_default().expect("write BENCH_exp_ackred.json");
     sidecar_bench::write_metrics_out("exp_ackred");
+    sidecar_bench::write_trace_out("exp_ackred");
     println!(
         "\nexpected shape: the sidecar variant sends ~16x fewer client ACKs \
          than normal while completing close to the normal time; the naive \

@@ -122,6 +122,7 @@ fn main() {
     table.print();
     report.write_default().expect("write BENCH_exp_ccd.json");
     sidecar_bench::write_metrics_out("exp_ccd");
+    sidecar_bench::write_trace_out("exp_ccd");
     println!(
         "\nexpected shape: roughly even when the downstream is clean; the \
          division wins increasingly as random downstream loss grows (e2e \

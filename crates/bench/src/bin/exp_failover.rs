@@ -179,6 +179,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_exp_failover.json");
     sidecar_bench::write_metrics_out("exp_failover");
+    sidecar_bench::write_trace_out("exp_failover");
     println!(
         "\nexpected shape: under 'none' the sidecar ratio reflects each\n\
          protocol's ordinary win; under every fault the ratio stays near or\n\

@@ -169,6 +169,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_exp_fairness.json");
     sidecar_bench::write_metrics_out("exp_fairness");
+    sidecar_bench::write_trace_out("exp_fairness");
     println!(
         "\nreading: at 3% random loss the sidecar helps both flows and \
          preserves fairness; at 1% the queue is the real constraint and \

@@ -159,6 +159,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_exp_frequency.json");
     sidecar_bench::write_metrics_out("exp_frequency");
+    sidecar_bench::write_trace_out("exp_frequency");
     println!(
         "   the adaptive controller lands near the best fixed interval \
          without knowing the loss rate in advance (§2.3: the frequency \

@@ -170,6 +170,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_exp_manyflow.json");
     sidecar_bench::write_metrics_out("exp_manyflow");
+    sidecar_bench::write_trace_out("exp_manyflow");
     println!(
         "\nreading: goodput should scale with N until the trunk saturates \
          while the proxy's resident sessions stay capped at the table \

@@ -112,6 +112,7 @@ fn main() {
     table.print();
     report.write_default().expect("write BENCH_exp_retx.json");
     sidecar_bench::write_metrics_out("exp_retx");
+    sidecar_bench::write_trace_out("exp_retx");
     println!(
         "\nexpected shape: the sidecar completes faster at every loss rate, \
          recovering most subpath losses in-network; e2e retransmissions drop \

@@ -89,4 +89,5 @@ fn main() {
     report.push("growth_t10_to_t50", &[("b", "32")], last / first, "x");
     report.write_default().expect("write BENCH_fig5.json");
     sidecar_bench::write_metrics_out("fig5");
+    sidecar_bench::write_trace_out("fig5");
 }

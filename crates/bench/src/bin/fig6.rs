@@ -79,4 +79,5 @@ fn main() {
     );
     report.write_default().expect("write BENCH_fig6.json");
     sidecar_bench::write_metrics_out("fig6");
+    sidecar_bench::write_trace_out("fig6");
 }

@@ -118,6 +118,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_freq_selection.json");
     sidecar_bench::write_metrics_out("freq_selection");
+    sidecar_bench::write_trace_out("freq_selection");
     println!(
         "   stable link → lower frequency (longer interval), configured via the \
          sidecar Configure message (§2.3); only n changes per quACK, and the \

@@ -81,4 +81,5 @@ fn main() {
     );
     report.write_default().expect("write BENCH_headline.json");
     sidecar_bench::write_metrics_out("headline");
+    sidecar_bench::write_trace_out("headline");
 }

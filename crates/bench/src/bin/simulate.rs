@@ -162,8 +162,10 @@ fn average(reports: Vec<ScenarioReport>) -> ScenarioReport {
         proxy_retransmissions: reports.iter().map(|r| r.proxy_retransmissions).sum::<u64>() / k,
         degradations: reports.iter().map(|r| r.degradations).sum(),
         recoveries: reports.iter().map(|r| r.recoveries).sum(),
-        // An averaged report has no single world's registry behind it.
+        // An averaged report has no single world's registry or event ring
+        // behind it.
         metrics: Default::default(),
+        trace: Default::default(),
     }
 }
 
@@ -277,4 +279,5 @@ fn main() {
     }
     report.write_default().expect("write BENCH_simulate.json");
     sidecar_bench::write_metrics_out("simulate");
+    sidecar_bench::write_trace_out("simulate");
 }

@@ -104,6 +104,7 @@ fn main() {
         .write_default()
         .expect("write BENCH_sketch_compare.json");
     sidecar_bench::write_metrics_out("sketch_compare");
+    sidecar_bench::write_trace_out("sketch_compare");
     println!(
         "\nshape: the quACK is ~10x smaller on the wire; the IBLT decodes \
          ~100x faster and also reports receiver-side extras — but can stall \

@@ -132,6 +132,7 @@ fn main() {
     );
     report.write_default().expect("write BENCH_table2.json");
     sidecar_bench::write_metrics_out("table2");
+    sidecar_bench::write_trace_out("table2");
 
     let mut table = Table::new(&[
         "scheme",

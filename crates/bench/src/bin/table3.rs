@@ -74,4 +74,5 @@ fn main() {
     );
     report.write_default().expect("write BENCH_table3.json");
     sidecar_bench::write_metrics_out("table3");
+    sidecar_bench::write_trace_out("table3");
 }

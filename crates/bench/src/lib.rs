@@ -139,6 +139,34 @@ pub fn write_metrics_out(name: &str) {
         .expect("write metrics-out bench report");
 }
 
+/// Handles the `--trace-out [path]` flag every bench binary accepts: when
+/// the flag is present, renders the process-global flight-recorder trace
+/// (lifecycle events absorbed from every simulated world of the run) to
+/// `path`, or to `BENCH_<name>_trace.txt` next to the bench's JSON when the
+/// flag carries no path (honoring `$BENCH_OUT_DIR`).
+///
+/// The rendering is the canonical `EventTrace` text format: one
+/// `t=<ns> <event>` line per record, preceded by a `# truncated dropped=N`
+/// header when the ring evicted records — consumers must treat a truncated
+/// trace as incomplete. No-op without the flag; with the obs feature
+/// compiled out the global trace is simply empty.
+pub fn write_trace_out(name: &str) {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--trace-out") else {
+        return;
+    };
+    let path = match args.get(pos + 1) {
+        Some(p) if !p.starts_with("--") => std::path::PathBuf::from(p),
+        _ => {
+            let dir = std::env::var_os("BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
+            std::path::PathBuf::from(dir).join(format!("BENCH_{name}_trace.txt"))
+        }
+    };
+    let trace = sidecar_obs::global_trace_snapshot();
+    std::fs::write(&path, trace.render()).expect("write trace-out file");
+    println!("[bench-trace] wrote {}", path.display());
+}
+
 /// Formats a duration the way the paper's tables do (ns/us/ms autoscale).
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();

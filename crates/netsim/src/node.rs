@@ -145,6 +145,22 @@ impl<'a> Context<'a> {
         }
     }
 
+    /// Allocates the next world-scoped control-datagram sequence for
+    /// flight-recorder stamping. Sequences start at 1 so a stamped control
+    /// packet is distinguishable from the obs-off default of 0; without a
+    /// world handle (unit tests) every call returns 0, matching the obs-off
+    /// wire image.
+    #[cfg(feature = "obs")]
+    pub fn next_ctrl_seq(&mut self) -> u64 {
+        match self.obs.as_deref_mut() {
+            Some(obs) => {
+                obs.ctrl_seq += 1;
+                obs.ctrl_seq
+            }
+            None => 0,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

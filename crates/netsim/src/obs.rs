@@ -20,6 +20,11 @@ pub struct WorldObs {
     pub metrics: sidecar_obs::MetricsRegistry,
     /// Event-trace ring scoped to this world (sim-time timestamps only).
     pub trace: sidecar_obs::EventTrace,
+    /// World-scoped control-datagram sequence, allocated through
+    /// [`Context::next_ctrl_seq`](crate::node::Context::next_ctrl_seq) to
+    /// stamp sidecar control packets with a flight-recorder `TraceId`. Data
+    /// packets need no allocator — their packet number is the stamp.
+    pub ctrl_seq: u64,
 }
 
 #[cfg(feature = "obs")]

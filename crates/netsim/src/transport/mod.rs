@@ -22,6 +22,41 @@ use crate::node::{Context, IfaceId, Node};
 use crate::packet::{Packet, PacketKind, Payload};
 use std::any::Any;
 
+/// Drains `core`'s transport events and mirrors end-to-end loss/recovery
+/// into the flight recorder: `Lost` becomes [`sidecar_obs::Event::E2eLost`]
+/// (the pn→unit join point) and retransmitting `Sent`s become
+/// [`sidecar_obs::Event::E2eRetx`]. Every node wrapping a [`SenderCore`]
+/// (the plain [`SenderNode`] here, the CCD/ACK-reduction servers in the
+/// sidecar crate) calls this from its pump so lifecycle reconstruction sees
+/// recovery no matter which protocol owns the core.
+#[cfg(feature = "obs")]
+pub fn emit_sender_lifecycle(core: &mut SenderCore, ctx: &mut Context) {
+    let node = ctx.node_id().0 as u32;
+    let flow = core.config().flow.0;
+    for event in core.drain_events() {
+        match event {
+            SenderEvent::Lost { pn, unit, .. } => ctx.obs_event(sidecar_obs::Event::E2eLost {
+                node,
+                flow,
+                seq: pn,
+                unit,
+            }),
+            SenderEvent::Sent {
+                pn,
+                unit,
+                retx: true,
+                ..
+            } => ctx.obs_event(sidecar_obs::Event::E2eRetx {
+                node,
+                flow,
+                seq: pn,
+                unit,
+            }),
+            _ => {}
+        }
+    }
+}
+
 /// Timer token used by [`SenderNode`] for retransmission timeouts.
 const TOKEN_RTO: u64 = 1;
 /// Timer token used by [`ReceiverNode`] for delayed ACKs.
@@ -65,6 +100,8 @@ impl SenderNode {
         for pkt in core.poll_send(ctx.now()) {
             ctx.send(IfaceId(0), pkt);
         }
+        #[cfg(feature = "obs")]
+        emit_sender_lifecycle(core, ctx);
         if let Some(deadline) = core.next_timeout() {
             ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
         }

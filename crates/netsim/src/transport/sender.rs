@@ -96,6 +96,10 @@ pub enum SenderEvent {
         pn: u64,
         /// Its identifier.
         id: u64,
+        /// The data unit it carried. Retransmissions travel under a fresh
+        /// packet number, so the unit is the only stable key joining a loss
+        /// to its eventual recovery (the flight recorder leans on this).
+        unit: u64,
     },
 }
 
@@ -443,7 +447,11 @@ impl SenderCore {
             let info = self.in_flight.remove(&pn).expect("ranged above");
             self.window_released.remove(&pn);
             self.stats.lost_packets += 1;
-            self.events.push(SenderEvent::Lost { pn, id: info.id });
+            self.events.push(SenderEvent::Lost {
+                pn,
+                id: info.id,
+                unit: info.unit,
+            });
             if !self.delivered_units.contains(&info.unit) {
                 self.retx_queue.push_back(info.unit);
                 self.lost_unacked.insert(pn, info);
@@ -489,7 +497,11 @@ impl SenderCore {
             let info = self.in_flight.remove(&pn).expect("keyed above");
             self.window_released.remove(&pn);
             self.stats.lost_packets += 1;
-            self.events.push(SenderEvent::Lost { pn, id: info.id });
+            self.events.push(SenderEvent::Lost {
+                pn,
+                id: info.id,
+                unit: info.unit,
+            });
             if !self.delivered_units.contains(&info.unit) {
                 self.retx_queue.push_back(info.unit);
                 self.lost_unacked.insert(pn, info);

@@ -15,7 +15,9 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent};
 #[cfg(feature = "obs")]
-use sidecar_obs::{ControlKind as ObsControlKind, DropCause as ObsDropCause, Event as ObsEvent};
+use sidecar_obs::{
+    ControlKind as ObsControlKind, DropCause as ObsDropCause, Event as ObsEvent, TraceClass,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -395,6 +397,7 @@ impl World {
                                 cause: ObsDropCause::NodeDown,
                             },
                         );
+                        self.record_hop_drop(node, iface, &packet, ObsDropCause::NodeDown);
                     }
                     return true;
                 }
@@ -407,6 +410,19 @@ impl World {
                     seq: packet.seq,
                     size: packet.size,
                 });
+                #[cfg(feature = "obs")]
+                if let Some((class, flow, seq)) = Self::hop_identity(&packet) {
+                    self.obs.trace.record(
+                        self.now.as_nanos(),
+                        ObsEvent::HopDeliver {
+                            node: node.0 as u32,
+                            iface: iface.0 as u32,
+                            class,
+                            flow,
+                            seq,
+                        },
+                    );
+                }
                 self.dispatch(node, |n, ctx| n.on_packet(iface, packet, ctx));
             }
             EventKind::Timer { node, token } => {
@@ -563,6 +579,7 @@ impl World {
                             cause: ObsDropCause::Blackout,
                         },
                     );
+                    self.record_hop_drop(node, iface, &packet, ObsDropCause::Blackout);
                 }
                 return;
             }
@@ -591,6 +608,7 @@ impl World {
                                 cause: ObsDropCause::Injected,
                             },
                         );
+                        self.record_hop_drop(node, iface, &packet, ObsDropCause::Injected);
                     }
                     return;
                 }
@@ -617,7 +635,21 @@ impl World {
             match link.offer(self.now, packet.size, &mut self.rng) {
                 LinkOutcome::Deliver(at) => {
                     #[cfg(feature = "obs")]
-                    self.obs.metrics.inc("netsim.delivered");
+                    {
+                        self.obs.metrics.inc("netsim.delivered");
+                        if let Some((class, flow, pseq)) = Self::hop_identity(&packet) {
+                            self.obs.trace.record(
+                                self.now.as_nanos(),
+                                ObsEvent::HopEnqueue {
+                                    node: node.0 as u32,
+                                    iface: iface.0 as u32,
+                                    class,
+                                    flow,
+                                    seq: pseq,
+                                },
+                            );
+                        }
+                    }
                     let seq = self.next_seq();
                     self.queue.push(ScheduledEvent {
                         at: at + extra_delay,
@@ -660,9 +692,49 @@ impl World {
                                 cause,
                             },
                         );
+                        self.record_hop_drop(node, iface, &packet, cause);
                     }
                 }
             }
+        }
+    }
+
+    /// Flight-recorder identity of a packet: data packets are traced by
+    /// their packet number, sidecar control datagrams by the world-scoped
+    /// control sequence stamped at send time. ACKs are not traced — they all
+    /// share seq 0 and the recorder has nothing per-packet to say about
+    /// them.
+    #[cfg(feature = "obs")]
+    fn hop_identity(packet: &Packet) -> Option<(TraceClass, u32, u64)> {
+        use crate::packet::PacketKind;
+        match packet.kind {
+            PacketKind::Data => Some((TraceClass::Data, packet.flow.0, packet.seq)),
+            PacketKind::Sidecar => Some((TraceClass::Ctrl, packet.flow.0, packet.seq)),
+            _ => None,
+        }
+    }
+
+    /// Records a flight-recorder hop-drop for a traceable packet.
+    #[cfg(feature = "obs")]
+    fn record_hop_drop(
+        &mut self,
+        node: NodeId,
+        iface: IfaceId,
+        packet: &Packet,
+        cause: ObsDropCause,
+    ) {
+        if let Some((class, flow, seq)) = Self::hop_identity(packet) {
+            self.obs.trace.record(
+                self.now.as_nanos(),
+                ObsEvent::HopDrop {
+                    node: node.0 as u32,
+                    iface: iface.0 as u32,
+                    class,
+                    flow,
+                    seq,
+                    cause,
+                },
+            );
         }
     }
 

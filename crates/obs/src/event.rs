@@ -100,6 +100,40 @@ impl SessionState {
     }
 }
 
+/// Which identifier namespace a lifecycle event's `(flow, seq)` pair lives
+/// in.
+///
+/// Data packets reuse the transport's packet number as `seq` (zero wire
+/// cost); sidecar control datagrams are stamped with a world-scoped control
+/// sequence (obs builds only — the field stays zero when obs is compiled
+/// out). The class keeps the two keyspaces from colliding inside one flow.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceClass {
+    /// A transport data packet; `seq` is its packet number.
+    Data,
+    /// A sidecar control datagram; `seq` is the world's control sequence.
+    Ctrl,
+}
+
+impl TraceClass {
+    /// Stable text tag (`data` / `ctrl`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceClass::Data => "data",
+            TraceClass::Ctrl => "ctrl",
+        }
+    }
+
+    /// Parses [`TraceClass::as_str`] output.
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "data" => TraceClass::Data,
+            "ctrl" => TraceClass::Ctrl,
+            _ => return None,
+        })
+    }
+}
+
 /// Why a received quACK failed to process.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QuackErrorKind {
@@ -225,6 +259,100 @@ pub enum Event {
         /// Identifiers in the batch when it flushed.
         fill: u32,
     },
+    /// A packet was accepted onto a link's queue (flight-recorder hop).
+    HopEnqueue {
+        /// Transmitting node.
+        node: u32,
+        /// Interface the packet went out on.
+        iface: u32,
+        /// Identifier namespace of `(flow, seq)`.
+        class: TraceClass,
+        /// Flow id.
+        flow: u32,
+        /// Packet number (data) or control sequence (ctrl).
+        seq: u64,
+    },
+    /// A packet arrived at the far end of a link and was dispatched.
+    HopDeliver {
+        /// Receiving node.
+        node: u32,
+        /// Interface the packet arrived on.
+        iface: u32,
+        /// Identifier namespace of `(flow, seq)`.
+        class: TraceClass,
+        /// Flow id.
+        flow: u32,
+        /// Packet number (data) or control sequence (ctrl).
+        seq: u64,
+    },
+    /// A packet was dropped in flight (flight-recorder twin of
+    /// [`Event::LinkDrop`], carrying the packet's identity).
+    HopDrop {
+        /// Node charged with the drop (transmitter, or receiver for
+        /// `node_down`).
+        node: u32,
+        /// Interface involved.
+        iface: u32,
+        /// Identifier namespace of `(flow, seq)`.
+        class: TraceClass,
+        /// Flow id.
+        flow: u32,
+        /// Packet number (data) or control sequence (ctrl).
+        seq: u64,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A proxy folded a data packet into its quACK sketch.
+    QuackFold {
+        /// Observing proxy node.
+        node: u32,
+        /// Flow id.
+        flow: u32,
+        /// Packet number.
+        seq: u64,
+    },
+    /// A quACK decode newly reported this packet missing on the proxied
+    /// segment.
+    DecodeMissing {
+        /// Decoding node (quACK consumer).
+        node: u32,
+        /// Flow id.
+        flow: u32,
+        /// Packet number (the consumer's in-transit tag).
+        seq: u64,
+    },
+    /// A sender-side proxy retransmitted a buffered packet (§2.3).
+    ProxyRetx {
+        /// Retransmitting proxy node.
+        node: u32,
+        /// Flow id.
+        flow: u32,
+        /// Packet number (unchanged: the proxy replays the buffered copy).
+        seq: u64,
+    },
+    /// The end-to-end transport declared a packet number lost.
+    E2eLost {
+        /// Sender node.
+        node: u32,
+        /// Flow id.
+        flow: u32,
+        /// The lost packet number.
+        seq: u64,
+        /// The data unit it carried (retransmissions get a fresh packet
+        /// number; the unit is the stable join key).
+        unit: u64,
+    },
+    /// The end-to-end transport retransmitted a data unit.
+    E2eRetx {
+        /// Sender node.
+        node: u32,
+        /// Flow id.
+        flow: u32,
+        /// The fresh packet number carrying the retransmission.
+        seq: u64,
+        /// The recovered data unit.
+        unit: u64,
+    },
 }
 
 impl Event {
@@ -241,6 +369,14 @@ impl Event {
             Event::QuackDecoded { .. } => "quack_decoded",
             Event::QuackError { .. } => "quack_error",
             Event::BatchFill { .. } => "batch_fill",
+            Event::HopEnqueue { .. } => "hop_enqueue",
+            Event::HopDeliver { .. } => "hop_deliver",
+            Event::HopDrop { .. } => "hop_drop",
+            Event::QuackFold { .. } => "quack_fold",
+            Event::DecodeMissing { .. } => "decode_missing",
+            Event::ProxyRetx { .. } => "proxy_retx",
+            Event::E2eLost { .. } => "e2e_lost",
+            Event::E2eRetx { .. } => "e2e_retx",
         }
     }
 
@@ -267,6 +403,14 @@ impl Event {
                 .parse()
                 .map_err(|_| format!("bad numeric field {key:?} in {text:?}"))
         };
+        let num64 = |key: &str| -> Result<u64, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("bad numeric field {key:?} in {text:?}"))
+        };
+        let class = || -> Result<TraceClass, String> {
+            TraceClass::from_str(get("class")?).ok_or_else(|| format!("bad class in {text:?}"))
+        };
         let flag = |key: &str| -> Result<bool, String> {
             match get(key)? {
                 "true" => Ok(true),
@@ -275,9 +419,11 @@ impl Event {
             }
         };
         let expected = match kind {
-            "link_drop" => 3,
-            "quack_sent" => 4,
-            "quack_decoded" | "transition" => 3,
+            "hop_drop" => 6,
+            "hop_enqueue" | "hop_deliver" => 5,
+            "quack_sent" | "e2e_lost" | "e2e_retx" => 4,
+            "link_drop" | "quack_decoded" | "transition" => 3,
+            "quack_fold" | "decode_missing" | "proxy_retx" => 3,
             "restart" => 1,
             _ => 2,
         };
@@ -332,6 +478,56 @@ impl Event {
                 node: num("node")?,
                 fill: num("fill")?,
             },
+            "hop_enqueue" => Event::HopEnqueue {
+                node: num("node")?,
+                iface: num("iface")?,
+                class: class()?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+            },
+            "hop_deliver" => Event::HopDeliver {
+                node: num("node")?,
+                iface: num("iface")?,
+                class: class()?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+            },
+            "hop_drop" => Event::HopDrop {
+                node: num("node")?,
+                iface: num("iface")?,
+                class: class()?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+                cause: DropCause::from_str(get("cause")?)
+                    .ok_or_else(|| format!("bad cause in {text:?}"))?,
+            },
+            "quack_fold" => Event::QuackFold {
+                node: num("node")?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+            },
+            "decode_missing" => Event::DecodeMissing {
+                node: num("node")?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+            },
+            "proxy_retx" => Event::ProxyRetx {
+                node: num("node")?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+            },
+            "e2e_lost" => Event::E2eLost {
+                node: num("node")?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+                unit: num64("unit")?,
+            },
+            "e2e_retx" => Event::E2eRetx {
+                node: num("node")?,
+                flow: num("flow")?,
+                seq: num64("seq")?,
+                unit: num64("unit")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         })
     }
@@ -384,6 +580,62 @@ impl fmt::Display for Event {
                 write!(f, "quack_error node={node} kind={}", kind.as_str())
             }
             Event::BatchFill { node, fill } => write!(f, "batch_fill node={node} fill={fill}"),
+            Event::HopEnqueue {
+                node,
+                iface,
+                class,
+                flow,
+                seq,
+            } => write!(
+                f,
+                "hop_enqueue node={node} iface={iface} class={} flow={flow} seq={seq}",
+                class.as_str()
+            ),
+            Event::HopDeliver {
+                node,
+                iface,
+                class,
+                flow,
+                seq,
+            } => write!(
+                f,
+                "hop_deliver node={node} iface={iface} class={} flow={flow} seq={seq}",
+                class.as_str()
+            ),
+            Event::HopDrop {
+                node,
+                iface,
+                class,
+                flow,
+                seq,
+                cause,
+            } => write!(
+                f,
+                "hop_drop node={node} iface={iface} class={} flow={flow} seq={seq} cause={}",
+                class.as_str(),
+                cause.as_str()
+            ),
+            Event::QuackFold { node, flow, seq } => {
+                write!(f, "quack_fold node={node} flow={flow} seq={seq}")
+            }
+            Event::DecodeMissing { node, flow, seq } => {
+                write!(f, "decode_missing node={node} flow={flow} seq={seq}")
+            }
+            Event::ProxyRetx { node, flow, seq } => {
+                write!(f, "proxy_retx node={node} flow={flow} seq={seq}")
+            }
+            Event::E2eLost {
+                node,
+                flow,
+                seq,
+                unit,
+            } => write!(f, "e2e_lost node={node} flow={flow} seq={seq} unit={unit}"),
+            Event::E2eRetx {
+                node,
+                flow,
+                seq,
+                unit,
+            } => write!(f, "e2e_retx node={node} flow={flow} seq={seq} unit={unit}"),
         }
     }
 }
@@ -435,6 +687,55 @@ mod tests {
                 kind: QuackErrorKind::Threshold,
             },
             Event::BatchFill { node: 1, fill: 8 },
+            Event::HopEnqueue {
+                node: 0,
+                iface: 0,
+                class: TraceClass::Data,
+                flow: 7,
+                seq: 4182,
+            },
+            Event::HopDeliver {
+                node: 1,
+                iface: 0,
+                class: TraceClass::Ctrl,
+                flow: 7,
+                seq: u64::MAX,
+            },
+            Event::HopDrop {
+                node: 1,
+                iface: 1,
+                class: TraceClass::Data,
+                flow: 7,
+                seq: 4182,
+                cause: DropCause::Loss,
+            },
+            Event::QuackFold {
+                node: 1,
+                flow: 7,
+                seq: 4182,
+            },
+            Event::DecodeMissing {
+                node: 0,
+                flow: 7,
+                seq: 4182,
+            },
+            Event::ProxyRetx {
+                node: 1,
+                flow: 7,
+                seq: 4182,
+            },
+            Event::E2eLost {
+                node: 0,
+                flow: 7,
+                seq: 4182,
+                unit: 4181,
+            },
+            Event::E2eRetx {
+                node: 0,
+                flow: 7,
+                seq: 4190,
+                unit: 4181,
+            },
         ]
     }
 
@@ -459,6 +760,11 @@ mod tests {
             "outage node=1 up=maybe",
             "transition node=1 from=active",
             "quack_sent node=1 epoch=0 count=1",
+            "hop_enqueue node=1 iface=0 class=warp flow=1 seq=2",
+            "hop_drop node=1 iface=0 class=data flow=1 seq=2",
+            "quack_fold node=1 flow=1",
+            "e2e_lost node=0 flow=1 seq=2",
+            "proxy_retx node=1 flow=1 seq=-2",
         ] {
             assert!(Event::parse(bad).is_err(), "{bad:?}");
         }

@@ -32,16 +32,18 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod lifecycle;
 mod metrics;
 mod snapshot;
 mod trace;
 
-pub use event::{ControlKind, DropCause, Event, QuackErrorKind, SessionState};
+pub use event::{ControlKind, DropCause, Event, QuackErrorKind, SessionState, TraceClass};
+pub use lifecycle::{Lifecycle, PacketTimeline, TraceId};
 pub use metrics::{Counter, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
 pub use trace::EventTrace;
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
 
@@ -55,6 +57,38 @@ static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
 /// deltas, or prefer a per-world registry for exact equality.
 pub fn global() -> &'static MetricsRegistry {
     GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Ring capacity of the process-global trace: generous enough to hold the
+/// merged lifecycle trace of a full bench scenario sweep without evicting.
+pub const GLOBAL_TRACE_CAPACITY: usize = 1 << 18;
+
+static GLOBAL_TRACE: OnceLock<Mutex<EventTrace>> = OnceLock::new();
+
+fn global_trace() -> &'static Mutex<EventTrace> {
+    GLOBAL_TRACE.get_or_init(|| Mutex::new(EventTrace::with_capacity(GLOBAL_TRACE_CAPACITY)))
+}
+
+/// Folds a per-world trace into the process-global trace, the twin of
+/// [`global`] for events: scenario runners call this after a run so bench
+/// binaries can dump one merged lifecycle trace via `--trace-out`. Eviction
+/// debt carries over, so a truncated world ring keeps the merged trace
+/// honest about incompleteness.
+pub fn global_trace_absorb(trace: &EventTrace) {
+    global_trace()
+        .lock()
+        .expect("global trace poisoned")
+        .absorb(trace);
+}
+
+/// A copy of the process-global trace (see [`global_trace_absorb`]). Like
+/// [`global`], the sink is shared across concurrently-running tests, so
+/// assertions on it must be monotone.
+pub fn global_trace_snapshot() -> EventTrace {
+    global_trace()
+        .lock()
+        .expect("global trace poisoned")
+        .clone()
 }
 
 #[cfg(test)]

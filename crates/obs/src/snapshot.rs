@@ -17,6 +17,55 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket containing the target rank.
+    ///
+    /// Bucket `i` spans `(bounds[i-1], bounds[i]]` (the first spans
+    /// `[0, bounds[0]]`); ranks are spread uniformly across the span. Ranks
+    /// landing in the overflow bucket clamp to the last bound — the
+    /// histogram holds no upper edge to interpolate toward, so the estimate
+    /// is a stated lower bound there. Returns `None` for an empty histogram
+    /// or a `q` outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            let cum = below + in_bucket;
+            if (cum as f64) >= rank && in_bucket > 0 {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the histogram's last bound
+                    // (or 0 for a bound-less histogram).
+                    return Some(self.bounds.last().copied().unwrap_or(0) as f64);
+                };
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let within = (rank - below as f64) / in_bucket as f64;
+                return Some(lower as f64 + within * (upper - lower) as f64);
+            }
+            below = cum;
+        }
+        Some(self.bounds.last().copied().unwrap_or(0) as f64)
+    }
+
+    /// Median estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
+}
+
 /// A point-in-time copy of a [`crate::MetricsRegistry`].
 ///
 /// All three collections are sorted by name (registry maps are `BTreeMap`s),
@@ -259,6 +308,42 @@ mod tests {
         ] {
             assert!(MetricsSnapshot::parse(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 10 observations uniform over [0, 100] in bounds {10, 50, 100}:
+        // 1 in [0,10], 4 in (10,50], 5 in (50,100].
+        let h = HistogramSnapshot {
+            name: "lat".into(),
+            bounds: vec![10, 50, 100],
+            buckets: vec![1, 4, 5, 0],
+            count: 10,
+            sum: 500,
+        };
+        // rank 5 → bucket (10,50] holds ranks 2..=5 → upper edge exactly.
+        assert_eq!(h.p50(), Some(50.0));
+        // rank 9 → bucket (50,100], 4th of 5 ranks → 50 + 0.8*50 = 90.
+        assert_eq!(h.p90(), Some(90.0));
+        // rank 9.9 → 50 + (9.9-5)/5 * 50 = 99.
+        assert!((h.p99().unwrap() - 99.0).abs() < 1e-9);
+        assert_eq!(h.percentile(0.0), Some(0.0), "lower edge of first bucket");
+        assert_eq!(h.percentile(1.0), Some(100.0));
+        assert_eq!(h.percentile(1.5), None);
+    }
+
+    #[test]
+    fn percentiles_overflow_clamps_to_last_bound() {
+        let h = HistogramSnapshot {
+            name: "lat".into(),
+            bounds: vec![10],
+            buckets: vec![1, 9],
+            count: 10,
+            sum: 0,
+        };
+        assert_eq!(h.p99(), Some(10.0));
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), None);
     }
 
     #[test]

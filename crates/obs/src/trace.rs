@@ -12,7 +12,7 @@ use crate::event::Event;
 /// without bound. Timestamps are caller-supplied simulated time, so a
 /// rendering of a deterministic run is byte-stable (the property the
 /// golden-trace tests pin).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EventTrace {
     capacity: usize,
     events: VecDeque<(u64, Event)>,
@@ -81,12 +81,31 @@ impl EventTrace {
 
     /// Renders one `"<ns> <event>"` line per record (trailing newline when
     /// non-empty). This is the golden-fixture format.
+    ///
+    /// A truncated ring announces itself: when any record was evicted, the
+    /// rendering opens with a `# truncated dropped=<n>` comment line so a
+    /// partial trace can never masquerade as a complete one. Complete traces
+    /// carry no header and render exactly as before.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "# truncated dropped={}", self.dropped);
+        }
         for (at, event) in &self.events {
             let _ = writeln!(out, "{at} {event}");
         }
         out
+    }
+
+    /// Appends every record of `other` (and its eviction debt) into this
+    /// ring, subject to this ring's own capacity. Scenario runners use this
+    /// to fold per-world traces into the process-global trace that bench
+    /// binaries dump via `--trace-out`.
+    pub fn absorb(&mut self, other: &EventTrace) {
+        self.dropped += other.dropped;
+        for &(at, event) in &other.events {
+            self.record(at, event);
+        }
     }
 
     /// Parses one [`EventTrace::render`] line back into `(ns, Event)`.
@@ -150,6 +169,37 @@ mod tests {
         t.record(0, Event::Restart { node: 0 });
         t.record(1, Event::Restart { node: 1 });
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn truncated_ring_announces_itself() {
+        let mut t = EventTrace::with_capacity(2);
+        t.record(0, Event::Restart { node: 0 });
+        t.record(1, Event::Restart { node: 1 });
+        assert!(!t.render().starts_with('#'), "complete trace has no header");
+        t.record(2, Event::Restart { node: 2 });
+        let text = t.render();
+        assert!(text.starts_with("# truncated dropped=1\n"), "{text}");
+        // Event lines after the header still parse.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            EventTrace::parse_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn absorb_appends_and_carries_debt() {
+        let mut a = EventTrace::with_capacity(8);
+        a.record(1, Event::Restart { node: 1 });
+        let mut b = EventTrace::with_capacity(1);
+        b.record(2, Event::Restart { node: 2 });
+        b.record(3, Event::Restart { node: 3 });
+        assert_eq!(b.dropped(), 1);
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dropped(), 1);
+        let mut c = EventTrace::with_capacity(8);
+        c.absorb(&a);
+        assert_eq!(c.render(), a.render());
     }
 
     #[test]

@@ -124,6 +124,7 @@ impl Node for AckRedProxy {
                 if packet.kind == PacketKind::Data {
                     emit = self.session(flow, true, ctx).producer.observe(packet.id);
                     obs::observed(ctx);
+                    obs::quack_fold(ctx, packet.flow.0, packet.seq);
                     self.observed_packets += 1;
                     if self.observed_packets.is_multiple_of(64) {
                         for (_, s) in self.table.sweep_idle(ctx.now()) {
@@ -285,6 +286,7 @@ impl AckRedServer {
             }
             ctx.send(IfaceId(0), pkt);
         }
+        obs::transport_lifecycle(ctx, &mut self.transport);
         if let Some(deadline) = self.transport.next_timeout() {
             ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
         }
@@ -296,6 +298,11 @@ impl AckRedServer {
         match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
+                // Flight recorder: mirror tags are packet numbers, so a
+                // newly-missing tag IS the pn lost on the proxied segment.
+                for &(_, pn) in &report.newly_missing {
+                    obs::decode_missing(ctx, self.flow.0, pn);
+                }
                 // "Enable the server to move its sending window ahead more
                 // quickly": confirmed-at-proxy packets stop occupying cwnd,
                 // and the confirmations drive window growth in place of the
@@ -463,6 +470,9 @@ pub struct AckReductionScenario {
     pub cc: CcAlgorithm,
     /// Session supervision knobs for the server's quACK consumer.
     pub supervision: SupervisionConfig,
+    /// Flight-recorder ring capacity override (events); `None` keeps the
+    /// obs default. Ignored when the `obs` feature is off.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for AckReductionScenario {
@@ -497,6 +507,7 @@ impl Default for AckReductionScenario {
             normal_ack_every: 2,
             cc: CcAlgorithm::NewReno,
             supervision: SupervisionConfig::default(),
+            trace_capacity: None,
         }
     }
 }
@@ -515,6 +526,10 @@ impl AckReductionScenario {
 
     fn run_sidecar_inner(&self, seed: u64, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
+        #[cfg(feature = "obs")]
+        if let Some(cap) = self.trace_capacity {
+            w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
+        }
         let server = w.add_node(Box::new(AckRedServer::new(
             SenderConfig {
                 total_packets: Some(self.total_packets),
@@ -563,6 +578,12 @@ impl AckReductionScenario {
             sidecar_obs::global().absorb(&snap);
             snap
         };
+        #[cfg(feature = "obs")]
+        let trace = {
+            let trace = w.obs().trace.clone();
+            sidecar_obs::global_trace_absorb(&trace);
+            trace
+        };
         let srv = w.node_as::<AckRedServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -581,6 +602,8 @@ impl AckReductionScenario {
             recoveries: srv.supervisor.stats.recoveries,
             #[cfg(feature = "obs")]
             metrics,
+            #[cfg(feature = "obs")]
+            trace,
         }
     }
 

@@ -128,6 +128,7 @@ impl Node for CcdClient {
             _ if packet.kind == PacketKind::Data => {
                 self.sidecar.observe(packet.id);
                 obs::observed(ctx);
+                obs::quack_fold(ctx, packet.flow.0, packet.seq);
                 if let Some(ack) = self.transport.on_data(&packet, ctx.now()) {
                     ctx.send(IfaceId(0), ack);
                 } else if let Some(deadline) = self.transport.ack_deadline() {
@@ -591,6 +592,7 @@ impl Node for CcdProxy {
                         if let Some(session) = self.table.peek_mut(packet.flow) {
                             session.upstream_producer.observe(packet.id);
                             obs::observed(ctx);
+                            obs::quack_fold(ctx, packet.flow.0, packet.seq);
                         }
                         obs::flow_table(ctx, &mut self.table);
                         ctx.send(IfaceId(1), packet);
@@ -608,6 +610,7 @@ impl Node for CcdProxy {
                         .expect("session ensured above");
                     session.upstream_producer.observe(packet.id);
                     obs::observed(ctx);
+                    obs::quack_fold(ctx, packet.flow.0, packet.seq);
                     obs::flow_table(ctx, &mut self.table);
                     let size = packet.size;
                     self.buffer.push_back(packet);
@@ -893,6 +896,7 @@ impl CcdServer {
             }
             ctx.send(IfaceId(0), pkt);
         }
+        obs::transport_lifecycle(ctx, &mut self.transport);
         if let Some(deadline) = self.transport.next_timeout() {
             ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
         }
@@ -904,6 +908,11 @@ impl CcdServer {
         match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
+                // Flight recorder: the mirror tags packets by their packet
+                // number, so a newly-missing tag IS the lost pn.
+                for &(_, pn) in &report.newly_missing {
+                    obs::decode_missing(ctx, self.flow.0, pn);
+                }
                 // AIMD on segment-1 feedback (§2.1: grow without e2e ACKs,
                 // "decrease the congestion window" on segment loss).
                 if report.newly_missing.is_empty() {
@@ -1082,6 +1091,9 @@ pub struct CcdScenario {
     pub baseline_cc: CcAlgorithm,
     /// Session supervision (handshake, liveness, degradation) parameters.
     pub supervision: SupervisionConfig,
+    /// Flight-recorder ring capacity override (events); `None` keeps the
+    /// obs default. Ignored when the `obs` feature is off.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for CcdScenario {
@@ -1109,6 +1121,7 @@ impl Default for CcdScenario {
             buffer_cap: 2_048,
             baseline_cc: CcAlgorithm::NewReno,
             supervision: SupervisionConfig::default(),
+            trace_capacity: None,
         }
     }
 }
@@ -1126,6 +1139,10 @@ impl CcdScenario {
 
     fn run_sidecar_inner(&self, seed: u64, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
+        #[cfg(feature = "obs")]
+        if let Some(cap) = self.trace_capacity {
+            w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
+        }
         let server = w.add_node(Box::new(CcdServer::new(
             SenderConfig {
                 total_packets: Some(self.total_packets),
@@ -1176,6 +1193,12 @@ impl CcdScenario {
             sidecar_obs::global().absorb(&snap);
             snap
         };
+        #[cfg(feature = "obs")]
+        let trace = {
+            let trace = w.obs().trace.clone();
+            sidecar_obs::global_trace_absorb(&trace);
+            trace
+        };
         let srv = w.node_as::<CcdServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -1194,6 +1217,8 @@ impl CcdScenario {
             recoveries: srv.supervisor.stats.recoveries + px.recoveries(),
             #[cfg(feature = "obs")]
             metrics,
+            #[cfg(feature = "obs")]
+            trace,
         }
     }
 

@@ -42,7 +42,16 @@ pub(crate) fn send_sidecar(
         ctx.obs_add("sidecar.sent_bytes", size as u64);
     }
     let (proto, body) = msg.encode_for_flow(flow.0);
-    ctx.send(iface, Packet::sidecar(flow, proto, body, size, ctx.now()));
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut pkt = Packet::sidecar(flow, proto, body, size, ctx.now());
+    // Flight-recorder stamp: control datagrams have no packet number, so
+    // obs builds give each one a world-scoped control sequence (`seq` stays
+    // 0 when obs is compiled out — the stamp is free on the obs-off wire).
+    #[cfg(feature = "obs")]
+    {
+        pkt.seq = ctx.next_ctrl_seq();
+    }
+    ctx.send(iface, pkt);
     size
 }
 
@@ -179,6 +188,37 @@ pub(crate) mod obs {
     pub(crate) fn flow_evicted(ctx: &mut Context, quacks: u64) {
         ctx.obs_observe("flowtable.flow_quacks", FLOW_QUACKS_BOUNDS, quacks);
     }
+
+    /// A proxy folded data packet `(flow, seq)` into its quACK sketch
+    /// (flight-recorder twin of [`observed`], carrying packet identity).
+    pub(crate) fn quack_fold(ctx: &mut Context, flow: u32, seq: u64) {
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_event(Event::QuackFold { node, flow, seq });
+    }
+
+    /// A quACK decode newly reported `(flow, seq)` missing on the proxied
+    /// segment.
+    pub(crate) fn decode_missing(ctx: &mut Context, flow: u32, seq: u64) {
+        ctx.obs_inc("lifecycle.decode_missing");
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_event(Event::DecodeMissing { node, flow, seq });
+    }
+
+    /// A sender-side proxy retransmitted buffered packet `(flow, seq)`.
+    pub(crate) fn proxy_retx(ctx: &mut Context, flow: u32, seq: u64) {
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_event(Event::ProxyRetx { node, flow, seq });
+    }
+
+    /// Mirrors a wrapped transport core's loss/recovery events into the
+    /// flight recorder (see
+    /// [`sidecar_netsim::transport::emit_sender_lifecycle`]).
+    pub(crate) fn transport_lifecycle(
+        ctx: &mut Context,
+        core: &mut sidecar_netsim::transport::SenderCore,
+    ) {
+        sidecar_netsim::transport::emit_sender_lifecycle(core, ctx);
+    }
 }
 
 /// No-op twins of the observability taps (obs feature disabled).
@@ -215,6 +255,22 @@ pub(crate) mod obs {
 
     #[inline(always)]
     pub(crate) fn flow_evicted(_ctx: &mut Context, _quacks: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn quack_fold(_ctx: &mut Context, _flow: u32, _seq: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn decode_missing(_ctx: &mut Context, _flow: u32, _seq: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn proxy_retx(_ctx: &mut Context, _flow: u32, _seq: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn transport_lifecycle(
+        _ctx: &mut Context,
+        _core: &mut sidecar_netsim::transport::SenderCore,
+    ) {
+    }
 }
 
 /// Deterministic post-restart epoch: a rebooted producer lost its epoch
@@ -256,6 +312,11 @@ pub struct ScenarioReport {
     /// `(scenario, seed)`; empty on baseline runs.
     #[cfg(feature = "obs")]
     pub metrics: sidecar_obs::MetricsSnapshot,
+    /// The run's flight-recorder event ring (lifecycle + protocol events),
+    /// snapshotted at quiescence. Deterministic for a given
+    /// `(scenario, seed)`; empty on baseline runs.
+    #[cfg(feature = "obs")]
+    pub trace: sidecar_obs::EventTrace,
 }
 
 impl ScenarioReport {

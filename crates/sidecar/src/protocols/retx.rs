@@ -302,6 +302,14 @@ impl SenderSideProxy {
         match result {
             Ok(report) => {
                 session.supervisor.on_feedback_ok(ctx.now());
+                // Flight recorder: the decode just revealed these packets
+                // missing on the subpath (the buffered copy knows their
+                // data identity).
+                for &(_, tag) in &report.newly_missing {
+                    if let Some(pkt) = session.buffer.get(&tag) {
+                        obs::decode_missing(ctx, pkt.flow.0, pkt.seq);
+                    }
+                }
                 // Free buffer space for confirmed-received packets.
                 for &(_, tag) in &report.received {
                     session.buffer.remove(&tag);
@@ -438,6 +446,7 @@ impl SenderSideProxy {
                     session.next_tag += 1;
                     session.consumer.record_sent(pkt.id, tag, ctx.now());
                     session.buffer_insert(buffer_cap, tag, pkt.clone());
+                    obs::proxy_retx(ctx, pkt.flow.0, pkt.seq);
                     ctx.send(IfaceId(1), pkt);
                     retransmitted += 1;
                     session.window_sent += 1;
@@ -757,6 +766,7 @@ impl Node for ReceiverSideProxy {
                             .expect("session just ensured");
                         session.producer.observe(packet.id);
                         obs::observed(ctx);
+                        obs::quack_fold(ctx, packet.flow.0, packet.seq);
                         obs::flow_table(ctx, &mut self.table);
                     }
                     ctx.send(IfaceId(1), packet);
@@ -843,6 +853,11 @@ pub struct RetxScenario {
     pub client: ReceiverConfig,
     /// Session supervision knobs for the sender-side proxy.
     pub supervision: SupervisionConfig,
+    /// Flight-recorder ring capacity override (events). `None` keeps the
+    /// obs default; analysis runs (`exp_reaction`) raise it so a full
+    /// scenario's lifecycle fits without truncation. Ignored when the `obs`
+    /// feature is off.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for RetxScenario {
@@ -883,6 +898,7 @@ impl Default for RetxScenario {
                 ..ReceiverConfig::default()
             },
             supervision: SupervisionConfig::default(),
+            trace_capacity: None,
         }
     }
 }
@@ -911,6 +927,10 @@ impl RetxScenario {
 
     fn run(&self, seed: u64, sidecar: bool, faults: Option<&FaultScript>) -> ScenarioReport {
         let mut w = World::new(seed);
+        #[cfg(feature = "obs")]
+        if let Some(cap) = self.trace_capacity {
+            w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
+        }
         let server = w.add_node(SenderNode::boxed(SenderConfig {
             total_packets: Some(self.total_packets),
             cc: self.cc,
@@ -981,6 +1001,9 @@ impl RetxScenario {
                 let snap = w.obs().metrics.snapshot();
                 sidecar_obs::global().absorb(&snap);
                 report.metrics = snap;
+                let trace = w.obs().trace.clone();
+                sidecar_obs::global_trace_absorb(&trace);
+                report.trace = trace;
             }
         }
         report
