@@ -77,6 +77,36 @@ pub enum ControlAction {
         /// Upper bound on flipped bits per packet.
         max_flips: u32,
     },
+    /// Active adversary: inject a forged sidecar datagram alongside every
+    /// matched packet. The original is delivered untouched; a second,
+    /// attacker-crafted packet with the given `(proto, body)` rides the
+    /// same link. The adversary is on-path (it sees traffic timing) but
+    /// does not hold the endpoints' keys — an authenticated receiver must
+    /// reject the forgery.
+    Forge {
+        /// Protocol byte (wire tag) of the forged datagram.
+        proto: u8,
+        /// Pre-crafted forged body bytes.
+        body: Vec<u8>,
+    },
+    /// Active adversary: replay each captured datagram. The original is
+    /// delivered, then `copies` byte-exact duplicates are offered onto the
+    /// same link after `delay` each — a replay-protected receiver accepts
+    /// the first and rejects every copy.
+    Replay {
+        /// Number of replayed copies per captured datagram.
+        copies: u32,
+        /// Extra delay before each replayed copy.
+        delay: SimDuration,
+    },
+    /// Active adversary: deliver the original *and* one bit-flipped copy
+    /// (unlike [`ControlAction::Corrupt`], which mangles in place). The
+    /// tampered copy must fail MAC verification at an authenticated
+    /// receiver while the untouched original keeps the protocol running.
+    Tamper {
+        /// Upper bound on flipped bits in the tampered copy.
+        max_flips: u32,
+    },
 }
 
 /// One scripted rule against [`PacketKind::Sidecar`] traffic.
@@ -94,6 +124,24 @@ pub struct ControlFault {
     pub until: SimTime,
     /// Restrict to packets transmitted by this node (`None` = any).
     pub source: Option<NodeId>,
+}
+
+/// A stateful-firewall rule against sidecar control flows.
+///
+/// Middleboxes routinely time out idle UDP "connections" (see "A QUIC(K)
+/// Way Through Your Firewall?"): once a control flow has been quiet for
+/// `idle`, its *next* datagram is eaten while the firewall re-establishes
+/// state — the packet after that passes. Sparse control traffic (hello
+/// retries on a capped backoff) keeps losing its first packet after every
+/// quiet period; a dense quACK stream never goes idle and sails through.
+#[derive(Clone, Debug)]
+pub struct FirewallRule {
+    /// Idle gap after which a control flow's state is evicted.
+    pub idle: SimDuration,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
 }
 
 /// A complete, seeded fault script for one run.
@@ -125,6 +173,8 @@ pub struct FaultPlan {
     pub blackouts: Vec<Blackout>,
     /// Scheduled control-channel rules (first match wins).
     pub control: Vec<ControlFault>,
+    /// Scheduled stateful-firewall rules (first match wins).
+    pub firewall: Vec<FirewallRule>,
 }
 
 impl FaultPlan {
@@ -138,7 +188,10 @@ impl FaultPlan {
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.outages.is_empty() && self.blackouts.is_empty() && self.control.is_empty()
+        self.outages.is_empty()
+            && self.blackouts.is_empty()
+            && self.control.is_empty()
+            && self.firewall.is_empty()
     }
 
     /// Crash `node` at `from` and restart it at `until`.
@@ -212,6 +265,45 @@ impl FaultPlan {
         self.control_rule(ControlAction::Corrupt { max_flips }, from, until, None)
     }
 
+    /// Inject a forged `(proto, body)` datagram alongside every sidecar
+    /// control packet during `[from, until)`.
+    pub fn forge_control(self, proto: u8, body: Vec<u8>, from: SimTime, until: SimTime) -> Self {
+        self.control_rule(ControlAction::Forge { proto, body }, from, until, None)
+    }
+
+    /// Replay every sidecar control packet `copies` times, each after an
+    /// extra `delay`, during `[from, until)`.
+    pub fn replay_control(
+        self,
+        copies: u32,
+        delay: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(copies > 0, "replay needs at least one copy");
+        self.control_rule(ControlAction::Replay { copies, delay }, from, until, None)
+    }
+
+    /// Deliver a bit-flipped copy (≤ `max_flips` flips) next to every
+    /// sidecar control packet during `[from, until)`.
+    pub fn tamper_control(self, max_flips: u32, from: SimTime, until: SimTime) -> Self {
+        assert!(max_flips > 0, "tampering needs at least one bit flip");
+        self.control_rule(ControlAction::Tamper { max_flips }, from, until, None)
+    }
+
+    /// Add a stateful-firewall rule: during `[from, until)`, a sidecar
+    /// control flow that has been idle longer than `idle` loses its next
+    /// datagram (state re-established afterwards).
+    pub fn firewall_control(mut self, idle: SimDuration, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "firewall window is empty");
+        assert!(
+            idle > SimDuration::ZERO,
+            "firewall idle timeout must be positive"
+        );
+        self.firewall.push(FirewallRule { idle, from, until });
+        self
+    }
+
     fn control_rule(
         mut self,
         action: ControlAction,
@@ -248,6 +340,18 @@ impl FaultPlan {
             })
             .map(|rule| &rule.action)
     }
+
+    /// The idle timeout of the first firewall rule active at `now` for
+    /// sidecar traffic, if any.
+    pub fn match_firewall(&self, kind: PacketKind, now: SimTime) -> Option<SimDuration> {
+        if kind != PacketKind::Sidecar {
+            return None;
+        }
+        self.firewall
+            .iter()
+            .find(|rule| rule.from <= now && now < rule.until)
+            .map(|rule| rule.idle)
+    }
 }
 
 #[cfg(test)]
@@ -265,12 +369,54 @@ mod tests {
             .drop_control(t(0), t(50))
             .duplicate_control(t(50), t(60))
             .delay_control(SimDuration::from_millis(5), t(60), t(70))
-            .corrupt_control(4, t(70), t(80));
+            .corrupt_control(4, t(70), t(80))
+            .forge_control(3, vec![0, 0, 0, 9], t(80), t(90))
+            .replay_control(2, SimDuration::from_millis(1), t(90), t(100))
+            .tamper_control(4, t(100), t(110))
+            .firewall_control(SimDuration::from_millis(200), t(110), t(120));
         assert_eq!(plan.outages.len(), 2);
         assert_eq!(plan.blackouts.len(), 2);
-        assert_eq!(plan.control.len(), 4);
+        assert_eq!(plan.control.len(), 7);
+        assert_eq!(plan.firewall.len(), 1);
         assert!(!plan.is_empty());
         assert!(FaultPlan::new(7).is_empty());
+    }
+
+    #[test]
+    fn adversary_actions_match_in_their_windows() {
+        let t = SimTime::from_nanos;
+        let plan = FaultPlan::new(0)
+            .forge_control(1, vec![0xAA; 8], t(0), t(100))
+            .replay_control(3, SimDuration::from_millis(2), t(100), t(200))
+            .tamper_control(8, t(200), t(300));
+        assert!(matches!(
+            plan.match_control(PacketKind::Sidecar, NodeId(1), t(50)),
+            Some(ControlAction::Forge { proto: 1, .. })
+        ));
+        assert!(matches!(
+            plan.match_control(PacketKind::Sidecar, NodeId(1), t(150)),
+            Some(ControlAction::Replay { copies: 3, .. })
+        ));
+        assert!(matches!(
+            plan.match_control(PacketKind::Sidecar, NodeId(1), t(250)),
+            Some(ControlAction::Tamper { max_flips: 8 })
+        ));
+        assert!(plan
+            .match_control(PacketKind::Data, NodeId(1), t(50))
+            .is_none());
+    }
+
+    #[test]
+    fn firewall_matching_respects_window_and_kind() {
+        let t = SimTime::from_nanos;
+        let plan = FaultPlan::new(0).firewall_control(SimDuration::from_millis(100), t(10), t(20));
+        assert_eq!(
+            plan.match_firewall(PacketKind::Sidecar, t(15)),
+            Some(SimDuration::from_millis(100))
+        );
+        assert!(plan.match_firewall(PacketKind::Data, t(15)).is_none());
+        assert!(plan.match_firewall(PacketKind::Sidecar, t(9)).is_none());
+        assert!(plan.match_firewall(PacketKind::Sidecar, t(20)).is_none());
     }
 
     #[test]

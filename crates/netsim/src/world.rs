@@ -10,7 +10,7 @@ use crate::fault::{ControlAction, FaultPlan, LinkTarget};
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
 use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId};
 use crate::obs::WorldObs;
-use crate::packet::{Packet, Payload};
+use crate::packet::{FlowId, Packet, Payload};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent};
@@ -19,7 +19,7 @@ use sidecar_obs::{
     ControlKind as ObsControlKind, DropCause as ObsDropCause, Event as ObsEvent, TraceClass,
 };
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// One end of a duplex attachment: which link an interface transmits into
 /// and who receives.
@@ -56,6 +56,8 @@ struct ActiveFaults {
     rng: SimRng,
     /// Blackout windows with `LinkTarget::Between` lowered to link ids.
     blackout_windows: Vec<(LinkId, SimTime, SimTime)>,
+    /// Stateful-firewall memory: when each control flow was last seen.
+    ctrl_seen: HashMap<FlowId, SimTime>,
 }
 
 impl ActiveFaults {
@@ -266,6 +268,7 @@ impl World {
             rng: SimRng::new(plan.seed),
             plan,
             blackout_windows,
+            ctrl_seen: HashMap::new(),
         });
     }
 
@@ -551,13 +554,18 @@ impl World {
     }
 
     /// Pushes a packet into the link behind `(node, iface)`, applying any
-    /// installed fault rules (blackouts, control-channel mangling) first.
+    /// installed fault rules (blackouts, the stateful firewall, control
+    /// mangling, and active-adversary injection) first.
     fn transmit(&mut self, node: NodeId, iface: IfaceId, mut packet: Packet) {
         let end = *self.node_ifaces[node.0]
             .get(iface.0)
             .unwrap_or_else(|| panic!("node {node:?} has no interface {iface:?}"));
         let mut copies = 1u32;
         let mut extra_delay = SimDuration::ZERO;
+        // Attacker-injected packets riding the same link: (packet, delay
+        // beyond `extra_delay`). Delivered after the original's offers so
+        // the honest datagram keeps its queue position.
+        let mut replicas: Vec<(Packet, SimDuration)> = Vec::new();
         if let Some(faults) = self.faults.as_mut() {
             if faults.blacked_out(end.link, self.now) {
                 self.trace.record(TraceEvent::Drop {
@@ -582,6 +590,41 @@ impl World {
                     self.record_hop_drop(node, iface, &packet, ObsDropCause::Blackout);
                 }
                 return;
+            }
+            // Stateful firewall: a control flow idle past the timeout loses
+            // its next datagram while the middlebox re-establishes state
+            // (the timestamp is refreshed, so the packet after this one
+            // passes). The very first packet of a flow passes too — the
+            // firewall admits new "connections", it only evicts idle ones.
+            if let Some(idle) = faults.plan.match_firewall(packet.kind, self.now) {
+                let prior = faults.ctrl_seen.insert(packet.flow, self.now);
+                if let Some(prev) = prior {
+                    if self.now - prev >= idle {
+                        self.trace.record(TraceEvent::Drop {
+                            at: self.now,
+                            node,
+                            iface,
+                            kind: packet.kind,
+                            id: packet.id,
+                            reason: DropReason::Injected,
+                        });
+                        #[cfg(feature = "obs")]
+                        {
+                            self.record_control_fault(node, ObsControlKind::Firewall);
+                            self.obs.metrics.inc("netsim.drop.injected");
+                            self.obs.trace.record(
+                                self.now.as_nanos(),
+                                ObsEvent::LinkDrop {
+                                    node: node.0 as u32,
+                                    iface: iface.0 as u32,
+                                    cause: ObsDropCause::Injected,
+                                },
+                            );
+                            self.record_hop_drop(node, iface, &packet, ObsDropCause::Injected);
+                        }
+                        return;
+                    }
+                }
             }
             match faults
                 .plan
@@ -627,73 +670,114 @@ impl World {
                     #[cfg(feature = "obs")]
                     self.record_control_fault(node, ObsControlKind::Corrupt);
                 }
+                Some(ControlAction::Forge { proto, body }) => {
+                    // The adversary crafts its own datagram from whole cloth
+                    // and injects it alongside the observed one. It carries
+                    // the same flow id (the attacker can read headers) but
+                    // attacker-chosen content.
+                    let size = (28 + body.len()) as u32;
+                    let forged = Packet::sidecar(packet.flow, proto, body, size, self.now);
+                    replicas.push((forged, SimDuration::ZERO));
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Forge);
+                }
+                Some(ControlAction::Replay { copies: n, delay }) => {
+                    for i in 0..n {
+                        replicas.push((packet.clone(), delay * (i as u64 + 1)));
+                    }
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Replay);
+                }
+                Some(ControlAction::Tamper { max_flips }) => {
+                    let mut evil = packet.clone();
+                    faults.corrupt(&mut evil, max_flips);
+                    replicas.push((evil, SimDuration::ZERO));
+                    #[cfg(feature = "obs")]
+                    self.record_control_fault(node, ObsControlKind::Tamper);
+                }
                 None => {}
             }
         }
         for _ in 0..copies {
-            let link = &mut self.links[end.link.0];
-            match link.offer(self.now, packet.size, &mut self.rng) {
-                LinkOutcome::Deliver(at) => {
-                    #[cfg(feature = "obs")]
-                    {
-                        self.obs.metrics.inc("netsim.delivered");
-                        if let Some((class, flow, pseq)) = Self::hop_identity(&packet) {
-                            self.obs.trace.record(
-                                self.now.as_nanos(),
-                                ObsEvent::HopEnqueue {
-                                    node: node.0 as u32,
-                                    iface: iface.0 as u32,
-                                    class,
-                                    flow,
-                                    seq: pseq,
-                                },
-                            );
-                        }
-                    }
-                    let seq = self.next_seq();
-                    self.queue.push(ScheduledEvent {
-                        at: at + extra_delay,
-                        seq,
-                        kind: EventKind::Arrival {
-                            node: end.peer,
-                            iface: end.peer_iface,
-                            packet: packet.clone(),
-                        },
-                    });
-                }
-                outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
-                    // The packet evaporates; link stats recorded it, and the
-                    // trace (if enabled) remembers what and why.
-                    self.trace.record(TraceEvent::Drop {
-                        at: self.now,
-                        node,
-                        iface,
-                        kind: packet.kind,
-                        id: packet.id,
-                        reason: if outcome == LinkOutcome::DropQueue {
-                            DropReason::QueueFull
-                        } else {
-                            DropReason::Loss
-                        },
-                    });
-                    #[cfg(feature = "obs")]
-                    {
-                        let (counter, cause) = if outcome == LinkOutcome::DropQueue {
-                            ("netsim.drop.queue", ObsDropCause::Queue)
-                        } else {
-                            ("netsim.drop.loss", ObsDropCause::Loss)
-                        };
-                        self.obs.metrics.inc(counter);
+            self.offer_to_link(node, iface, end, &packet, extra_delay);
+        }
+        for (replica, extra) in replicas {
+            self.offer_to_link(node, iface, end, &replica, extra_delay + extra);
+        }
+    }
+
+    /// Offers one packet to the link behind `end`, scheduling the arrival
+    /// (plus `extra_delay`) or accounting for the drop.
+    fn offer_to_link(
+        &mut self,
+        node: NodeId,
+        iface: IfaceId,
+        end: IfaceEnd,
+        packet: &Packet,
+        extra_delay: SimDuration,
+    ) {
+        let link = &mut self.links[end.link.0];
+        match link.offer(self.now, packet.size, &mut self.rng) {
+            LinkOutcome::Deliver(at) => {
+                #[cfg(feature = "obs")]
+                {
+                    self.obs.metrics.inc("netsim.delivered");
+                    if let Some((class, flow, pseq)) = Self::hop_identity(packet) {
                         self.obs.trace.record(
                             self.now.as_nanos(),
-                            ObsEvent::LinkDrop {
+                            ObsEvent::HopEnqueue {
                                 node: node.0 as u32,
                                 iface: iface.0 as u32,
-                                cause,
+                                class,
+                                flow,
+                                seq: pseq,
                             },
                         );
-                        self.record_hop_drop(node, iface, &packet, cause);
                     }
+                }
+                let seq = self.next_seq();
+                self.queue.push(ScheduledEvent {
+                    at: at + extra_delay,
+                    seq,
+                    kind: EventKind::Arrival {
+                        node: end.peer,
+                        iface: end.peer_iface,
+                        packet: packet.clone(),
+                    },
+                });
+            }
+            outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
+                // The packet evaporates; link stats recorded it, and the
+                // trace (if enabled) remembers what and why.
+                self.trace.record(TraceEvent::Drop {
+                    at: self.now,
+                    node,
+                    iface,
+                    kind: packet.kind,
+                    id: packet.id,
+                    reason: if outcome == LinkOutcome::DropQueue {
+                        DropReason::QueueFull
+                    } else {
+                        DropReason::Loss
+                    },
+                });
+                #[cfg(feature = "obs")]
+                {
+                    let (counter, cause) = if outcome == LinkOutcome::DropQueue {
+                        ("netsim.drop.queue", ObsDropCause::Queue)
+                    } else {
+                        ("netsim.drop.loss", ObsDropCause::Loss)
+                    };
+                    self.obs.metrics.inc(counter);
+                    self.obs.trace.record(
+                        self.now.as_nanos(),
+                        ObsEvent::LinkDrop {
+                            node: node.0 as u32,
+                            iface: iface.0 as u32,
+                            cause,
+                        },
+                    );
+                    self.record_hop_drop(node, iface, packet, cause);
                 }
             }
         }
@@ -745,6 +829,10 @@ impl World {
             ObsControlKind::Duplicate => "netsim.fault.duplicate",
             ObsControlKind::Delay => "netsim.fault.delay",
             ObsControlKind::Corrupt => "netsim.fault.corrupt",
+            ObsControlKind::Forge => "netsim.fault.forge",
+            ObsControlKind::Replay => "netsim.fault.replay",
+            ObsControlKind::Tamper => "netsim.fault.tamper",
+            ObsControlKind::Firewall => "netsim.fault.firewall",
         });
         self.obs.trace.record(
             self.now.as_nanos(),

@@ -49,6 +49,14 @@ pub enum ControlKind {
     Delay,
     /// Packet payload corrupted.
     Corrupt,
+    /// An adversary injected a forged control datagram.
+    Forge,
+    /// An adversary re-sent a captured control datagram.
+    Replay,
+    /// An adversary delivered a bit-flipped copy alongside the original.
+    Tamper,
+    /// A stateful firewall dropped an idle-expired control flow's packet.
+    Firewall,
 }
 
 impl ControlKind {
@@ -57,6 +65,10 @@ impl ControlKind {
             ControlKind::Duplicate => "duplicate",
             ControlKind::Delay => "delay",
             ControlKind::Corrupt => "corrupt",
+            ControlKind::Forge => "forge",
+            ControlKind::Replay => "replay",
+            ControlKind::Tamper => "tamper",
+            ControlKind::Firewall => "firewall",
         }
     }
 
@@ -65,6 +77,57 @@ impl ControlKind {
             "duplicate" => ControlKind::Duplicate,
             "delay" => ControlKind::Delay,
             "corrupt" => ControlKind::Corrupt,
+            "forge" => ControlKind::Forge,
+            "replay" => ControlKind::Replay,
+            "tamper" => ControlKind::Tamper,
+            "firewall" => ControlKind::Firewall,
+            _ => return None,
+        })
+    }
+}
+
+/// Why an authenticated control channel rejected an inbound datagram
+/// (mirrors `sidecar-proto`'s `AuthError` kinds).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AuthRejectKind {
+    /// The datagram carried no authentication envelope at all.
+    Unauthenticated,
+    /// The body was too short for the envelope.
+    Truncated,
+    /// Unknown pre-shared-key generation.
+    UnknownKey,
+    /// MAC verification failed (forged or tampered).
+    BadMac,
+    /// Sequence number already accepted (replay).
+    Replayed,
+    /// Sequence number behind the sliding replay window.
+    Stale,
+    /// MAC verified but the inner body failed to decode.
+    Malformed,
+}
+
+impl AuthRejectKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            AuthRejectKind::Unauthenticated => "unauthenticated",
+            AuthRejectKind::Truncated => "truncated",
+            AuthRejectKind::UnknownKey => "unknown_key",
+            AuthRejectKind::BadMac => "bad_mac",
+            AuthRejectKind::Replayed => "replayed",
+            AuthRejectKind::Stale => "stale",
+            AuthRejectKind::Malformed => "malformed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "unauthenticated" => AuthRejectKind::Unauthenticated,
+            "truncated" => AuthRejectKind::Truncated,
+            "unknown_key" => AuthRejectKind::UnknownKey,
+            "bad_mac" => AuthRejectKind::BadMac,
+            "replayed" => AuthRejectKind::Replayed,
+            "stale" => AuthRejectKind::Stale,
+            "malformed" => AuthRejectKind::Malformed,
             _ => return None,
         })
     }
@@ -353,6 +416,13 @@ pub enum Event {
         /// The recovered data unit.
         unit: u64,
     },
+    /// An authenticated control channel rejected an inbound datagram.
+    AuthReject {
+        /// Rejecting node.
+        node: u32,
+        /// Why it was rejected.
+        kind: AuthRejectKind,
+    },
 }
 
 impl Event {
@@ -377,6 +447,7 @@ impl Event {
             Event::ProxyRetx { .. } => "proxy_retx",
             Event::E2eLost { .. } => "e2e_lost",
             Event::E2eRetx { .. } => "e2e_retx",
+            Event::AuthReject { .. } => "auth_reject",
         }
     }
 
@@ -528,6 +599,11 @@ impl Event {
                 seq: num64("seq")?,
                 unit: num64("unit")?,
             },
+            "auth_reject" => Event::AuthReject {
+                node: num("node")?,
+                kind: AuthRejectKind::from_str(get("kind")?)
+                    .ok_or_else(|| format!("bad auth reject kind in {text:?}"))?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         })
     }
@@ -636,6 +712,9 @@ impl fmt::Display for Event {
                 seq,
                 unit,
             } => write!(f, "e2e_retx node={node} flow={flow} seq={seq} unit={unit}"),
+            Event::AuthReject { node, kind } => {
+                write!(f, "auth_reject node={node} kind={}", kind.as_str())
+            }
         }
     }
 }
@@ -736,6 +815,34 @@ mod tests {
                 seq: 4190,
                 unit: 4181,
             },
+            Event::ControlFault {
+                node: 2,
+                kind: ControlKind::Forge,
+            },
+            Event::ControlFault {
+                node: 2,
+                kind: ControlKind::Replay,
+            },
+            Event::ControlFault {
+                node: 2,
+                kind: ControlKind::Tamper,
+            },
+            Event::ControlFault {
+                node: 2,
+                kind: ControlKind::Firewall,
+            },
+            Event::AuthReject {
+                node: 4,
+                kind: AuthRejectKind::BadMac,
+            },
+            Event::AuthReject {
+                node: 4,
+                kind: AuthRejectKind::Replayed,
+            },
+            Event::AuthReject {
+                node: 4,
+                kind: AuthRejectKind::Unauthenticated,
+            },
         ]
     }
 
@@ -765,6 +872,9 @@ mod tests {
             "quack_fold node=1 flow=1",
             "e2e_lost node=0 flow=1 seq=2",
             "proxy_retx node=1 flow=1 seq=-2",
+            "control_fault node=1 kind=gremlins",
+            "auth_reject node=1 kind=gremlins",
+            "auth_reject node=1",
         ] {
             assert!(Event::parse(bad).is_err(), "{bad:?}");
         }

@@ -37,7 +37,9 @@ mod metrics;
 mod snapshot;
 mod trace;
 
-pub use event::{ControlKind, DropCause, Event, QuackErrorKind, SessionState, TraceClass};
+pub use event::{
+    AuthRejectKind, ControlKind, DropCause, Event, QuackErrorKind, SessionState, TraceClass,
+};
 pub use lifecycle::{Lifecycle, PacketTimeline, TraceId};
 pub use metrics::{Counter, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

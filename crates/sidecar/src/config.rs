@@ -105,6 +105,48 @@ impl Default for SupervisionConfig {
     }
 }
 
+/// Keying material for the authenticated control channel
+/// ([`crate::auth::ChannelAuth`], DESIGN.md §12).
+///
+/// Every endpoint of one deployment shares `psk` (the pre-shared secret)
+/// and `key_id` (its generation number); each *sender* additionally owns a
+/// run-unique `nonce` naming its transmit session. Scenarios assign fixed,
+/// distinct nonces per node so runs stay deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuthConfig {
+    /// Pre-shared secret shared by all honest endpoints.
+    pub psk: [u8; 32],
+    /// Generation number of `psk`; receivers reject other key ids.
+    pub key_id: u32,
+    /// This sender's session nonce (must be nonzero and unique among the
+    /// honest senders of one run).
+    pub nonce: u64,
+}
+
+impl AuthConfig {
+    /// Expands a 64-bit secret into the 32-byte PSK (convenience for
+    /// scenarios and benches; real deployments would provision the full
+    /// 32 bytes out of band).
+    pub fn from_secret(secret: u64, key_id: u32) -> Self {
+        let mut psk = [0u8; 32];
+        psk[..8].copy_from_slice(&secret.to_be_bytes());
+        psk[8..16].copy_from_slice(&secret.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes());
+        AuthConfig {
+            psk,
+            key_id,
+            nonce: 1,
+        }
+    }
+
+    /// Returns the same keying material under a different session nonce —
+    /// how a scenario derives one config per node from one shared secret.
+    pub fn with_nonce(mut self, nonce: u64) -> Self {
+        assert!(nonce != 0, "session nonce must be nonzero");
+        self.nonce = nonce;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,9 @@
 //!   hello).
 //! * [`negotiate`] — the offer/accept handshake turning a `Hello` into an
 //!   agreed parameter set (§3.2's `t`, `b`, `c` and the schedule).
+//! * [`auth`] — the HMAC-authenticated, replay-protected control channel
+//!   (sealed twin wire tags, per-session keys from a pre-shared secret,
+//!   RFC 4303-style sliding replay window).
 //! * [`flows`] — the bounded, sharded [`FlowTable`] mapping flow ids to
 //!   per-flow sidecar sessions (a proxy serves many connections; each gets
 //!   its own sketch, epoch, and supervision).
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod config;
 pub mod endpoint;
 pub mod flows;
@@ -37,7 +41,10 @@ pub mod negotiate;
 pub mod protocols;
 pub mod supervise;
 
-pub use config::{QuackFrequency, SidecarConfig, SupervisionConfig};
+#[cfg(feature = "auth")]
+pub use auth::{hmac_sha256, ReplayWindow};
+pub use auth::{AuthError, AuthStats, ChannelAuth, AUTH_OVERHEAD, MAC_LEN, REPLAY_WINDOW};
+pub use config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 pub use endpoint::{
     ConfirmedLoss, ConsumerStats, LogEntry, ProcessError, QuackConsumer, QuackProducer, QuackReport,
 };

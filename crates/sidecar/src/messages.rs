@@ -36,7 +36,34 @@ pub mod tag {
     pub const RESET_FLOW: u8 = RESET + FLOW_OFFSET;
     /// A parameter offer tagged with a non-zero flow id.
     pub const HELLO_FLOW: u8 = HELLO + FLOW_OFFSET;
+    /// Distance between a wire tag (legacy 1..=4 or flow-tagged 5..=8) and
+    /// its authenticated twin (9..=16): the sealed envelope of
+    /// [`crate::auth::ChannelAuth`] reuses the inner encoding under
+    /// `inner_tag + AUTH_OFFSET`. To the plain decoders these tags are
+    /// simply unknown (auth-unaware endpoints reject sealed traffic), so
+    /// legacy and flow wire images are untouched.
+    pub const AUTH_OFFSET: u8 = 8;
+    /// An authenticated (sealed) legacy quACK.
+    pub const QUACK_AUTH: u8 = QUACK + AUTH_OFFSET;
+    /// An authenticated (sealed) legacy configuration update.
+    pub const CONFIGURE_AUTH: u8 = CONFIGURE + AUTH_OFFSET;
+    /// An authenticated (sealed) legacy reset announcement.
+    pub const RESET_AUTH: u8 = RESET + AUTH_OFFSET;
+    /// An authenticated (sealed) legacy parameter offer.
+    pub const HELLO_AUTH: u8 = HELLO + AUTH_OFFSET;
+    /// An authenticated (sealed) flow-tagged quACK.
+    pub const QUACK_FLOW_AUTH: u8 = QUACK_FLOW + AUTH_OFFSET;
+    /// An authenticated (sealed) flow-tagged configuration update.
+    pub const CONFIGURE_FLOW_AUTH: u8 = CONFIGURE_FLOW + AUTH_OFFSET;
+    /// An authenticated (sealed) flow-tagged reset announcement.
+    pub const RESET_FLOW_AUTH: u8 = RESET_FLOW + AUTH_OFFSET;
+    /// An authenticated (sealed) flow-tagged parameter offer.
+    pub const HELLO_FLOW_AUTH: u8 = HELLO_FLOW + AUTH_OFFSET;
 }
+
+/// Nominal UDP/IPv4 header overhead added to every sidecar datagram body
+/// for link accounting.
+pub const HEADER_OVERHEAD: u32 = 28;
 
 /// A decoded sidecar message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -205,7 +232,6 @@ impl SidecarMessage {
     /// On-the-wire size of the sidecar datagram body plus a nominal
     /// UDP/IP-style header overhead used for link accounting.
     pub fn wire_size(&self) -> u32 {
-        const HEADER_OVERHEAD: u32 = 28; // IPv4 + UDP
         let (_, body) = self.encode();
         HEADER_OVERHEAD + body.len() as u32
     }
@@ -353,6 +379,23 @@ mod tests {
             SidecarMessage::decode_flow(99, &[0; 8]),
             Err(MessageError::UnknownTag(99))
         );
+    }
+
+    #[test]
+    fn auth_tags_are_unknown_to_the_plain_decoders() {
+        // Sealed envelopes must be opaque to auth-unaware endpoints: the
+        // authenticated twin range falls through `decode_flow`'s range
+        // check into the legacy decoder and comes back UnknownTag.
+        for t in tag::QUACK_AUTH..=tag::HELLO_FLOW_AUTH {
+            assert_eq!(
+                SidecarMessage::decode_flow(t, &[0; 64]),
+                Err(MessageError::UnknownTag(t)),
+            );
+            assert_eq!(
+                SidecarMessage::decode(t, &[0; 64]),
+                Err(MessageError::UnknownTag(t)),
+            );
+        }
     }
 
     #[test]

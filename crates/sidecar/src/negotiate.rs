@@ -25,6 +25,11 @@ pub struct Capabilities {
     pub id_bits: &'static [u32],
     /// Fastest emission interval this side will sustain.
     pub min_interval: SimDuration,
+    /// Slowest emission interval this side will accept. Without this bound
+    /// a forged (or merely absurd) `Hello` could offer an hours-long
+    /// interval and effectively disable quACK feedback while the session
+    /// looks healthy.
+    pub max_interval: SimDuration,
     /// Grace period this side applies to missing verdicts.
     pub reorder_grace: SimDuration,
 }
@@ -35,6 +40,7 @@ impl Default for Capabilities {
             max_threshold: 256,
             id_bits: &[16, 24, 32, 64],
             min_interval: SimDuration::from_millis(1),
+            max_interval: SimDuration::from_secs(10),
             reorder_grace: SimDuration::from_millis(10),
         }
     }
@@ -56,6 +62,9 @@ pub enum NegotiationError {
     CountWidthTooLarge(u8),
     /// Offered interval is faster than the responder will sustain.
     IntervalTooFast,
+    /// Offered interval is slower than the responder will accept (a
+    /// too-slow cadence starves feedback — effectively disabling quACKs).
+    IntervalTooSlow,
     /// A zero threshold cannot decode anything.
     ZeroThreshold,
     /// The message handed to [`accept_hello`] was not a `Hello` at all —
@@ -77,6 +86,7 @@ impl core::fmt::Display for NegotiationError {
                 write!(f, "count width {c} exceeds 32 bits")
             }
             NegotiationError::IntervalTooFast => write!(f, "offered interval too fast"),
+            NegotiationError::IntervalTooSlow => write!(f, "offered interval too slow"),
             NegotiationError::ZeroThreshold => write!(f, "threshold must be at least 1"),
             NegotiationError::NotHello => write!(f, "accept_hello requires a Hello message"),
         }
@@ -140,6 +150,9 @@ pub fn accept_hello(
         if *interval < capabilities.min_interval {
             return Err(NegotiationError::IntervalTooFast);
         }
+        if *interval > capabilities.max_interval {
+            return Err(NegotiationError::IntervalTooSlow);
+        }
         QuackFrequency::Interval(*interval)
     };
     Ok(SidecarConfig {
@@ -188,6 +201,7 @@ mod tests {
             max_threshold: 20,
             id_bits: &[32],
             min_interval: SimDuration::from_millis(10),
+            max_interval: SimDuration::from_secs(2),
             reorder_grace: SimDuration::from_millis(5),
         };
         let base = SidecarConfig::paper_default();
@@ -221,6 +235,20 @@ mod tests {
             accept_hello(&caps, &too_fast).unwrap_err(),
             NegotiationError::IntervalTooFast
         );
+
+        // A forged Hello offering an absurdly slow cadence would disable
+        // quACK feedback while the session looks healthy — decline it.
+        let too_slow = offer(&SidecarConfig {
+            frequency: QuackFrequency::Interval(SimDuration::from_secs(3600)),
+            ..base
+        });
+        assert_eq!(
+            accept_hello(&caps, &too_slow).unwrap_err(),
+            NegotiationError::IntervalTooSlow
+        );
+        assert!(NegotiationError::IntervalTooSlow
+            .to_string()
+            .contains("slow"));
 
         let zero_t = SidecarMessage::Hello {
             threshold: 0,

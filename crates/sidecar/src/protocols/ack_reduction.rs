@@ -11,12 +11,13 @@
 //! The client "does not need to participate in the sidecar protocol at
 //! all" — it is a completely unmodified receiver.
 
-use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
+use crate::auth::ChannelAuth;
+use crate::config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -59,6 +60,8 @@ pub struct AckRedProxy {
     restart_announce: Option<u32>,
     /// Data packets observed (drives the periodic idle sweep).
     observed_packets: u64,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// QuACK datagrams emitted.
     pub quacks_sent: u64,
     /// QuACK bytes emitted.
@@ -79,9 +82,16 @@ impl AckRedProxy {
             table: FlowTable::new(table),
             restart_announce: None,
             observed_packets: 0,
+            auth: None,
             quacks_sent: 0,
             quack_bytes: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Live per-flow sessions.
@@ -106,7 +116,13 @@ impl AckRedProxy {
         });
         if created && announce {
             if let Some(e) = epoch {
-                let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch: e },
+                    flow,
+                    IfaceId(0),
+                    &mut self.auth,
+                    ctx,
+                );
             }
         }
         session
@@ -133,7 +149,7 @@ impl Node for AckRedProxy {
                     }
                 }
                 if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                    match SidecarMessage::decode_flow(proto, bytes) {
+                    match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Reset { epoch })) => {
                             let flow = FlowId(mflow);
                             self.session(flow, false, ctx).producer.reset(epoch);
@@ -161,6 +177,7 @@ impl Node for AckRedProxy {
                                     SidecarMessage::Reset { epoch },
                                     flow,
                                     IfaceId(0),
+                                    &mut self.auth,
                                     ctx,
                                 );
                             }
@@ -182,7 +199,7 @@ impl Node for AckRedProxy {
                     let count = session.producer.count();
                     session.quacks += 1;
                     self.quacks_sent += 1;
-                    let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
+                    let bytes = send_sidecar(msg, flow, IfaceId(0), &mut self.auth, ctx);
                     self.quack_bytes += bytes as u64;
                     obs::quack_emitted(ctx, epoch, count, fill, bytes);
                 }
@@ -240,6 +257,8 @@ pub struct AckRedServer {
     /// The transport's flow id: all sidecar messages are tagged with it,
     /// and inbound sidecar traffic for other flows is ignored.
     flow: FlowId,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// Session supervision: hello handshake, liveness, degraded fallback.
     pub supervisor: Supervisor,
     /// Packets released from window accounting by quACKs.
@@ -260,9 +279,16 @@ impl AckRedServer {
             sidecar: QuackConsumer::new(sidecar, segment_rtt),
             cfg: sidecar,
             flow,
+            auth: None,
             supervisor: Supervisor::new(supervision),
             window_releases: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Transport statistics.
@@ -322,7 +348,13 @@ impl AckRedServer {
             ) => {
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
-                let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch },
+                    self.flow,
+                    IfaceId(0),
+                    &mut self.auth,
+                    ctx,
+                );
                 if self.supervisor.on_quack_error(&err, ctx.now()) {
                     self.enter_degraded();
                 }
@@ -354,7 +386,8 @@ impl AckRedServer {
             self.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), self.flow, IfaceId(0), ctx);
+            let cfg = self.cfg;
+            let _ = send_sidecar(offer(&cfg), self.flow, IfaceId(0), &mut self.auth, ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
@@ -377,7 +410,7 @@ impl Node for AckRedServer {
                 self.pump(ctx);
             }
             Payload::Sidecar { proto, ref bytes } => {
-                match SidecarMessage::decode_flow(proto, bytes) {
+                match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                     Ok((mflow, _)) if mflow != self.flow.0 => {
                         // A datagram for some other session (misrouted, or
                         // the proxy muxing another flow): not ours.
@@ -470,6 +503,11 @@ pub struct AckReductionScenario {
     pub cc: CcAlgorithm,
     /// Session supervision knobs for the server's quACK consumer.
     pub supervision: SupervisionConfig,
+    /// Pre-shared-secret control-channel authentication. `Some` seals every
+    /// sidecar datagram in the run (each node gets a distinct session
+    /// nonce); `None` keeps the wire image byte-identical to pre-auth
+    /// builds. The client is an unmodified receiver either way.
+    pub auth: Option<AuthConfig>,
     /// Flight-recorder ring capacity override (events); `None` keeps the
     /// obs default. Ignored when the `obs` feature is off.
     pub trace_capacity: Option<usize>,
@@ -507,6 +545,7 @@ impl Default for AckReductionScenario {
             normal_ack_every: 2,
             cc: CcAlgorithm::NewReno,
             supervision: SupervisionConfig::default(),
+            auth: None,
             trace_capacity: None,
         }
     }
@@ -530,7 +569,7 @@ impl AckReductionScenario {
         if let Some(cap) = self.trace_capacity {
             w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
         }
-        let server = w.add_node(Box::new(AckRedServer::new(
+        let mut server_node = AckRedServer::new(
             SenderConfig {
                 total_packets: Some(self.total_packets),
                 cc: self.cc,
@@ -543,8 +582,16 @@ impl AckReductionScenario {
             self.sidecar,
             self.upstream.delay * 2 + SimDuration::from_millis(5),
             self.supervision,
-        )));
-        let proxy = w.add_node(Box::new(AckRedProxy::new(self.sidecar)));
+        );
+        let mut proxy_node = AckRedProxy::new(self.sidecar);
+        if let Some(auth) = self.auth {
+            // Distinct per-node nonces keep each direction's replay window
+            // independent (and the runs deterministic).
+            server_node = server_node.with_auth(auth.with_nonce(1));
+            proxy_node = proxy_node.with_auth(auth.with_nonce(2));
+        }
+        let server = w.add_node(Box::new(server_node));
+        let proxy = w.add_node(Box::new(proxy_node));
         let client = w.add_node(ReceiverNode::boxed(ReceiverConfig {
             ack_every: self.reduced_ack_every,
             max_ack_delay: self.reduced_max_ack_delay,
@@ -797,6 +844,24 @@ mod tests {
             total_packets: 400,
             ..AckReductionScenario::default()
         };
+        assert_eq!(scenario.run_sidecar(8), scenario.run_sidecar(8));
+    }
+
+    #[cfg(feature = "auth")]
+    #[test]
+    fn authenticated_run_completes_without_rejects() {
+        let scenario = AckReductionScenario {
+            total_packets: 400,
+            auth: Some(crate::config::AuthConfig::from_secret(0xFEED_FACE, 7)),
+            ..AckReductionScenario::default()
+        };
+        let report = scenario.run_sidecar(8);
+        assert!(report.completion.is_some(), "{report:?}");
+        #[cfg(feature = "obs")]
+        {
+            assert!(report.metrics.counter("auth.accepted") > 0, "{report:?}");
+            assert_eq!(report.metrics.counter_sum("auth.rejected."), 0);
+        }
         assert_eq!(scenario.run_sidecar(8), scenario.run_sidecar(8));
     }
 }

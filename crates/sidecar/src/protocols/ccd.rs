@@ -17,12 +17,13 @@
 //! End hosts change only by "installing a library" — here, composing the
 //!   unchanged transport cores with a sidecar.
 
-use crate::config::{SidecarConfig, SupervisionConfig};
+use crate::auth::ChannelAuth;
+use crate::config::{AuthConfig, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -57,6 +58,8 @@ pub struct CcdClient {
     /// and inbound control for other flows is ignored.
     flow: FlowId,
     interval: SimDuration,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// QuACK datagrams emitted.
     pub quacks_sent: u64,
     /// QuACK bytes emitted.
@@ -72,9 +75,16 @@ impl CcdClient {
             sidecar: QuackProducer::new(sidecar),
             flow,
             interval,
+            auth: None,
             quacks_sent: 0,
             quack_bytes: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Transport statistics.
@@ -91,7 +101,7 @@ impl Node for CcdClient {
     fn on_packet(&mut self, _iface: IfaceId, packet: Packet, ctx: &mut Context) {
         match packet.payload {
             Payload::Sidecar { proto, ref bytes } => {
-                match SidecarMessage::decode_flow(proto, bytes) {
+                match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                     // An end-host sidecar owns exactly one connection:
                     // control tagged for any other flow is not ours.
                     Ok((mflow, _)) if mflow != self.flow.0 => {
@@ -118,6 +128,7 @@ impl Node for CcdClient {
                                 SidecarMessage::Reset { epoch },
                                 self.flow,
                                 IfaceId(0),
+                                &mut self.auth,
                                 ctx,
                             );
                         }
@@ -145,7 +156,7 @@ impl Node for CcdClient {
                 let fill = self.sidecar.burst_fill();
                 let msg = self.sidecar.emit();
                 self.quacks_sent += 1;
-                let bytes = send_sidecar(msg, self.flow, IfaceId(0), ctx);
+                let bytes = send_sidecar(msg, self.flow, IfaceId(0), &mut self.auth, ctx);
                 self.quack_bytes += bytes as u64;
                 obs::quack_emitted(ctx, self.sidecar.epoch(), self.sidecar.count(), fill, bytes);
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
@@ -164,7 +175,13 @@ impl Node for CcdClient {
         // epoch and announce it so the proxy resyncs its mirror.
         let epoch = restart_epoch(ctx.now());
         self.sidecar.reset(epoch);
-        let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
+        let _ = send_sidecar(
+            SidecarMessage::Reset { epoch },
+            self.flow,
+            IfaceId(0),
+            &mut self.auth,
+            ctx,
+        );
         ctx.set_timer_after(self.interval, TOKEN_EMIT);
     }
 
@@ -267,6 +284,8 @@ pub struct CcdProxy {
     grace_armed: Option<SimTime>,
     /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard).
     sup_armed: Option<SimTime>,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// QuACKs emitted upstream (all flows).
     pub quacks_sent: u64,
     /// QuACK bytes emitted upstream (all flows).
@@ -322,10 +341,17 @@ impl CcdProxy {
             evicted_sup: (0, 0),
             grace_armed: None,
             sup_armed: None,
+            auth: None,
             quacks_sent: 0,
             quack_bytes: 0,
             buffer_drops: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// The current paced rate (bits/s).
@@ -387,7 +413,13 @@ impl CcdProxy {
         });
         if created {
             if let Some(e) = epoch {
-                let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch: e },
+                    flow,
+                    IfaceId(0),
+                    &mut self.auth,
+                    ctx,
+                );
             }
             self.supervise_flow(flow, ctx);
         }
@@ -461,6 +493,7 @@ impl CcdProxy {
                     SidecarMessage::Reset { epoch: new_epoch },
                     flow,
                     IfaceId(1),
+                    &mut self.auth,
                     ctx,
                 );
                 if degrade {
@@ -527,7 +560,7 @@ impl CcdProxy {
             self.enter_degraded_flow(flow, ctx);
         }
         if send_hello {
-            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), ctx);
+            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), &mut self.auth, ctx);
         }
         if let Some(deadline) = next_deadline {
             self.arm_supervise(deadline, ctx);
@@ -620,7 +653,7 @@ impl Node for CcdProxy {
                 } else {
                     // Control/sidecar traffic from the server side.
                     if let Payload::Sidecar { proto, ref bytes } = packet.payload {
-                        match SidecarMessage::decode_flow(proto, bytes) {
+                        match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                             Ok((mflow, SidecarMessage::Reset { epoch })) => {
                                 let flow = FlowId(mflow);
                                 self.ensure_session(flow, ctx);
@@ -657,6 +690,7 @@ impl Node for CcdProxy {
                                         SidecarMessage::Reset { epoch },
                                         flow,
                                         IfaceId(0),
+                                        &mut self.auth,
                                         ctx,
                                     );
                                 }
@@ -672,7 +706,7 @@ impl Node for CcdProxy {
             // From the client: consume quACKs, forward the rest upstream.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode_flow(proto, bytes) {
+                    match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Quack { epoch, bytes })) => {
                             let flow = FlowId(mflow);
                             let enabled = self
@@ -750,7 +784,7 @@ impl Node for CcdProxy {
                         )
                     };
                     self.quacks_sent += 1;
-                    let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
+                    let bytes = send_sidecar(msg, flow, IfaceId(0), &mut self.auth, ctx);
                     self.quack_bytes += bytes as u64;
                     obs::quack_emitted(ctx, epoch, count, fill, bytes);
                 }
@@ -840,6 +874,8 @@ pub struct CcdServer {
     /// End-to-end congestion control to fall back on when the sidecar
     /// session degrades (the paper's "no worse than no sidecar" guarantee).
     fallback_cc: CcAlgorithm,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// Supervises the proxy→server quACK session (the window-steering loop).
     pub supervisor: Supervisor,
 }
@@ -865,8 +901,15 @@ impl CcdServer {
             window: initial,
             max_window: 10_000.0,
             fallback_cc,
+            auth: None,
             supervisor: Supervisor::new(supervision),
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Transport statistics.
@@ -933,7 +976,13 @@ impl CcdServer {
                 self.transport.set_cwnd_cap(Some(self.window as u64));
                 let epoch = self.sidecar.epoch() + 1;
                 let _ = self.sidecar.reset(epoch);
-                let _ = send_sidecar(SidecarMessage::Reset { epoch }, self.flow, IfaceId(0), ctx);
+                let _ = send_sidecar(
+                    SidecarMessage::Reset { epoch },
+                    self.flow,
+                    IfaceId(0),
+                    &mut self.auth,
+                    ctx,
+                );
                 if self.supervisor.on_quack_error(&err, ctx.now()) {
                     self.enter_degraded();
                 }
@@ -973,7 +1022,8 @@ impl CcdServer {
             self.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&self.cfg), self.flow, IfaceId(0), ctx);
+            let cfg = self.cfg;
+            let _ = send_sidecar(offer(&cfg), self.flow, IfaceId(0), &mut self.auth, ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
             ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
@@ -997,7 +1047,7 @@ impl Node for CcdServer {
                 self.pump(ctx);
             }
             Payload::Sidecar { proto, ref bytes } => {
-                match SidecarMessage::decode_flow(proto, bytes) {
+                match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                     // An end-host sidecar owns exactly one connection: control
                     // tagged for any other flow is not ours.
                     Ok((mflow, _)) if mflow != self.flow.0 => {
@@ -1091,6 +1141,11 @@ pub struct CcdScenario {
     pub baseline_cc: CcAlgorithm,
     /// Session supervision (handshake, liveness, degradation) parameters.
     pub supervision: SupervisionConfig,
+    /// Pre-shared-secret control-channel authentication. `Some` seals every
+    /// sidecar datagram in the run (each node gets a distinct session
+    /// nonce); `None` keeps the wire image byte-identical to pre-auth
+    /// builds. Baseline runs carry no sidecar traffic and ignore it.
+    pub auth: Option<AuthConfig>,
     /// Flight-recorder ring capacity override (events); `None` keeps the
     /// obs default. Ignored when the `obs` feature is off.
     pub trace_capacity: Option<usize>,
@@ -1121,6 +1176,7 @@ impl Default for CcdScenario {
             buffer_cap: 2_048,
             baseline_cc: CcAlgorithm::NewReno,
             supervision: SupervisionConfig::default(),
+            auth: None,
             trace_capacity: None,
         }
     }
@@ -1143,7 +1199,7 @@ impl CcdScenario {
         if let Some(cap) = self.trace_capacity {
             w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
         }
-        let server = w.add_node(Box::new(CcdServer::new(
+        let mut server_node = CcdServer::new(
             SenderConfig {
                 total_packets: Some(self.total_packets),
                 cc: STEERED_CC, // window fully sidecar-steered
@@ -1154,20 +1210,27 @@ impl CcdScenario {
             self.upstream.delay * 2 + SimDuration::from_millis(5),
             self.baseline_cc,
             self.supervision,
-        )));
-        let proxy = w.add_node(Box::new(CcdProxy::new(
+        );
+        let mut proxy_node = CcdProxy::new(
             self.sidecar,
             self.quack_interval,
             self.downstream.rate_bps as f64 * 0.9,
             self.buffer_cap,
             self.downstream.delay * 2 + SimDuration::from_millis(5),
             self.supervision,
-        )));
-        let client = w.add_node(Box::new(CcdClient::new(
-            ReceiverConfig::default(),
-            self.sidecar,
-            self.quack_interval,
-        )));
+        );
+        let mut client_node =
+            CcdClient::new(ReceiverConfig::default(), self.sidecar, self.quack_interval);
+        if let Some(auth) = self.auth {
+            // Distinct per-node nonces keep each direction's replay window
+            // independent (and the runs deterministic).
+            server_node = server_node.with_auth(auth.with_nonce(1));
+            proxy_node = proxy_node.with_auth(auth.with_nonce(2));
+            client_node = client_node.with_auth(auth.with_nonce(3));
+        }
+        let server = w.add_node(Box::new(server_node));
+        let proxy = w.add_node(Box::new(proxy_node));
+        let client = w.add_node(Box::new(client_node));
         w.connect(server, proxy, self.upstream.clone(), self.upstream.clone());
         w.connect(
             proxy,
@@ -1358,5 +1421,25 @@ mod tests {
         };
         assert_eq!(scenario.run_sidecar(9), scenario.run_sidecar(9));
         assert_eq!(scenario.run_baseline(9), scenario.run_baseline(9));
+    }
+
+    #[cfg(feature = "auth")]
+    #[test]
+    fn authenticated_run_completes_without_rejects() {
+        let scenario = CcdScenario {
+            total_packets: 500,
+            auth: Some(crate::config::AuthConfig::from_secret(0xFEED_FACE, 7)),
+            ..CcdScenario::default()
+        };
+        let report = scenario.run_sidecar(9);
+        assert!(report.completion.is_some(), "{report:?}");
+        assert!(report.sidecar_messages > 0);
+        // On a clean (uncorrupted) path every sealed datagram verifies.
+        #[cfg(feature = "obs")]
+        {
+            assert!(report.metrics.counter("auth.accepted") > 0, "{report:?}");
+            assert_eq!(report.metrics.counter_sum("auth.rejected."), 0);
+        }
+        assert_eq!(scenario.run_sidecar(9), scenario.run_sidecar(9));
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! [`FlowTable`]: crate::flows::FlowTable
 
-use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
+use crate::config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::flows::FlowTableConfig;
 use crate::protocols::ack_reduction::{AckRedProxy, AckRedServer};
 use crate::protocols::ccd::{CcdClient, CcdProxy, CcdServer, STEERED_CC};
@@ -105,6 +105,11 @@ pub struct ManyFlowScenario {
     pub horizon: SimDuration,
     /// Session supervision knobs.
     pub supervision: SupervisionConfig,
+    /// Pre-shared-secret control-channel authentication. `Some` seals every
+    /// sidecar datagram in the run; each node derives a distinct session
+    /// nonce (proxies low, senders `100+flow`, clients `200+flow`) so the
+    /// muxed proxy tracks one replay window per peer session.
+    pub auth: Option<AuthConfig>,
     /// Base seed; per-flow id streams derive from it.
     pub seed: u64,
 }
@@ -154,6 +159,7 @@ impl ManyFlowScenario {
             trunk,
             horizon: SimDuration::from_secs(60),
             supervision: SupervisionConfig::default(),
+            auth: None,
             seed: 1,
         }
     }
@@ -268,16 +274,15 @@ impl ManyFlowScenario {
         let (mux, demux) = self.routers();
         let mux = w.add_node(mux.boxed());
         let subpath_rtt = self.trunk.delay * 2 + SimDuration::from_millis(2);
-        let a = w.add_node(Box::new(SenderSideProxy::with_flow_table(
-            cfg,
-            subpath_rtt,
-            4_096,
-            self.supervision,
-            self.table,
-        )));
-        let b = w.add_node(Box::new(ReceiverSideProxy::with_flow_table(
-            cfg, self.table,
-        )));
+        let mut proxy_a =
+            SenderSideProxy::with_flow_table(cfg, subpath_rtt, 4_096, self.supervision, self.table);
+        let mut proxy_b = ReceiverSideProxy::with_flow_table(cfg, self.table);
+        if let Some(auth) = self.auth {
+            proxy_a = proxy_a.with_auth(auth.with_nonce(1));
+            proxy_b = proxy_b.with_auth(auth.with_nonce(2));
+        }
+        let a = w.add_node(Box::new(proxy_a));
+        let b = w.add_node(Box::new(proxy_b));
         let demux = w.add_node(demux.boxed());
         let receivers: Vec<NodeId> = self
             .flow_ids()
@@ -334,7 +339,7 @@ impl ManyFlowScenario {
             .flow_ids()
             .iter()
             .map(|&flow| {
-                w.add_node(Box::new(AckRedServer::new(
+                let mut server = AckRedServer::new(
                     SenderConfig {
                         flow,
                         total_packets: Some(self.packets_per_flow),
@@ -346,12 +351,20 @@ impl ManyFlowScenario {
                     cfg,
                     self.trunk.delay * 2 + SimDuration::from_millis(5),
                     self.supervision,
-                )))
+                );
+                if let Some(auth) = self.auth {
+                    server = server.with_auth(auth.with_nonce(100 + flow.0 as u64));
+                }
+                w.add_node(Box::new(server))
             })
             .collect();
         let (mux, demux) = self.routers();
         let mux = w.add_node(mux.boxed());
-        let proxy = w.add_node(Box::new(AckRedProxy::with_flow_table(cfg, self.table)));
+        let mut proxy_node = AckRedProxy::with_flow_table(cfg, self.table);
+        if let Some(auth) = self.auth {
+            proxy_node = proxy_node.with_auth(auth.with_nonce(1));
+        }
+        let proxy = w.add_node(Box::new(proxy_node));
         let demux = w.add_node(demux.boxed());
         let receivers: Vec<NodeId> = self
             .flow_ids()
@@ -404,7 +417,7 @@ impl ManyFlowScenario {
             .flow_ids()
             .iter()
             .map(|&flow| {
-                w.add_node(Box::new(CcdServer::new(
+                let mut server = CcdServer::new(
                     SenderConfig {
                         flow,
                         total_packets: Some(self.packets_per_flow),
@@ -416,12 +429,16 @@ impl ManyFlowScenario {
                     self.edge.delay * 2 + SimDuration::from_millis(5),
                     CcAlgorithm::NewReno,
                     self.supervision,
-                )))
+                );
+                if let Some(auth) = self.auth {
+                    server = server.with_auth(auth.with_nonce(100 + flow.0 as u64));
+                }
+                w.add_node(Box::new(server))
             })
             .collect();
         let (mux, demux) = self.routers();
         let mux = w.add_node(mux.boxed());
-        let proxy = w.add_node(Box::new(CcdProxy::with_flow_table(
+        let mut proxy_node = CcdProxy::with_flow_table(
             cfg,
             quack_interval,
             self.trunk.rate_bps as f64 * 0.9,
@@ -429,20 +446,28 @@ impl ManyFlowScenario {
             self.trunk.delay * 2 + SimDuration::from_millis(5),
             self.supervision,
             self.table,
-        )));
+        );
+        if let Some(auth) = self.auth {
+            proxy_node = proxy_node.with_auth(auth.with_nonce(1));
+        }
+        let proxy = w.add_node(Box::new(proxy_node));
         let demux = w.add_node(demux.boxed());
         let receivers: Vec<NodeId> = self
             .flow_ids()
             .iter()
             .map(|&flow| {
-                w.add_node(Box::new(CcdClient::new(
+                let mut client = CcdClient::new(
                     ReceiverConfig {
                         flow,
                         ..ReceiverConfig::default()
                     },
                     cfg,
                     quack_interval,
-                )))
+                );
+                if let Some(auth) = self.auth {
+                    client = client.with_auth(auth.with_nonce(200 + flow.0 as u64));
+                }
+                w.add_node(Box::new(client))
             })
             .collect();
         for &s in &senders {
@@ -566,5 +591,22 @@ mod tests {
     fn deterministic_reports() {
         let s = small(ManyFlowProtocol::Retx, 4);
         assert_eq!(s.run(), s.run());
+    }
+
+    #[cfg(feature = "auth")]
+    #[test]
+    fn authenticated_mux_completes_for_all_protocols() {
+        for protocol in [
+            ManyFlowProtocol::Retx,
+            ManyFlowProtocol::AckReduction,
+            ManyFlowProtocol::CongestionDivision,
+        ] {
+            let mut s = small(protocol, 8);
+            s.auth = Some(crate::config::AuthConfig::from_secret(0xFEED_FACE, 7));
+            let report = s.run();
+            assert_eq!(report.completed, 8, "{protocol:?}: {report:?}");
+            assert!(report.sidecar_messages > 0);
+            assert_eq!(s.run(), s.run());
+        }
     }
 }

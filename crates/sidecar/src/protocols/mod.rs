@@ -14,7 +14,8 @@ pub mod ccd;
 pub mod manyflow;
 pub mod retx;
 
-use crate::messages::SidecarMessage;
+use crate::auth::ChannelAuth;
+use crate::messages::{SidecarMessage, HEADER_OVERHEAD};
 use sidecar_netsim::fault::FaultPlan;
 use sidecar_netsim::node::{Context, IfaceId, NodeId};
 use sidecar_netsim::packet::{FlowId, Packet};
@@ -24,13 +25,21 @@ use sidecar_netsim::time::{SimDuration, SimTime};
 /// in bytes. The datagram is stamped with the session's real flow id (so
 /// per-flow router/trace accounting sees control bytes where they belong)
 /// and flow-tagged on the wire; flow 0 keeps the legacy untagged encoding.
+/// With an auth channel the encoding is additionally sealed (authenticated
+/// twin tag + envelope; see [`crate::auth`]) — `None` keeps the wire image
+/// byte-identical to pre-auth builds.
 pub(crate) fn send_sidecar(
     msg: SidecarMessage,
     flow: FlowId,
     iface: IfaceId,
+    auth: &mut Option<ChannelAuth>,
     ctx: &mut Context,
 ) -> u32 {
-    let size = msg.wire_size_for_flow(flow.0);
+    let (proto, body) = match auth {
+        Some(channel) => channel.seal(&msg, flow.0),
+        None => msg.encode_for_flow(flow.0),
+    };
+    let size = HEADER_OVERHEAD + body.len() as u32;
     #[cfg(feature = "obs")]
     {
         ctx.obs_inc(match &msg {
@@ -41,7 +50,6 @@ pub(crate) fn send_sidecar(
         });
         ctx.obs_add("sidecar.sent_bytes", size as u64);
     }
-    let (proto, body) = msg.encode_for_flow(flow.0);
     #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
     let mut pkt = Packet::sidecar(flow, proto, body, size, ctx.now());
     // Flight-recorder stamp: control datagrams have no packet number, so
@@ -53,6 +61,37 @@ pub(crate) fn send_sidecar(
     }
     ctx.send(iface, pkt);
     size
+}
+
+/// Decodes (and, with an auth channel, verifies) an inbound sidecar
+/// datagram into `(flow, message)`.
+///
+/// With `Some(channel)` the full authenticated open runs — tag-range check,
+/// envelope parse, MAC verification, replay window, inner decode — and
+/// every rejection is counted (`auth.rejected.<kind>`) and traced before
+/// the caller sees a unit `Err`. Plain (unsealed) datagrams are rejected
+/// too: an authenticated receiver accepts *only* sealed control traffic,
+/// which is what makes "zero forged/replayed datagrams accepted" hold.
+/// With `None` this is exactly the legacy `decode_flow` path.
+pub(crate) fn open_ctrl(
+    auth: &mut Option<ChannelAuth>,
+    proto: u8,
+    bytes: &[u8],
+    ctx: &mut Context,
+) -> Result<(u32, SidecarMessage), ()> {
+    match auth {
+        Some(channel) => match channel.open(proto, bytes) {
+            Ok(ok) => {
+                obs::auth_accept(ctx);
+                Ok(ok)
+            }
+            Err(err) => {
+                obs::auth_reject(ctx, &err);
+                Err(())
+            }
+        },
+        None => SidecarMessage::decode_flow(proto, bytes).map_err(|_| ()),
+    }
 }
 
 /// Observability taps shared by the three protocols.
@@ -219,6 +258,33 @@ pub(crate) mod obs {
     ) {
         sidecar_netsim::transport::emit_sender_lifecycle(core, ctx);
     }
+
+    /// An authenticated control channel accepted an inbound datagram.
+    pub(crate) fn auth_accept(ctx: &mut Context) {
+        ctx.obs_inc("auth.accepted");
+    }
+
+    /// An authenticated control channel rejected an inbound datagram:
+    /// per-kind counter plus an attributable trace event.
+    pub(crate) fn auth_reject(ctx: &mut Context, err: &crate::auth::AuthError) {
+        use crate::auth::AuthError;
+        use sidecar_obs::AuthRejectKind;
+        let (counter, kind) = match err {
+            AuthError::NotAuthenticated(_) => (
+                "auth.rejected.unauthenticated",
+                AuthRejectKind::Unauthenticated,
+            ),
+            AuthError::Truncated => ("auth.rejected.truncated", AuthRejectKind::Truncated),
+            AuthError::UnknownKey(_) => ("auth.rejected.unknown_key", AuthRejectKind::UnknownKey),
+            AuthError::BadMac => ("auth.rejected.bad_mac", AuthRejectKind::BadMac),
+            AuthError::Replayed => ("auth.rejected.replayed", AuthRejectKind::Replayed),
+            AuthError::Stale => ("auth.rejected.stale", AuthRejectKind::Stale),
+            AuthError::Malformed(_) => ("auth.rejected.malformed", AuthRejectKind::Malformed),
+        };
+        ctx.obs_inc(counter);
+        let node = ctx.node_id().0 as u32;
+        ctx.obs_event(Event::AuthReject { node, kind });
+    }
 }
 
 /// No-op twins of the observability taps (obs feature disabled).
@@ -271,6 +337,12 @@ pub(crate) mod obs {
         _core: &mut sidecar_netsim::transport::SenderCore,
     ) {
     }
+
+    #[inline(always)]
+    pub(crate) fn auth_accept(_ctx: &mut Context) {}
+
+    #[inline(always)]
+    pub(crate) fn auth_reject(_ctx: &mut Context, _err: &crate::auth::AuthError) {}
 }
 
 /// Deterministic post-restart epoch: a rebooted producer lost its epoch
@@ -355,6 +427,21 @@ pub struct FaultScript {
     pub delay_control: Option<(SimDuration, SimTime, SimTime)>,
     /// Flip up to `.0` random bits of each sidecar payload in the window.
     pub corrupt_control: Option<(u32, SimTime, SimTime)>,
+    /// Active adversary: inject a well-formed, wrong-content forged quACK
+    /// alongside every sidecar datagram in the window. The forgery parses
+    /// cleanly at an unauthenticated receiver (where its bogus epoch then
+    /// pollutes the session); an authenticated receiver rejects it outright.
+    pub forge_control: Option<(SimTime, SimTime)>,
+    /// Active adversary: replay each captured sidecar datagram `.0` times,
+    /// each copy an extra `.1` late, in the window `.2..$.3`.
+    pub replay_control: Option<(u32, SimDuration, SimTime, SimTime)>,
+    /// Active adversary: deliver a copy with up to `.0` flipped bits next
+    /// to every sidecar datagram in the window `.1..$.2` (original
+    /// untouched).
+    pub tamper_control: Option<(u32, SimTime, SimTime)>,
+    /// Stateful firewall: control flows idle longer than `.0` lose their
+    /// next datagram during the window `.1..$.2`.
+    pub firewall_idle: Option<(SimDuration, SimTime, SimTime)>,
 }
 
 impl FaultScript {
@@ -367,6 +454,10 @@ impl FaultScript {
             && self.duplicate_control.is_none()
             && self.delay_control.is_none()
             && self.corrupt_control.is_none()
+            && self.forge_control.is_none()
+            && self.replay_control.is_none()
+            && self.tamper_control.is_none()
+            && self.firewall_idle.is_none()
     }
 
     /// Lowers the script onto a built topology: `proxy` receives the
@@ -394,6 +485,30 @@ impl FaultScript {
         if let Some((max_flips, from, until)) = self.corrupt_control {
             plan = plan.corrupt_control(max_flips, from, until);
         }
+        if let Some((from, until)) = self.forge_control {
+            let (proto, body) = Self::forged_quack().encode_for_flow(0);
+            plan = plan.forge_control(proto, body, from, until);
+        }
+        if let Some((copies, delay, from, until)) = self.replay_control {
+            plan = plan.replay_control(copies, delay, from, until);
+        }
+        if let Some((max_flips, from, until)) = self.tamper_control {
+            plan = plan.tamper_control(max_flips, from, until);
+        }
+        if let Some((idle, from, until)) = self.firewall_idle {
+            plan = plan.firewall_control(idle, from, until);
+        }
         plan
+    }
+
+    /// The adversary's forgery: a syntactically valid quACK with
+    /// attacker-chosen content. An unauthenticated receiver decodes it
+    /// cleanly and only notices the bogus epoch downstream; an
+    /// authenticated receiver never even parses the body.
+    pub fn forged_quack() -> SidecarMessage {
+        SidecarMessage::Quack {
+            epoch: 0xDEAD_BEEF,
+            bytes: vec![0x5A; 82],
+        }
     }
 }

@@ -12,12 +12,13 @@
 //! flexible, as it should ideally depend on the loss ratio" (§2.3, §4.3:
 //! target a constant `t` missing packets per quACK).
 
-use crate::config::{QuackFrequency, SidecarConfig, SupervisionConfig};
+use crate::auth::ChannelAuth;
+use crate::config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -144,6 +145,8 @@ pub struct SenderSideProxy {
     /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard: one
     /// shared timer chain, not one per flow per poll).
     sup_armed: Option<SimTime>,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// In-network retransmissions performed (all flows).
     pub retransmitted: u64,
     /// Sidecar control messages sent (all flows).
@@ -185,9 +188,16 @@ impl SenderSideProxy {
             evicted_sup: (0, 0),
             grace_armed: None,
             sup_armed: None,
+            auth: None,
             retransmitted: 0,
             control_sent: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Consumer statistics for one flow's live session.
@@ -283,7 +293,7 @@ impl SenderSideProxy {
             let msg = SidecarMessage::Configure {
                 interval: new_interval,
             };
-            let _ = send_sidecar(msg, flow, IfaceId(1), ctx);
+            let _ = send_sidecar(msg, flow, IfaceId(1), &mut self.auth, ctx);
             self.control_sent += 1;
         }
     }
@@ -334,6 +344,7 @@ impl SenderSideProxy {
                     SidecarMessage::Reset { epoch: new_epoch },
                     flow,
                     IfaceId(1),
+                    &mut self.auth,
                     ctx,
                 );
                 self.control_sent += 1;
@@ -367,7 +378,7 @@ impl SenderSideProxy {
             session.enter_degraded();
         }
         if outcome.send_hello {
-            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), ctx);
+            let _ = send_sidecar(offer(&cfg), flow, IfaceId(1), &mut self.auth, ctx);
             self.control_sent += 1;
         }
         if let Some(deadline) = outcome.next_deadline {
@@ -484,7 +495,7 @@ impl Node for SenderSideProxy {
             // From the subpath side: quACKs are consumed, the rest forwarded.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode_flow(proto, bytes) {
+                    match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Quack { epoch, bytes })) => {
                             let flow = FlowId(mflow);
                             // Degraded sessions ignore quACKs outright;
@@ -613,6 +624,8 @@ pub struct ReceiverSideProxy {
     /// when its data reappears (lazy per-flow version of the old broadcast
     /// restart announcement).
     restart_announce: Option<u32>,
+    /// Authenticated control channel; `None` speaks the legacy plain wire.
+    auth: Option<ChannelAuth>,
     /// QuACK datagrams emitted (all flows).
     pub quacks_sent: u64,
     /// QuACK bytes emitted (body + headers, all flows).
@@ -631,9 +644,16 @@ impl ReceiverSideProxy {
             cfg,
             table: FlowTable::new(table),
             restart_announce: None,
+            auth: None,
             quacks_sent: 0,
             quack_bytes: 0,
         }
+    }
+
+    /// Seals and verifies all control traffic with `cfg`'s session keys.
+    pub fn with_auth(mut self, cfg: AuthConfig) -> Self {
+        self.auth = Some(ChannelAuth::new(cfg));
+        self
     }
 
     /// Live per-flow sessions.
@@ -662,7 +682,13 @@ impl ReceiverSideProxy {
         if created {
             if announce {
                 if let Some(e) = epoch {
-                    let _ = send_sidecar(SidecarMessage::Reset { epoch: e }, flow, IfaceId(0), ctx);
+                    let _ = send_sidecar(
+                        SidecarMessage::Reset { epoch: e },
+                        flow,
+                        IfaceId(0),
+                        &mut self.auth,
+                        ctx,
+                    );
                 }
             }
             self.arm(flow, ctx);
@@ -685,7 +711,7 @@ impl ReceiverSideProxy {
             )
         };
         self.quacks_sent += 1;
-        let bytes = send_sidecar(msg, flow, IfaceId(0), ctx);
+        let bytes = send_sidecar(msg, flow, IfaceId(0), &mut self.auth, ctx);
         self.quack_bytes += bytes as u64;
         obs::quack_emitted(ctx, epoch, count, fill, bytes);
     }
@@ -708,7 +734,7 @@ impl Node for ReceiverSideProxy {
             // From the subpath: observe data identifiers, forward downstream.
             IfaceId(0) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
-                    match SidecarMessage::decode_flow(proto, bytes) {
+                    match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Configure { interval })) => {
                             let flow = FlowId(mflow);
                             self.ensure_session(flow, false, ctx);
@@ -749,6 +775,7 @@ impl Node for ReceiverSideProxy {
                                     SidecarMessage::Reset { epoch },
                                     flow,
                                     IfaceId(0),
+                                    &mut self.auth,
                                     ctx,
                                 );
                             }
@@ -853,6 +880,11 @@ pub struct RetxScenario {
     pub client: ReceiverConfig,
     /// Session supervision knobs for the sender-side proxy.
     pub supervision: SupervisionConfig,
+    /// Pre-shared-secret control-channel authentication. `Some` seals every
+    /// sidecar datagram between the proxy pair (each proxy gets a distinct
+    /// session nonce); `None` keeps the wire image byte-identical to
+    /// pre-auth builds. End hosts never participate either way.
+    pub auth: Option<AuthConfig>,
     /// Flight-recorder ring capacity override (events). `None` keeps the
     /// obs default; analysis runs (`exp_reaction`) raise it so a full
     /// scenario's lifecycle fits without truncation. Ignored when the `obs`
@@ -898,6 +930,7 @@ impl Default for RetxScenario {
                 ..ReceiverConfig::default()
             },
             supervision: SupervisionConfig::default(),
+            auth: None,
             trace_capacity: None,
         }
     }
@@ -943,15 +976,16 @@ impl RetxScenario {
         // slack.
         let subpath_rtt = self.subpath.delay * 2 + SimDuration::from_millis(2);
         let (proxy_a, proxy_b) = if sidecar {
-            (
-                w.add_node(Box::new(SenderSideProxy::new(
-                    self.sidecar,
-                    subpath_rtt,
-                    self.buffer_cap,
-                    self.supervision,
-                ))),
-                w.add_node(Box::new(ReceiverSideProxy::new(self.sidecar))),
-            )
+            let mut a =
+                SenderSideProxy::new(self.sidecar, subpath_rtt, self.buffer_cap, self.supervision);
+            let mut b = ReceiverSideProxy::new(self.sidecar);
+            if let Some(auth) = self.auth {
+                // Distinct per-proxy nonces keep each direction's replay
+                // window independent (and the runs deterministic).
+                a = a.with_auth(auth.with_nonce(1));
+                b = b.with_auth(auth.with_nonce(2));
+            }
+            (w.add_node(Box::new(a)), w.add_node(Box::new(b)))
         } else {
             (
                 w.add_node(Forwarder::boxed()),
@@ -1089,6 +1123,24 @@ mod tests {
             total_packets: 400,
             ..RetxScenario::default()
         };
+        assert_eq!(scenario.run_sidecar(5), scenario.run_sidecar(5));
+    }
+
+    #[cfg(feature = "auth")]
+    #[test]
+    fn authenticated_run_completes_without_rejects() {
+        let scenario = RetxScenario {
+            total_packets: 400,
+            auth: Some(crate::config::AuthConfig::from_secret(0xFEED_FACE, 7)),
+            ..RetxScenario::default()
+        };
+        let report = scenario.run_sidecar(5);
+        assert!(report.completion.is_some(), "{report:?}");
+        #[cfg(feature = "obs")]
+        {
+            assert!(report.metrics.counter("auth.accepted") > 0, "{report:?}");
+            assert_eq!(report.metrics.counter_sum("auth.rejected."), 0);
+        }
         assert_eq!(scenario.run_sidecar(5), scenario.run_sidecar(5));
     }
 }

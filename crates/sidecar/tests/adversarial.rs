@@ -169,6 +169,73 @@ fn random_bit_flips_never_panic_and_never_fabricate_losses_silently() {
     }
 }
 
+/// With the authenticated channel, replayed quACKs die at the envelope:
+/// the replay window rejects the duplicate sequence number before the
+/// power-sum payload is ever decoded, so the consumer never even sees it.
+#[cfg(feature = "auth")]
+#[test]
+fn replayed_sealed_quack_rejected_before_decode() {
+    use sidecar_proto::{AuthConfig, AuthError, ChannelAuth};
+
+    let psk = AuthConfig::from_secret(0xD00D_F00D, 9);
+    let mut tx = ChannelAuth::new(psk.with_nonce(1));
+    let mut rx = ChannelAuth::new(psk.with_nonce(2));
+
+    let (mut producer, mut consumer) = setup(12);
+    let (epoch, bytes) = quack_bytes(producer.emit());
+    let msg = SidecarMessage::Quack {
+        epoch,
+        bytes: bytes.clone(),
+    };
+    let (tag, sealed) = tx.seal(&msg, 5);
+
+    // First delivery verifies and yields the inner quACK…
+    let (flow, opened) = rx.open(tag, &sealed).expect("honest quACK verifies");
+    assert_eq!(flow, 5);
+    let (e, b) = quack_bytes(opened);
+    assert_eq!(
+        consumer.process_quack(t(10), e, &b).unwrap().received.len(),
+        12
+    );
+
+    // …but the byte-identical replay is killed by the replay window. The
+    // payload is still perfectly well-formed — the error is `Replayed`,
+    // not a decode failure, proving rejection happens before decode.
+    assert_eq!(rx.open(tag, &sealed), Err(AuthError::Replayed));
+    assert_eq!(rx.stats.rejected, 1);
+    // The consumer's mirror never saw the replay: still exactly 12.
+    assert_eq!(consumer.stats.confirmed_received, 12);
+}
+
+/// A forged plain-wire quACK (the strongest thing an attacker without the
+/// PSK can build) is rejected as unauthenticated by an authenticated
+/// receiver — again without touching the quACK decoder.
+#[cfg(feature = "auth")]
+#[test]
+fn forged_and_tampered_datagrams_rejected_at_the_envelope() {
+    use sidecar_proto::{AuthConfig, AuthError, ChannelAuth, AUTH_OVERHEAD};
+
+    let psk = AuthConfig::from_secret(0xD00D_F00D, 9);
+    let mut tx = ChannelAuth::new(psk.with_nonce(1));
+    let mut rx = ChannelAuth::new(psk.with_nonce(2));
+
+    // Forgery: well-formed legacy encoding, no MAC.
+    let (mut producer, _) = setup(8);
+    let forged = producer.emit();
+    let (plain_tag, plain_body) = forged.encode_for_flow(5);
+    assert_eq!(
+        rx.open(plain_tag, &plain_body),
+        Err(AuthError::NotAuthenticated(plain_tag))
+    );
+
+    // Tampering: flip one bit of a sealed datagram's inner payload.
+    let (tag, mut sealed) = tx.seal(&producer.emit(), 5);
+    sealed[AUTH_OVERHEAD + 3] ^= 0x40;
+    assert_eq!(rx.open(tag, &sealed), Err(AuthError::BadMac));
+    assert_eq!(rx.stats.rejected, 2);
+    assert_eq!(rx.stats.accepted, 0);
+}
+
 #[test]
 fn stale_count_dos_is_bounded_by_reset() {
     // Deliberate version of the DoS above: attacker replays a forged high

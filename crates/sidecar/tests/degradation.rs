@@ -246,6 +246,221 @@ fn ccd_proxy_crash_mid_transfer_completes() {
     assert_transparent("ccd/crash-restart", &side, &base);
 }
 
+// ---------------------------------------------------------- adversary ----
+//
+// Active attackers: forged control datagrams, replayed captures, tampered
+// copies, and a stateful firewall that eats idle control flows. With the
+// authenticated channel enabled every protocol must hold its goodput at
+// (or above) the e2e baseline under every attack — forged and replayed
+// datagrams are rejected by the MAC/replay-window check before they can
+// touch protocol state, and a starved channel degrades to the baseline.
+
+/// Inject a well-formed forged quACK alongside every sidecar datagram.
+fn forge_flood() -> FaultScript {
+    FaultScript {
+        fault_seed: 17,
+        forge_control: Some((at(0), at(600_000))),
+        ..FaultScript::default()
+    }
+}
+
+/// Replay each captured sidecar datagram `copies` times, 5ms apart.
+fn replay_storm(copies: u32) -> FaultScript {
+    FaultScript {
+        fault_seed: 18,
+        replay_control: Some((copies, SimDuration::from_millis(5), at(0), at(600_000))),
+        ..FaultScript::default()
+    }
+}
+
+/// Deliver a bit-flipped copy next to every sidecar datagram.
+fn tamper_flood(flips: u32) -> FaultScript {
+    FaultScript {
+        fault_seed: 19,
+        tamper_control: Some((flips, at(0), at(600_000))),
+        ..FaultScript::default()
+    }
+}
+
+/// Stateful firewall: ctrl flows idle longer than `idle_ms` lose their
+/// next datagram.
+fn firewall(idle_ms: u64) -> FaultScript {
+    FaultScript {
+        fault_seed: 20,
+        firewall_idle: Some((SimDuration::from_millis(idle_ms), at(0), at(600_000))),
+        ..FaultScript::default()
+    }
+}
+
+/// Forgery against the *legacy* (unauthenticated) wire: the forged quACK
+/// parses cleanly and its bogus epoch pollutes the session. The protocols
+/// must still survive it — epoch resync and supervision absorb the damage
+/// without panics or a wedged flow. (The authenticated twin of this test
+/// lives in `adversary` below and asserts rejection instead.)
+#[test]
+fn forged_quacks_never_wedge_an_unauthenticated_flow() {
+    let script = forge_flood();
+    let retx = RetxScenario {
+        total_packets: 1_200,
+        ..RetxScenario::default()
+    };
+    let ackred = AckReductionScenario {
+        total_packets: 1_200,
+        ..AckReductionScenario::default()
+    };
+    let ccd = CcdScenario {
+        total_packets: 1_200,
+        ..CcdScenario::default()
+    };
+    let r = retx.run_sidecar_faulted(51, &script);
+    assert!(r.completion.is_some(), "retx wedged: {r:?}");
+    let a = ackred.run_sidecar_faulted(51, &script);
+    assert!(a.completion.is_some(), "ackred wedged: {a:?}");
+    let c = ccd.run_sidecar_faulted(51, &script);
+    assert!(c.completion.is_some(), "ccd wedged: {c:?}");
+}
+
+#[cfg(feature = "auth")]
+mod adversary {
+    use super::*;
+    use sidecar_proto::AuthConfig;
+
+    fn auth() -> AuthConfig {
+        AuthConfig::from_secret(0x5EC2_E7A1, 1)
+    }
+
+    /// Every attack datagram that reaches an authenticated receiver must be
+    /// rejected (never decoded into protocol state): the run records auth
+    /// rejections and the attack's injection counter is non-zero.
+    #[cfg(feature = "obs")]
+    fn assert_rejected(label: &str, report: &ScenarioReport, fault: &str) {
+        assert!(
+            report.metrics.counter(&format!("netsim.fault.{fault}")) > 0,
+            "{label}: the {fault} attack never fired: {:?}",
+            report.metrics
+        );
+        assert!(
+            report.metrics.counter_sum("auth.rejected.") > 0,
+            "{label}: no auth rejections under {fault}: {:?}",
+            report.metrics
+        );
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn assert_rejected(_label: &str, _report: &ScenarioReport, _fault: &str) {}
+
+    #[test]
+    fn retx_holds_baseline_goodput_under_every_attack() {
+        let scenario = RetxScenario {
+            total_packets: 1_200,
+            auth: Some(auth()),
+            ..RetxScenario::default()
+        };
+        for (name, fault, script) in [
+            ("forge", "forge", forge_flood()),
+            ("replay", "replay", replay_storm(2)),
+            ("tamper", "tamper", tamper_flood(4)),
+        ] {
+            let side = scenario.run_sidecar_faulted(52, &script);
+            let base = scenario.run_baseline_faulted(52, &script);
+            assert_transparent(&format!("retx/{name}"), &side, &base);
+            assert_rejected(&format!("retx/{name}"), &side, fault);
+        }
+    }
+
+    #[test]
+    fn retx_firewalled_control_flow_degrades_to_baseline() {
+        let scenario = RetxScenario {
+            total_packets: 1_200,
+            auth: Some(auth()),
+            ..RetxScenario::default()
+        };
+        // Idle threshold below the quACK cadence: the firewall eats every
+        // control datagram, which is a blackout by another name.
+        let script = firewall(20);
+        let side = scenario.run_sidecar_faulted(53, &script);
+        let base = scenario.run_baseline_faulted(53, &script);
+        assert!(side.degradations >= 1, "never degraded: {side:?}");
+        assert_transparent("retx/firewall", &side, &base);
+    }
+
+    #[test]
+    fn ackred_holds_baseline_goodput_under_every_attack() {
+        let scenario = AckReductionScenario {
+            total_packets: 1_200,
+            auth: Some(auth()),
+            ..AckReductionScenario::default()
+        };
+        for (name, fault, script) in [
+            ("forge", "forge", forge_flood()),
+            ("replay", "replay", replay_storm(2)),
+            ("tamper", "tamper", tamper_flood(4)),
+        ] {
+            let side = scenario.run_sidecar_faulted(54, &script);
+            let base = scenario.run_baseline_faulted(54, scenario.reduced_ack_every, &script);
+            assert_transparent(&format!("ackred/{name}"), &side, &base);
+            assert_rejected(&format!("ackred/{name}"), &side, fault);
+        }
+    }
+
+    #[test]
+    fn ccd_holds_baseline_goodput_under_every_attack() {
+        // Long run for the same amortization reason as the blackout test:
+        // if sustained rejection noise trips the error budget, the one-off
+        // handover cost must wash out against the horizon.
+        let scenario = CcdScenario {
+            total_packets: 10_000,
+            auth: Some(auth()),
+            ..CcdScenario::default()
+        };
+        for (name, fault, script) in [
+            ("forge", "forge", forge_flood()),
+            ("replay", "replay", replay_storm(2)),
+            ("tamper", "tamper", tamper_flood(4)),
+        ] {
+            let side = scenario.run_sidecar_faulted(55, &script);
+            let base = scenario.run_baseline_faulted(55, &script);
+            assert_transparent(&format!("ccd/{name}"), &side, &base);
+            assert_rejected(&format!("ccd/{name}"), &side, fault);
+        }
+    }
+
+    #[test]
+    fn ccd_firewalled_control_flow_degrades_to_baseline() {
+        let scenario = CcdScenario {
+            total_packets: 10_000,
+            auth: Some(auth()),
+            ..CcdScenario::default()
+        };
+        let script = firewall(20);
+        let side = scenario.run_sidecar_faulted(56, &script);
+        let base = scenario.run_baseline_faulted(56, &script);
+        assert!(side.degradations >= 1, "never degraded: {side:?}");
+        assert_transparent("ccd/firewall", &side, &base);
+    }
+
+    #[test]
+    fn adversarial_runs_are_deterministic() {
+        let scenario = RetxScenario {
+            total_packets: 600,
+            auth: Some(auth()),
+            ..RetxScenario::default()
+        };
+        for script in [
+            forge_flood(),
+            replay_storm(2),
+            tamper_flood(4),
+            firewall(20),
+        ] {
+            assert_eq!(
+                scenario.run_sidecar_faulted(57, &script),
+                scenario.run_sidecar_faulted(57, &script),
+                "retx not deterministic under {script:?}"
+            );
+        }
+    }
+}
+
 // -------------------------------------------------------- determinism ----
 
 #[test]
