@@ -1,28 +1,30 @@
-//! **Perf gate**: compares a fresh `BENCH_quack.json` against the committed
-//! `bench/baseline.json` and fails on regression.
+//! **Perf gate**: compares fresh `BENCH_*.json` reports against the
+//! committed `bench/baseline.json` and fails on regression.
 //!
 //! Policy (documented in README.md):
 //!
-//! * `ops/s` metrics are rescaled by the ratio of the two runs'
+//! * `ops/s` metrics are rescaled by the ratio of the runs'
 //!   `calibration` metrics (a fixed scalar integer workload) before
 //!   comparing, so a baseline recorded on one machine gates runs on
-//!   another. A metric regresses if it falls more than `TOLERANCE` below
-//!   the rescaled baseline.
+//!   another; each current report rescales by its own calibration cell.
+//!   A metric regresses if it falls more than `TOLERANCE` below the
+//!   rescaled baseline.
 //! * `x` (ratio) metrics are machine-independent and compared directly
 //!   with the same tolerance.
-//! * Hard floor: the `insert_speedup` metrics for `Fp64, t = 20,
-//!   batch ≥ 32` must be at least [`HARD_FLOOR`] regardless of the
-//!   baseline — this is the repo's acceptance headline and may never
-//!   erode, tolerance or not.
-//! * Metrics present in only one of the two reports are reported but never
-//!   fail the gate (so adding benchmarks does not require a lockstep
-//!   baseline update).
+//! * Hard floors: the quACK `insert_speedup` metrics for `Fp64, t = 20,
+//!   batch ≥ 32` must be at least [`QUACK_FLOOR`], and the engine-scaling
+//!   `events_speedup|flows=100000` headline at least [`SIMSCALE_FLOOR`],
+//!   regardless of the baseline — these are the repo's acceptance
+//!   headlines and may never erode, tolerance or not.
+//! * Metrics present in only the baseline or only a current report are
+//!   reported but never fail the gate (so adding benchmarks does not
+//!   require a lockstep baseline update).
 //! * Setting `PERF_GATE_SOFT=1` (CI sets it when a PR carries the
 //!   `perf-regression-ok` label) downgrades failures to warnings for
 //!   intentional perf changes; the PR is then expected to commit a new
 //!   baseline.
 //!
-//! Usage: `perf_gate [baseline.json] [current.json]`
+//! Usage: `perf_gate [baseline.json] [current.json ...]`
 //! (defaults: `bench/baseline.json`, `BENCH_quack.json`).
 //!
 //! Exit status: 0 = pass (or soft mode), 1 = regression, 2 = usage/setup
@@ -33,9 +35,12 @@ use std::process::ExitCode;
 
 /// Allowed relative shortfall versus the (rescaled) baseline.
 const TOLERANCE: f64 = 0.15;
-/// Absolute floor for the acceptance-headline speedups (`Fp64`, `t=20`,
-/// `batch >= 32`).
-const HARD_FLOOR: f64 = 2.0;
+/// Absolute floor for the quACK acceptance-headline speedups (`Fp64`,
+/// `t=20`, `batch >= 32`).
+const QUACK_FLOOR: f64 = 2.0;
+/// Absolute floor for the engine-scaling headline: modern wheel engine
+/// events/s over the legacy heap engine at the 100k-flow point.
+const SIMSCALE_FLOOR: f64 = 5.0;
 
 struct Comparison {
     key: String,
@@ -70,17 +75,24 @@ impl Verdict {
     }
 }
 
-/// Whether this metric key is an acceptance-headline speedup subject to the
-/// absolute [`HARD_FLOOR`].
-fn is_headline(key: &str) -> bool {
-    key.starts_with("insert_speedup|")
+/// The absolute floor this metric key must clear, if it is one of the
+/// acceptance headlines.
+fn headline_floor(key: &str) -> Option<f64> {
+    let quack = key.starts_with("insert_speedup|")
         && key.contains("|field=Fp64|")
         && key.ends_with("|t=20")
         && key
             .split('|')
             .find_map(|p| p.strip_prefix("batch="))
             .and_then(|b| b.parse::<u64>().ok())
-            .is_some_and(|b| b >= 32)
+            .is_some_and(|b| b >= 32);
+    if quack {
+        return Some(QUACK_FLOOR);
+    }
+    if key == "events_speedup|flows=100000" {
+        return Some(SIMSCALE_FLOOR);
+    }
+    None
 }
 
 fn main() -> ExitCode {
@@ -89,10 +101,11 @@ fn main() -> ExitCode {
         .first()
         .map(String::as_str)
         .unwrap_or("bench/baseline.json");
-    let current_path = args
-        .get(1)
-        .map(String::as_str)
-        .unwrap_or("BENCH_quack.json");
+    let current_paths: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        vec!["BENCH_quack.json"]
+    };
     let soft = std::env::var("PERF_GATE_SOFT").is_ok_and(|v| v == "1");
 
     let baseline = match BenchReport::read(baseline_path) {
@@ -102,78 +115,88 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let current = match BenchReport::read(current_path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("perf_gate: cannot read current report: {e}");
-            return ExitCode::from(2);
+    let mut currents: Vec<(&str, BenchReport)> = Vec::new();
+    for path in &current_paths {
+        match BenchReport::read(path) {
+            Ok(r) => currents.push((path, r)),
+            Err(e) => {
+                eprintln!("perf_gate: cannot read current report {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
 
-    // Calibration rescaling for absolute throughputs.
-    let scale = match (baseline.get("calibration"), current.get("calibration")) {
-        (Some(b), Some(c)) if b.value > 0.0 => c.value / b.value,
-        _ => {
-            eprintln!("perf_gate: warning: no calibration metric in both reports; comparing ops/s unscaled");
-            1.0
-        }
-    };
     println!(
-        "perf gate: baseline {baseline_path}, current {current_path}, \
-         calibration scale {scale:.3}, tolerance {:.0}%{}",
+        "perf gate: baseline {baseline_path}, current [{}], tolerance {:.0}%{}",
+        current_paths.join(", "),
         TOLERANCE * 100.0,
         if soft { ", SOFT (warn-only)" } else { "" }
     );
 
     let mut comparisons: Vec<Comparison> = Vec::new();
-    for metric in &current.metrics {
-        let key = metric.key();
-        if key == "calibration" {
-            continue;
-        }
-        let Some(base) = baseline.get(&key) else {
+    for (path, current) in &currents {
+        // Calibration rescaling for absolute throughputs: each report
+        // rescales by its own calibration cell against the baseline's.
+        let scale = match (baseline.get("calibration"), current.get("calibration")) {
+            (Some(b), Some(c)) if b.value > 0.0 => c.value / b.value,
+            _ => {
+                eprintln!(
+                    "perf_gate: warning: no calibration metric in both baseline \
+                     and {path}; comparing its ops/s unscaled"
+                );
+                1.0
+            }
+        };
+        println!("  {path}: calibration scale {scale:.3}");
+        for metric in &current.metrics {
+            let key = metric.key();
+            if key == "calibration" {
+                continue;
+            }
+            let Some(base) = baseline.get(&key) else {
+                comparisons.push(Comparison {
+                    key,
+                    unit: metric.unit.clone(),
+                    baseline: f64::NAN,
+                    current: metric.value,
+                    reference: f64::NAN,
+                    verdict: Verdict::CurrentOnly,
+                });
+                continue;
+            };
+            let (reference, verdict) = match metric.unit.as_str() {
+                "ops/s" => {
+                    let reference = base.value * scale;
+                    let ok = metric.value >= reference * (1.0 - TOLERANCE);
+                    (reference, if ok { Verdict::Ok } else { Verdict::Regressed })
+                }
+                "x" => {
+                    let floor_ok = headline_floor(&key).is_none_or(|f| metric.value >= f);
+                    let tol_ok = metric.value >= base.value * (1.0 - TOLERANCE);
+                    let verdict = if !floor_ok {
+                        Verdict::BelowFloor
+                    } else if !tol_ok {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Ok
+                    };
+                    (base.value, verdict)
+                }
+                _ => (base.value, Verdict::Informational),
+            };
             comparisons.push(Comparison {
                 key,
                 unit: metric.unit.clone(),
-                baseline: f64::NAN,
+                baseline: base.value,
                 current: metric.value,
-                reference: f64::NAN,
-                verdict: Verdict::CurrentOnly,
+                reference,
+                verdict,
             });
-            continue;
-        };
-        let (reference, verdict) = match metric.unit.as_str() {
-            "ops/s" => {
-                let reference = base.value * scale;
-                let ok = metric.value >= reference * (1.0 - TOLERANCE);
-                (reference, if ok { Verdict::Ok } else { Verdict::Regressed })
-            }
-            "x" => {
-                let floor_ok = !is_headline(&key) || metric.value >= HARD_FLOOR;
-                let tol_ok = metric.value >= base.value * (1.0 - TOLERANCE);
-                let verdict = if !floor_ok {
-                    Verdict::BelowFloor
-                } else if !tol_ok {
-                    Verdict::Regressed
-                } else {
-                    Verdict::Ok
-                };
-                (base.value, verdict)
-            }
-            _ => (base.value, Verdict::Informational),
-        };
-        comparisons.push(Comparison {
-            key,
-            unit: metric.unit.clone(),
-            baseline: base.value,
-            current: metric.value,
-            reference,
-            verdict,
-        });
+        }
     }
     for metric in &baseline.metrics {
         let key = metric.key();
-        if key != "calibration" && current.get(&key).is_none() {
+        if key != "calibration" && currents.iter().all(|(_, c)| c.get(&key).is_none()) {
             comparisons.push(Comparison {
                 key,
                 unit: metric.unit.clone(),
@@ -223,7 +246,7 @@ fn main() -> ExitCode {
             c.unit,
             c.current,
             match c.verdict {
-                Verdict::BelowFloor => HARD_FLOOR,
+                Verdict::BelowFloor => headline_floor(&c.key).unwrap_or(f64::NAN),
                 _ => c.reference * (1.0 - TOLERANCE),
             },
             c.verdict.label()

@@ -1,0 +1,141 @@
+//! **Report validator**: checks every `BENCH_*.json` in the given paths
+//! against the `sidecar-bench/v1` schema and exits non-zero on the first
+//! malformed report.
+//!
+//! CI runs this after the bench legs so a bench binary that starts
+//! emitting broken JSON (wrong schema tag, non-finite values, duplicate
+//! metric keys, name/filename mismatch) fails the build *before* the
+//! artifact is uploaded or a baseline refresh copies the corruption in.
+//!
+//! Usage: `validate_reports [path ...]`
+//!
+//! Each path may be a report file or a directory (scanned non-recursively
+//! for `BENCH_*.json`). With no arguments, scans the current directory.
+//! It is an error for a directory scan to find nothing — a CI leg that
+//! validates zero reports is misconfigured, not passing.
+//!
+//! Exit status: 0 = all reports valid, 1 = at least one invalid (or none
+//! found), 2 = usage/IO error.
+
+use sidecar_bench::BenchReport;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Schema checks beyond what [`BenchReport::parse`] enforces: the parser
+/// guarantees structure; this guarantees the report is *usable* by the
+/// perf gate and baseline tooling.
+fn validate(path: &Path, report: &BenchReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    if report.name.is_empty() {
+        errors.push("empty report name".into());
+    }
+    // The report file must be named after the report, or `perf_gate` /
+    // baseline refreshes will silently read the wrong bench's numbers.
+    let expected = format!("BENCH_{}.json", report.name);
+    if path.file_name().and_then(|f| f.to_str()) != Some(expected.as_str()) {
+        errors.push(format!(
+            "file name does not match report name {:?} (expected {expected})",
+            report.name
+        ));
+    }
+    let mut seen = BTreeSet::new();
+    for metric in &report.metrics {
+        let key = metric.key();
+        if metric.name.is_empty() {
+            errors.push("metric with empty name".into());
+        }
+        if metric.unit.is_empty() {
+            errors.push(format!("{key}: empty unit"));
+        }
+        if !metric.value.is_finite() {
+            errors.push(format!("{key}: non-finite value {}", metric.value));
+        }
+        if !seen.insert(key.clone()) {
+            errors.push(format!("{key}: duplicate metric key"));
+        }
+    }
+    errors
+}
+
+/// Expands a CLI path into report files: files pass through, directories
+/// are scanned (one level) for `BENCH_*.json`.
+fn expand(path: &Path) -> std::io::Result<Vec<PathBuf>> {
+    if !path.is_dir() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let mut found: Vec<PathBuf> = std::fs::read_dir(path)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        })
+        .collect();
+    found.sort();
+    Ok(found)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from(".")]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        match expand(root) {
+            Ok(mut f) => files.append(&mut f),
+            Err(e) => {
+                eprintln!("validate_reports: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("validate_reports: no BENCH_*.json found under the given paths");
+        return ExitCode::FAILURE;
+    }
+
+    let mut bad = 0usize;
+    let mut metrics_total = 0usize;
+    for path in &files {
+        match BenchReport::read(path) {
+            Ok(report) => {
+                let errors = validate(path, &report);
+                if errors.is_empty() {
+                    println!(
+                        "  ok   {} ({} metrics)",
+                        path.display(),
+                        report.metrics.len()
+                    );
+                    metrics_total += report.metrics.len();
+                } else {
+                    bad += 1;
+                    println!("  FAIL {}", path.display());
+                    for e in &errors {
+                        println!("         {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                println!("  FAIL {}", path.display());
+                println!("         {e}");
+            }
+        }
+    }
+
+    if bad > 0 {
+        println!("validate_reports: {bad}/{} report(s) invalid", files.len());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "validate_reports: {} report(s) valid, {metrics_total} metrics total",
+        files.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -41,6 +41,16 @@ pub struct Outage {
     pub until: Option<SimTime>,
 }
 
+impl Outage {
+    /// The schedulable edges of this outage as `(time, up)` pairs: the
+    /// crash, then the restart if one is scripted. The world feeds these
+    /// through its ordinary event queue, so fault edges obey the same
+    /// `(time, seq)` total order as every other event.
+    pub fn edges(&self) -> impl Iterator<Item = (SimTime, bool)> + '_ {
+        std::iter::once((self.from, false)).chain(self.until.map(|at| (at, true)))
+    }
+}
+
 /// Which link(s) a blackout applies to.
 #[derive(Clone, Debug)]
 pub enum LinkTarget {

@@ -54,6 +54,7 @@ pub mod obs;
 pub mod packet;
 pub mod rng;
 pub mod router;
+pub mod sched;
 pub mod time;
 pub mod trace;
 pub mod transport;
@@ -62,10 +63,11 @@ pub mod world;
 pub use fault::FaultPlan;
 pub use forward::Forwarder;
 pub use link::{Link, LinkConfig, LinkStats, LossModel};
-pub use node::{Context, IfaceId, LinkId, Node, NodeId};
+pub use node::{Context, IfaceId, LinkId, Node, NodeId, TimerHandle};
 pub use obs::WorldObs;
 pub use packet::{AckInfo, FlowId, Packet, PacketKind, Payload};
 pub use rng::SimRng;
 pub use router::FlowRouter;
+pub use sched::{set_thread_scheduler, SchedulerKind};
 pub use time::{transmission_time, SimDuration, SimTime};
 pub use world::World;

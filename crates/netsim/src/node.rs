@@ -24,6 +24,18 @@ pub struct IfaceId(pub usize);
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LinkId(pub usize);
 
+/// Identifies one armed timer for cancellation.
+///
+/// Handles are world-unique and allocated at arm time, so a node can store
+/// the handle of its live timer chain and [`Context::cancel_timer`] the
+/// stale one when re-arming — replacing the old "check state on fire"
+/// lazy-cancellation idiom that let superseded timer events accumulate in
+/// the queue. Cancelling a handle that already fired is a silent no-op
+/// (the cancellation record is dropped lazily), but cancel only handles
+/// you know to be pending — that keeps the world's cancellation set small.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(pub(crate) u64);
+
 /// An action a node requested during a callback.
 #[derive(Debug)]
 pub enum Action {
@@ -40,19 +52,34 @@ pub enum Action {
         at: SimTime,
         /// Opaque token echoed back to the node.
         token: u64,
+        /// Handle for cancellation (assigned at arm time).
+        handle: TimerHandle,
+    },
+    /// Cancel a previously armed timer (including one armed earlier in the
+    /// same callback).
+    CancelTimer {
+        /// The handle returned by the arm call.
+        handle: TimerHandle,
     },
 }
 
 /// Execution context for one node callback.
 ///
-/// Timers are one-shot and cannot be cancelled; re-arming is cheap and stale
-/// timers should be ignored by checking node state on fire (lazy
-/// cancellation — the idiom smoltcp and QUIC stacks use for loss timers).
+/// Timers are one-shot; arming returns a [`TimerHandle`] that can be passed
+/// to [`Context::cancel_timer`], so re-arming a guarded timer cancels the
+/// stale chain instead of leaving it queued. The old lazy-cancellation
+/// idiom (ignore stale fires by checking node state) still works — a
+/// cancelled or superseded timer simply never reaches `on_timer`.
 pub struct Context<'a> {
     now: SimTime,
     node: NodeId,
     rng: &'a mut SimRng,
     actions: &'a mut Vec<Action>,
+    /// First handle value this callback may allocate (world-assigned;
+    /// 0-based in world-less unit tests).
+    handle_base: u64,
+    /// Timers armed so far in this callback.
+    timers_armed: u64,
     #[cfg(feature = "obs")]
     obs: Option<&'a mut crate::obs::WorldObs>,
 }
@@ -72,9 +99,18 @@ impl<'a> Context<'a> {
             node,
             rng,
             actions,
+            handle_base: 0,
+            timers_armed: 0,
             #[cfg(feature = "obs")]
             obs: None,
         }
+    }
+
+    /// Sets the first [`TimerHandle`] value this callback allocates. The
+    /// world passes its monotone handle counter here so handles are unique
+    /// across the whole run; unit-test contexts keep the 0 default.
+    pub(crate) fn set_handle_base(&mut self, base: u64) {
+        self.handle_base = base;
     }
 
     /// Builds a context carrying the world's observability handle.
@@ -91,6 +127,8 @@ impl<'a> Context<'a> {
             node,
             rng,
             actions,
+            handle_base: 0,
+            timers_armed: 0,
             obs,
         }
     }
@@ -181,16 +219,27 @@ impl<'a> Context<'a> {
         self.actions.push(Action::Send { iface, packet });
     }
 
-    /// Arms a one-shot timer at absolute time `at`.
-    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+    /// Arms a one-shot timer at absolute time `at`, returning its handle
+    /// for optional cancellation.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerHandle {
         debug_assert!(at >= self.now, "timer in the past");
-        self.actions.push(Action::Timer { at, token });
+        let handle = TimerHandle(self.handle_base + self.timers_armed);
+        self.timers_armed += 1;
+        self.actions.push(Action::Timer { at, token, handle });
+        handle
     }
 
-    /// Arms a one-shot timer `delay` from now.
-    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
-        let at = self.now + delay;
-        self.actions.push(Action::Timer { at, token });
+    /// Arms a one-shot timer `delay` from now, returning its handle for
+    /// optional cancellation.
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        self.set_timer_at(self.now + delay, token)
+    }
+
+    /// Cancels a pending timer by handle: the queued event is dropped at
+    /// pop time and never reaches [`Node::on_timer`]. Cancelling a handle
+    /// that already fired is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.actions.push(Action::CancelTimer { handle });
     }
 }
 
@@ -276,11 +325,30 @@ mod tests {
             }
         ));
         match actions[1] {
-            Action::Timer { at, token } => {
+            Action::Timer { at, token, handle } => {
                 assert_eq!(at, SimTime::from_nanos(100) + SimDuration::from_millis(1));
                 assert_eq!(token, 7);
+                assert_eq!(handle, TimerHandle(0));
             }
             _ => panic!("expected timer"),
         }
+    }
+
+    #[test]
+    fn handles_are_distinct_and_cancel_records() {
+        let mut rng = SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), &mut rng, &mut actions);
+        ctx.set_handle_base(41);
+        let a = ctx.set_timer_after(SimDuration::from_millis(1), 1);
+        let b = ctx.set_timer_after(SimDuration::from_millis(2), 1);
+        assert_ne!(a, b);
+        assert_eq!(a, TimerHandle(41));
+        assert_eq!(b, TimerHandle(42));
+        ctx.cancel_timer(a);
+        assert!(matches!(
+            actions[2],
+            Action::CancelTimer { handle } if handle == a
+        ));
     }
 }

@@ -7,17 +7,68 @@
 //! on concurrent threads, and it means a scenario's snapshot contains only
 //! that scenario's events.
 //!
+//! The counters the event loop touches on *every* event are interned up
+//! front as [`HotCounters`]: pre-resolved [`Counter`](sidecar_obs::Counter)
+//! handles (a lock-free atomic each), so the dispatch path never pays the
+//! registry's mutex + name lookup per event and `obs`-on runs no longer
+//! distort scheduler timing.
+//!
 //! With the `obs` feature disabled, [`WorldObs`] is a zero-sized unit type
 //! and a compile-time assertion pins that — the obs-off build carries no
 //! registry state and no instrumentation code, which is how the PR-2 perf
 //! gate can vouch for zero hot-path cost.
 
+/// Pre-resolved handles for the counters the world's dispatch loop bumps
+/// per event. Registered eagerly at world construction, so they appear in
+/// every snapshot (at zero when untouched) and cost one atomic add to bump.
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+pub struct HotCounters {
+    /// `netsim.delivered` — packets accepted by a link for delivery.
+    pub delivered: sidecar_obs::Counter,
+    /// `netsim.drop.loss` — random-loss drops.
+    pub drop_loss: sidecar_obs::Counter,
+    /// `netsim.drop.queue` — drop-tail queue overflows.
+    pub drop_queue: sidecar_obs::Counter,
+    /// `netsim.drop.node_down` — arrivals at a crashed node.
+    pub drop_node_down: sidecar_obs::Counter,
+    /// `netsim.drop.blackout` — transmissions into a blacked-out link.
+    pub drop_blackout: sidecar_obs::Counter,
+    /// `netsim.drop.injected` — fault-plan (adversary/firewall) drops.
+    pub drop_injected: sidecar_obs::Counter,
+    /// `netsim.fault.outage` — scripted crash edges.
+    pub fault_outage: sidecar_obs::Counter,
+    /// `netsim.fault.restore` — scripted restart edges.
+    pub fault_restore: sidecar_obs::Counter,
+    /// `netsim.restart` — `on_restart` dispatches.
+    pub restart: sidecar_obs::Counter,
+}
+
+#[cfg(feature = "obs")]
+impl HotCounters {
+    fn new(metrics: &sidecar_obs::MetricsRegistry) -> Self {
+        HotCounters {
+            delivered: metrics.counter("netsim.delivered"),
+            drop_loss: metrics.counter("netsim.drop.loss"),
+            drop_queue: metrics.counter("netsim.drop.queue"),
+            drop_node_down: metrics.counter("netsim.drop.node_down"),
+            drop_blackout: metrics.counter("netsim.drop.blackout"),
+            drop_injected: metrics.counter("netsim.drop.injected"),
+            fault_outage: metrics.counter("netsim.fault.outage"),
+            fault_restore: metrics.counter("netsim.fault.restore"),
+            restart: metrics.counter("netsim.restart"),
+        }
+    }
+}
+
 /// The observability state attached to one world.
 #[cfg(feature = "obs")]
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorldObs {
     /// Metrics registry scoped to this world.
     pub metrics: sidecar_obs::MetricsRegistry,
+    /// Interned per-event counter handles (see [`HotCounters`]).
+    pub hot: HotCounters,
     /// Event-trace ring scoped to this world (sim-time timestamps only).
     pub trace: sidecar_obs::EventTrace,
     /// World-scoped control-datagram sequence, allocated through
@@ -29,9 +80,24 @@ pub struct WorldObs {
 
 #[cfg(feature = "obs")]
 impl WorldObs {
-    /// A fresh registry and a default-capacity trace.
+    /// A fresh registry (hot counters pre-registered) and a
+    /// default-capacity trace.
     pub fn new() -> Self {
-        WorldObs::default()
+        let metrics = sidecar_obs::MetricsRegistry::default();
+        let hot = HotCounters::new(&metrics);
+        WorldObs {
+            metrics,
+            hot,
+            trace: sidecar_obs::EventTrace::default(),
+            ctrl_seq: 0,
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Default for WorldObs {
+    fn default() -> Self {
+        WorldObs::new()
     }
 }
 

@@ -106,7 +106,28 @@ pub struct Packet {
     pub payload: Payload,
 }
 
+impl Payload {
+    /// Heap bytes owned by this payload. The hot simulation classes —
+    /// [`Payload::None`] and [`Payload::Data`] — own none, which is what
+    /// lets the world's steady-state dispatch loop move and even clone data
+    /// packets without touching the allocator; the zero-alloc engine test
+    /// asserts that contract end to end.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Payload::None | Payload::Data { .. } => 0,
+            Payload::Ack(info) => info.ranges.capacity() * core::mem::size_of::<(u64, u64)>(),
+            Payload::Sidecar { bytes, .. } => bytes.capacity(),
+        }
+    }
+}
+
 impl Packet {
+    /// Whether this packet can be moved/cloned without heap allocation (see
+    /// [`Payload::heap_bytes`]).
+    pub fn is_heap_free(&self) -> bool {
+        self.payload.heap_bytes() == 0
+    }
+
     /// A data packet of `size` bytes (data unit defaults to the packet
     /// number; use [`Packet::data_unit`] for retransmissions).
     pub fn data(flow: FlowId, seq: u64, id: u64, size: u32, sent_at: SimTime) -> Self {

@@ -48,6 +48,12 @@ impl SimTime {
     pub fn saturating_sub(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_sub(d.0))
     }
+
+    /// The scheduler tick this instant falls in, for ticks of `2^bits`
+    /// nanoseconds — the timer wheel's slot hash (see [`crate::sched`]).
+    pub const fn tick(self, bits: u32) -> u64 {
+        self.0 >> bits
+    }
 }
 
 impl SimDuration {

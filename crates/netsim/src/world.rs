@@ -8,18 +8,20 @@
 
 use crate::fault::{ControlAction, FaultPlan, LinkTarget};
 use crate::link::{Link, LinkConfig, LinkOutcome, LinkStats};
-use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId};
+use crate::node::{Action, Context, IfaceId, LinkId, Node, NodeId, TimerHandle};
+#[cfg(feature = "obs")]
+use crate::obs::HotCounters;
 use crate::obs::WorldObs;
 use crate::packet::{FlowId, Packet, Payload};
 use crate::rng::SimRng;
+use crate::sched::{thread_scheduler, EventQueue, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceEvent};
 #[cfg(feature = "obs")]
 use sidecar_obs::{
     ControlKind as ObsControlKind, DropCause as ObsDropCause, Event as ObsEvent, TraceClass,
 };
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{HashMap, HashSet};
 
 /// One end of a duplex attachment: which link an interface transmits into
 /// and who receives.
@@ -39,6 +41,9 @@ enum EventKind {
     Timer {
         node: NodeId,
         token: u64,
+        /// Cancellation identity (see [`TimerHandle`]); world-scheduled
+        /// timers always carry a nonzero handle.
+        handle: TimerHandle,
     },
     /// A scripted outage edge from an installed [`FaultPlan`].
     Fault {
@@ -83,36 +88,12 @@ impl ActiveFaults {
     }
 }
 
-struct ScheduledEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for ScheduledEvent {}
-impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// A complete simulated network.
 pub struct World {
     nodes: Vec<Option<Box<dyn Node>>>,
     node_ifaces: Vec<Vec<IfaceEnd>>,
     links: Vec<Link>,
-    queue: BinaryHeap<ScheduledEvent>,
+    queue: EventQueue<EventKind>,
     now: SimTime,
     rng: SimRng,
     event_seq: u64,
@@ -121,6 +102,22 @@ pub struct World {
     trace: Trace,
     node_down: Vec<bool>,
     faults: Option<ActiveFaults>,
+    /// Reused per-dispatch action buffer: the steady-state loop allocates
+    /// nothing for callback actions once its capacity has warmed up.
+    action_pool: Vec<Action>,
+    /// Handles of cancelled-but-not-yet-popped timers.
+    cancelled: HashSet<u64>,
+    /// True on [`SchedulerKind::Heap`]: besides the heap scheduler itself,
+    /// the dispatch loop reproduces the pre-wheel engine's allocation
+    /// behavior — a fresh action buffer per dispatch and string-keyed
+    /// registry lookups for the per-event counters — so heap-mode runs
+    /// measure the engine that actually shipped, not a hybrid. Behavior
+    /// (event order, traces, metric values) is identical either way; the
+    /// equivalence suite pins that.
+    legacy_dispatch: bool,
+    /// Next [`TimerHandle`] value to hand out (starts at 1; 0 is the
+    /// world-less unit-test base and never reaches this queue).
+    timer_handle_seq: u64,
     // Zero-sized when the `obs` feature is off (see crate::obs), hence never
     // read in that configuration.
     #[cfg_attr(not(feature = "obs"), allow(dead_code))]
@@ -128,13 +125,22 @@ pub struct World {
 }
 
 impl World {
-    /// Creates an empty world with the given determinism seed.
+    /// Creates an empty world with the given determinism seed, scheduled by
+    /// [`thread_scheduler`] (the timer wheel unless overridden per thread
+    /// or via `SIDECAR_SCHED`).
     pub fn new(seed: u64) -> Self {
+        Self::new_with_scheduler(seed, thread_scheduler())
+    }
+
+    /// Creates an empty world on an explicit scheduler backend. Event order
+    /// is identical across backends (the equivalence tests pin this); the
+    /// heap exists as the oracle and for A/B benching.
+    pub fn new_with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         World {
             nodes: Vec::new(),
             node_ifaces: Vec::new(),
             links: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             event_seq: 0,
@@ -143,8 +149,22 @@ impl World {
             trace: Trace::disabled(),
             node_down: Vec::new(),
             faults: None,
+            action_pool: Vec::new(),
+            cancelled: HashSet::new(),
+            legacy_dispatch: scheduler == SchedulerKind::Heap,
+            timer_handle_seq: 1,
             obs: WorldObs::new(),
         }
+    }
+
+    /// Which scheduler backend this world runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Events currently queued (scheduler-load metric for benches).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// This world's observability state: a fresh metrics registry and event
@@ -205,25 +225,16 @@ impl World {
                 "outage references unknown {:?}",
                 outage.node
             );
-            let down_seq = self.next_seq();
-            self.queue.push(ScheduledEvent {
-                at: outage.from,
-                seq: down_seq,
-                kind: EventKind::Fault {
-                    node: outage.node,
-                    up: false,
-                },
-            });
-            if let Some(until) = outage.until {
-                let up_seq = self.next_seq();
-                self.queue.push(ScheduledEvent {
-                    at: until,
-                    seq: up_seq,
-                    kind: EventKind::Fault {
+            for (at, up) in outage.edges() {
+                let seq = self.next_seq();
+                self.queue.push(
+                    at,
+                    seq,
+                    EventKind::Fault {
                         node: outage.node,
-                        up: true,
+                        up,
                     },
-                });
+                );
             }
         }
         let mut blackout_windows = Vec::new();
@@ -366,13 +377,19 @@ impl World {
     /// Processes the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(ev) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop_due(None) else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        self.process(at, kind);
+        true
+    }
+
+    /// Advances the clock to `at` and handles one popped event.
+    fn process(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Arrival {
                 node,
                 iface,
@@ -391,7 +408,7 @@ impl World {
                     });
                     #[cfg(feature = "obs")]
                     {
-                        self.obs.metrics.inc("netsim.drop.node_down");
+                        self.bump(|h| &h.drop_node_down, "netsim.drop.node_down");
                         self.obs.trace.record(
                             self.now.as_nanos(),
                             ObsEvent::LinkDrop {
@@ -402,7 +419,7 @@ impl World {
                         );
                         self.record_hop_drop(node, iface, &packet, ObsDropCause::NodeDown);
                     }
-                    return true;
+                    return;
                 }
                 self.trace.record(TraceEvent::Arrival {
                     at: self.now,
@@ -428,11 +445,21 @@ impl World {
                 }
                 self.dispatch(node, |n, ctx| n.on_packet(iface, packet, ctx));
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer {
+                node,
+                token,
+                handle,
+            } => {
+                if !self.cancelled.is_empty() && self.cancelled.remove(&handle.0) {
+                    // Cancelled before firing: the event is consumed silently
+                    // (it still counts toward `events_processed`, exactly as
+                    // a lazily-ignored stale fire would have).
+                    return;
+                }
                 if self.node_down[node.0] {
                     // Timers firing during an outage are discarded; a node
                     // re-arms what it needs from `on_restart`.
-                    return true;
+                    return;
                 }
                 self.trace.record(TraceEvent::Timer {
                     at: self.now,
@@ -449,11 +476,11 @@ impl World {
                 });
                 #[cfg(feature = "obs")]
                 {
-                    self.obs.metrics.inc(if up {
-                        "netsim.fault.restore"
+                    if up {
+                        self.bump(|h| &h.fault_restore, "netsim.fault.restore");
                     } else {
-                        "netsim.fault.outage"
-                    });
+                        self.bump(|h| &h.fault_outage, "netsim.fault.outage");
+                    }
                     self.obs.trace.record(
                         self.now.as_nanos(),
                         ObsEvent::Outage {
@@ -466,7 +493,7 @@ impl World {
                 if up {
                     #[cfg(feature = "obs")]
                     {
-                        self.obs.metrics.inc("netsim.restart");
+                        self.bump(|h| &h.restart, "netsim.restart");
                         self.obs.trace.record(
                             self.now.as_nanos(),
                             ObsEvent::Restart {
@@ -478,18 +505,14 @@ impl World {
                 }
             }
         }
-        true
     }
 
     /// Runs until the queue is empty or simulated time would exceed
     /// `deadline`; returns the time of the last processed event.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.ensure_started();
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            self.step();
+        while let Some((at, kind)) = self.queue.pop_due(Some(deadline)) {
+            self.process(at, kind);
         }
         // Clamp the clock forward to the deadline so subsequent scheduling
         // is relative to it.
@@ -523,7 +546,15 @@ impl World {
         F: FnOnce(&mut dyn Node, &mut Context),
     {
         let mut node = self.nodes[id.0].take().expect("re-entrant dispatch");
-        let mut actions = Vec::new();
+        // Reuse the pooled buffer: after warmup the steady-state dispatch
+        // loop performs no heap allocation for actions. Legacy (heap) mode
+        // keeps the old engine's fresh-buffer-per-dispatch behavior.
+        let mut actions = if self.legacy_dispatch {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.action_pool)
+        };
+        debug_assert!(actions.is_empty());
         {
             #[cfg(feature = "obs")]
             let mut ctx = Context::with_obs(
@@ -535,21 +566,47 @@ impl World {
             );
             #[cfg(not(feature = "obs"))]
             let mut ctx = Context::new(self.now, id, &mut self.rng, &mut actions);
+            ctx.set_handle_base(self.timer_handle_seq);
             f(node.as_mut(), &mut ctx);
         }
         self.nodes[id.0] = Some(node);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { iface, packet } => self.transmit(id, iface, packet),
-                Action::Timer { at, token } => {
+                Action::Timer { at, token, handle } => {
+                    self.timer_handle_seq = handle.0 + 1;
                     let seq = self.next_seq();
-                    self.queue.push(ScheduledEvent {
-                        at: at.max(self.now),
+                    self.queue.push(
+                        at.max(self.now),
                         seq,
-                        kind: EventKind::Timer { node: id, token },
-                    });
+                        EventKind::Timer {
+                            node: id,
+                            token,
+                            handle,
+                        },
+                    );
+                }
+                Action::CancelTimer { handle } => {
+                    self.cancelled.insert(handle.0);
                 }
             }
+        }
+        if !self.legacy_dispatch {
+            self.action_pool = actions;
+        }
+    }
+
+    /// Bumps one of the per-event hot counters: through the pre-interned
+    /// atomic handle on the modern engine, or through the registry's
+    /// string-keyed lookup (mutex + hash per event) when reproducing the
+    /// legacy engine — the cost the tentpole's key interning removed.
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn bump(&mut self, pick: fn(&HotCounters) -> &sidecar_obs::Counter, name: &'static str) {
+        if self.legacy_dispatch {
+            self.obs.metrics.inc(name);
+        } else {
+            pick(&self.obs.hot).inc();
         }
     }
 
@@ -578,7 +635,7 @@ impl World {
                 });
                 #[cfg(feature = "obs")]
                 {
-                    self.obs.metrics.inc("netsim.drop.blackout");
+                    self.bump(|h| &h.drop_blackout, "netsim.drop.blackout");
                     self.obs.trace.record(
                         self.now.as_nanos(),
                         ObsEvent::LinkDrop {
@@ -611,7 +668,7 @@ impl World {
                         #[cfg(feature = "obs")]
                         {
                             self.record_control_fault(node, ObsControlKind::Firewall);
-                            self.obs.metrics.inc("netsim.drop.injected");
+                            self.bump(|h| &h.drop_injected, "netsim.drop.injected");
                             self.obs.trace.record(
                                 self.now.as_nanos(),
                                 ObsEvent::LinkDrop {
@@ -642,7 +699,7 @@ impl World {
                     });
                     #[cfg(feature = "obs")]
                     {
-                        self.obs.metrics.inc("netsim.drop.injected");
+                        self.bump(|h| &h.drop_injected, "netsim.drop.injected");
                         self.obs.trace.record(
                             self.now.as_nanos(),
                             ObsEvent::LinkDrop {
@@ -698,11 +755,17 @@ impl World {
                 None => {}
             }
         }
+        if copies == 1 && replicas.is_empty() {
+            // Steady-state fast path: hand the packet to the link by value —
+            // no clone, so plain forwarding traffic allocates nothing here.
+            self.offer_to_link(node, iface, end, packet, extra_delay);
+            return;
+        }
         for _ in 0..copies {
-            self.offer_to_link(node, iface, end, &packet, extra_delay);
+            self.offer_to_link(node, iface, end, packet.clone(), extra_delay);
         }
         for (replica, extra) in replicas {
-            self.offer_to_link(node, iface, end, &replica, extra_delay + extra);
+            self.offer_to_link(node, iface, end, replica, extra_delay + extra);
         }
     }
 
@@ -713,7 +776,7 @@ impl World {
         node: NodeId,
         iface: IfaceId,
         end: IfaceEnd,
-        packet: &Packet,
+        packet: Packet,
         extra_delay: SimDuration,
     ) {
         let link = &mut self.links[end.link.0];
@@ -721,8 +784,8 @@ impl World {
             LinkOutcome::Deliver(at) => {
                 #[cfg(feature = "obs")]
                 {
-                    self.obs.metrics.inc("netsim.delivered");
-                    if let Some((class, flow, pseq)) = Self::hop_identity(packet) {
+                    self.bump(|h| &h.delivered, "netsim.delivered");
+                    if let Some((class, flow, pseq)) = Self::hop_identity(&packet) {
                         self.obs.trace.record(
                             self.now.as_nanos(),
                             ObsEvent::HopEnqueue {
@@ -736,15 +799,15 @@ impl World {
                     }
                 }
                 let seq = self.next_seq();
-                self.queue.push(ScheduledEvent {
-                    at: at + extra_delay,
+                self.queue.push(
+                    at + extra_delay,
                     seq,
-                    kind: EventKind::Arrival {
+                    EventKind::Arrival {
                         node: end.peer,
                         iface: end.peer_iface,
-                        packet: packet.clone(),
+                        packet,
                     },
-                });
+                );
             }
             outcome @ (LinkOutcome::DropQueue | LinkOutcome::DropLoss) => {
                 // The packet evaporates; link stats recorded it, and the
@@ -763,12 +826,13 @@ impl World {
                 });
                 #[cfg(feature = "obs")]
                 {
-                    let (counter, cause) = if outcome == LinkOutcome::DropQueue {
-                        ("netsim.drop.queue", ObsDropCause::Queue)
+                    let cause = if outcome == LinkOutcome::DropQueue {
+                        self.bump(|h| &h.drop_queue, "netsim.drop.queue");
+                        ObsDropCause::Queue
                     } else {
-                        ("netsim.drop.loss", ObsDropCause::Loss)
+                        self.bump(|h| &h.drop_loss, "netsim.drop.loss");
+                        ObsDropCause::Loss
                     };
-                    self.obs.metrics.inc(counter);
                     self.obs.trace.record(
                         self.now.as_nanos(),
                         ObsEvent::LinkDrop {
@@ -777,7 +841,7 @@ impl World {
                             cause,
                         },
                     );
-                    self.record_hop_drop(node, iface, packet, cause);
+                    self.record_hop_drop(node, iface, &packet, cause);
                 }
             }
         }

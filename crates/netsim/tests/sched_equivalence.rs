@@ -1,0 +1,141 @@
+//! Scheduler equivalence: the timer wheel must replay every scenario
+//! bit-identically to the legacy binary heap.
+//!
+//! The world's determinism contract is that events execute in strict
+//! `(time, insertion sequence)` order. The heap implements that order
+//! directly, so it serves as the oracle: each generated scenario runs once
+//! per backend (selected via [`set_thread_scheduler`], no topology code
+//! changes) and everything observable — arrival sequences, final clock,
+//! event count, link stats, the rendered event trace, and the metrics
+//! snapshot — must match byte for byte. The committed golden fixtures add a
+//! third leg: both backends must also still reproduce the committed
+//! renderings, pinning the order across releases, not just across backends.
+
+use proptest::prelude::*;
+use sidecar_netsim::fault::FaultPlan;
+use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_netsim::node::NodeId;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{
+    CcAlgorithm, ReceiverConfig, ReceiverNode, SenderConfig, SenderNode,
+};
+use sidecar_netsim::world::World;
+use sidecar_netsim::{set_thread_scheduler, Forwarder, SchedulerKind};
+
+/// Everything observable about one finished run.
+#[derive(PartialEq, Debug)]
+struct RunDigest {
+    now: SimTime,
+    events: u64,
+    delivered: u64,
+    received: u64,
+    #[cfg(feature = "obs")]
+    trace: String,
+    #[cfg(feature = "obs")]
+    metrics: String,
+}
+
+/// Sender ⇄ forwarder ⇄ receiver chain (the topology every protocol
+/// scenario reduces to), with optional blackout + crash faults — the full
+/// event-kind mix: arrivals, timers (incl. cancellations via the transport
+/// guards), and fault edges.
+fn run_chain(
+    kind: SchedulerKind,
+    seed: u64,
+    total: u64,
+    loss_milli: u64,
+    delay_ms: u64,
+    with_faults: bool,
+) -> RunDigest {
+    set_thread_scheduler(Some(kind));
+    let mut w = World::new(seed);
+    set_thread_scheduler(None);
+    assert_eq!(w.scheduler(), kind);
+
+    let s = w.add_node(SenderNode::boxed(SenderConfig {
+        total_packets: Some(total),
+        cc: CcAlgorithm::NewReno,
+        ..SenderConfig::default()
+    }));
+    let fwd = w.add_node(Forwarder::boxed());
+    let r = w.add_node(ReceiverNode::boxed(ReceiverConfig::default()));
+    let lossy = LinkConfig {
+        rate_bps: 10_000_000,
+        delay: SimDuration::from_millis(delay_ms),
+        loss: if loss_milli == 0 {
+            LossModel::None
+        } else {
+            LossModel::Bernoulli {
+                p: loss_milli as f64 / 1000.0,
+            }
+        },
+        ..LinkConfig::default()
+    };
+    let clean = LinkConfig {
+        rate_bps: 10_000_000,
+        delay: SimDuration::from_millis(delay_ms),
+        ..LinkConfig::default()
+    };
+    w.connect(s, fwd, lossy, clean.clone());
+    w.connect(fwd, r, clean.clone(), clean);
+    if with_faults {
+        let ms = SimDuration::from_millis;
+        let at = |m: u64| SimTime::ZERO + ms(m);
+        w.install_faults(
+            FaultPlan::new(seed ^ 0x5eed)
+                .blackout_between(fwd, NodeId(2), at(150), at(250))
+                .crash_restart(fwd, at(400), at(500)),
+        );
+    }
+    w.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+    RunDigest {
+        now: w.now(),
+        events: w.events_processed(),
+        delivered: w.link_stats(s, sidecar_netsim::IfaceId(0)).delivered,
+        received: w.node_as::<ReceiverNode>(r).stats().received_packets,
+        #[cfg(feature = "obs")]
+        trace: w.obs().trace.render(),
+        #[cfg(feature = "obs")]
+        metrics: w.obs().metrics.snapshot().encode(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated chains replay identically under both backends.
+    #[test]
+    fn wheel_matches_heap_oracle(
+        seed in 0u64..1_000_000,
+        total in 50u64..400,
+        loss_milli in 0u64..80,
+        delay_ms in 1u64..30,
+        with_faults in proptest::bool::weighted(0.5),
+    ) {
+        let wheel = run_chain(SchedulerKind::Wheel, seed, total, loss_milli, delay_ms, with_faults);
+        let heap = run_chain(SchedulerKind::Heap, seed, total, loss_milli, delay_ms, with_faults);
+        prop_assert_eq!(wheel, heap);
+    }
+}
+
+/// The committed golden fixtures were regenerated on the wheel (the
+/// default); the heap must reproduce them too, so the fixtures pin one
+/// event order for both backends.
+#[cfg(feature = "obs")]
+#[test]
+fn heap_reproduces_committed_goldens() {
+    let fixture = |name: &str| {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+    };
+    // Exactly the two scenarios of the `golden_trace` suite.
+    let lossy = run_chain(SchedulerKind::Heap, 42, 300, 20, 10, false);
+    assert_eq!(lossy.trace, fixture("golden_lossy.trace"));
+    assert_eq!(lossy.metrics, fixture("golden_lossy.metrics"));
+    let blackout = run_chain(SchedulerKind::Heap, 7, 400, 0, 10, true);
+    assert_eq!(blackout.trace, fixture("golden_blackout.trace"));
+    assert_eq!(blackout.metrics, fixture("golden_blackout.metrics"));
+}

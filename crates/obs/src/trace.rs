@@ -17,6 +17,10 @@ pub struct EventTrace {
     capacity: usize,
     events: VecDeque<(u64, Event)>,
     dropped: u64,
+    /// When false, [`EventTrace::record`] is a no-op (retained records
+    /// stay readable). Perf harnesses switch the recorder off so the
+    /// diagnostics ring does not distort engine measurements.
+    enabled: bool,
 }
 
 impl EventTrace {
@@ -35,12 +39,28 @@ impl EventTrace {
             capacity,
             events: VecDeque::with_capacity(capacity),
             dropped: 0,
+            enabled: true,
         }
     }
 
+    /// Turns recording on or off (on by default). Disabling does not clear
+    /// retained records.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether [`EventTrace::record`] currently retains events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Appends an event stamped with `at_ns` simulated nanoseconds,
-    /// evicting the oldest record if the ring is full.
+    /// evicting the oldest record if the ring is full. No-op while
+    /// disabled via [`EventTrace::set_enabled`].
     pub fn record(&mut self, at_ns: u64, event: Event) {
+        if !self.enabled {
+            return;
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;

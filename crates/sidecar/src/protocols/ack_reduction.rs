@@ -17,7 +17,9 @@ use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{
+    obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, GuardedTimer, ScenarioReport,
+};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -261,6 +263,14 @@ pub struct AckRedServer {
     auth: Option<ChannelAuth>,
     /// Session supervision: hello handshake, liveness, degraded fallback.
     pub supervisor: Supervisor,
+    /// The shared `TOKEN_RTO` chain. `pump` runs on every packet and ACK;
+    /// unguarded arming would queue one immortal timer chain per call (the
+    /// accumulating-timer footgun), so the guard keeps exactly one.
+    rto: GuardedTimer,
+    /// The shared `TOKEN_GRACE` chain (same guard).
+    grace: GuardedTimer,
+    /// The shared `TOKEN_SUPERVISE` chain (same guard).
+    sup: GuardedTimer,
     /// Packets released from window accounting by quACKs.
     pub window_releases: u64,
 }
@@ -281,6 +291,9 @@ impl AckRedServer {
             flow,
             auth: None,
             supervisor: Supervisor::new(supervision),
+            rto: GuardedTimer::default(),
+            grace: GuardedTimer::default(),
+            sup: GuardedTimer::default(),
             window_releases: 0,
         }
     }
@@ -314,7 +327,7 @@ impl AckRedServer {
         }
         obs::transport_lifecycle(ctx, &mut self.transport);
         if let Some(deadline) = self.transport.next_timeout() {
-            ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
+            self.rto.arm(deadline, TOKEN_RTO, ctx);
         }
     }
 
@@ -340,7 +353,7 @@ impl AckRedServer {
                 self.transport
                     .sidecar_ack_credit(report.received.len() as u64, ctx.now());
                 if let Some(deadline) = self.sidecar.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                    self.grace.arm(deadline, TOKEN_GRACE, ctx);
                 }
             }
             Err(
@@ -390,7 +403,7 @@ impl AckRedServer {
             let _ = send_sidecar(offer(&cfg), self.flow, IfaceId(0), &mut self.auth, ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
-            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+            self.sup.arm(deadline, TOKEN_SUPERVISE, ctx);
         }
         obs::sup_flush(ctx, &mut self.supervisor);
     }
@@ -446,8 +459,13 @@ impl Node for AckRedServer {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
-            TOKEN_SUPERVISE => self.supervise(ctx),
+            TOKEN_SUPERVISE if self.sup.fire(ctx) => {
+                self.supervise(ctx);
+            }
             TOKEN_RTO => {
+                if !self.rto.fire(ctx) {
+                    return;
+                }
                 if let Some(deadline) = self.transport.next_timeout() {
                     if ctx.now() >= deadline {
                         self.transport.on_rto(ctx.now());
@@ -456,12 +474,15 @@ impl Node for AckRedServer {
                 self.pump(ctx);
             }
             TOKEN_GRACE => {
+                if !self.grace.fire(ctx) {
+                    return;
+                }
                 // Packets the proxy never saw: leave them to e2e loss
                 // detection (§2.2: "use the less frequent end-to-end ACKs
                 // when retransmission is necessary").
                 let _ = self.sidecar.poll_expired(ctx.now());
                 if let Some(deadline) = self.sidecar.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                    self.grace.arm(deadline, TOKEN_GRACE, ctx);
                 }
             }
             _ => {}

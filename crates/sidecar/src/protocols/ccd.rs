@@ -23,7 +23,9 @@ use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{
+    obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, GuardedTimer, ScenarioReport,
+};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -277,13 +279,11 @@ pub struct CcdProxy {
     /// Supervisor outcomes of sessions the table already reclaimed
     /// (`(degradations, recoveries)`), so report totals survive eviction.
     evicted_sup: (u64, u64),
-    /// Earliest armed `TOKEN_GRACE` deadline. Timers are one-shot and
-    /// accumulate, and the grace timer is shared across flows with many
-    /// arm sites; without this guard every arm spawns another timer chain
-    /// and the event queue melts down under multi-flow load.
-    grace_armed: Option<SimTime>,
-    /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard).
-    sup_armed: Option<SimTime>,
+    /// The shared `TOKEN_GRACE` chain: arms are deduped and superseded
+    /// chains cancelled in the queue, so one event per proxy is pending.
+    grace: GuardedTimer,
+    /// The shared `TOKEN_SUPERVISE` chain (same guard).
+    sup: GuardedTimer,
     /// Authenticated control channel; `None` speaks the legacy plain wire.
     auth: Option<ChannelAuth>,
     /// QuACKs emitted upstream (all flows).
@@ -339,8 +339,8 @@ impl CcdProxy {
             supervision,
             restart_announce: None,
             evicted_sup: (0, 0),
-            grace_armed: None,
-            sup_armed: None,
+            grace: GuardedTimer::default(),
+            sup: GuardedTimer::default(),
             auth: None,
             quacks_sent: 0,
             quack_bytes: 0,
@@ -579,12 +579,7 @@ impl CcdProxy {
 
     /// Arms the shared supervision timer, keeping at most one live chain.
     fn arm_supervise(&mut self, deadline: SimTime, ctx: &mut Context) {
-        let deadline = deadline.max(ctx.now());
-        if self.sup_armed.is_some_and(|at| at <= deadline) {
-            return; // an earlier fire will re-arm past this deadline
-        }
-        self.sup_armed = Some(deadline);
-        ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+        self.sup.arm(deadline, TOKEN_SUPERVISE, ctx);
     }
 
     /// Arms the shared grace timer at the earliest deadline across flows.
@@ -597,12 +592,7 @@ impl CcdProxy {
         let Some(deadline) = deadline else {
             return;
         };
-        let deadline = deadline.max(ctx.now());
-        if self.grace_armed.is_some_and(|at| at <= deadline) {
-            return;
-        }
-        self.grace_armed = Some(deadline);
-        ctx.set_timer_at(deadline, TOKEN_GRACE);
+        self.grace.arm(deadline, TOKEN_GRACE, ctx);
     }
 }
 
@@ -792,13 +782,12 @@ impl Node for CcdProxy {
                 ctx.set_timer_after(self.interval, TOKEN_EMIT);
             }
             TOKEN_DRAIN => self.drain_one(ctx),
-            // A fire only counts if it is the chain the guard armed;
-            // superseded events from earlier arms are dropped here.
+            // Superseded chains are cancelled in the queue; `fire` filters
+            // the rare stragglers (chains orphaned by a crash).
             TOKEN_GRACE => {
-                if self.grace_armed != Some(ctx.now()) {
+                if !self.grace.fire(ctx) {
                     return;
                 }
-                self.grace_armed = None;
                 // Confirmed downstream losses: the client will recover via
                 // the end-to-end protocol; the proxy only meters its rate.
                 let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
@@ -809,11 +798,7 @@ impl Node for CcdProxy {
                 }
                 self.arm_grace(ctx);
             }
-            TOKEN_SUPERVISE => {
-                if self.sup_armed != Some(ctx.now()) {
-                    return;
-                }
-                self.sup_armed = None;
+            TOKEN_SUPERVISE if self.sup.fire(ctx) => {
                 self.supervise_all(ctx);
             }
             _ => {}
@@ -838,10 +823,10 @@ impl Node for CcdProxy {
         self.evicted_sup.0 += deg;
         self.evicted_sup.1 += rec;
         self.table = FlowTable::new(*self.table.config());
-        // Stale guard times would suppress re-arming for reborn sessions;
-        // any leftover queued events are dropped by the fire-time check.
-        self.grace_armed = None;
-        self.sup_armed = None;
+        // Stale guards would suppress re-arming for reborn sessions;
+        // disarm cancels whatever chains survived the outage.
+        self.grace.disarm(ctx);
+        self.sup.disarm(ctx);
         self.restart_announce = Some(restart_epoch(ctx.now()));
         ctx.set_timer_after(self.interval, TOKEN_EMIT);
     }
@@ -878,6 +863,13 @@ pub struct CcdServer {
     auth: Option<ChannelAuth>,
     /// Supervises the proxy→server quACK session (the window-steering loop).
     pub supervisor: Supervisor,
+    /// The shared `TOKEN_RTO` chain. `pump` runs on every packet and ACK;
+    /// the guard keeps one live chain instead of one per call.
+    rto: GuardedTimer,
+    /// The shared `TOKEN_GRACE` chain (same guard).
+    grace: GuardedTimer,
+    /// The shared `TOKEN_SUPERVISE` chain (same guard).
+    sup: GuardedTimer,
 }
 
 impl CcdServer {
@@ -903,6 +895,9 @@ impl CcdServer {
             fallback_cc,
             auth: None,
             supervisor: Supervisor::new(supervision),
+            rto: GuardedTimer::default(),
+            grace: GuardedTimer::default(),
+            sup: GuardedTimer::default(),
         }
     }
 
@@ -941,7 +936,7 @@ impl CcdServer {
         }
         obs::transport_lifecycle(ctx, &mut self.transport);
         if let Some(deadline) = self.transport.next_timeout() {
-            ctx.set_timer_at(deadline.max(ctx.now()), TOKEN_RTO);
+            self.rto.arm(deadline, TOKEN_RTO, ctx);
         }
     }
 
@@ -966,7 +961,7 @@ impl CcdServer {
                 self.window = self.window.clamp(2.0, self.max_window);
                 self.transport.set_cwnd_cap(Some(self.window as u64));
                 if let Some(deadline) = self.sidecar.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                    self.grace.arm(deadline, TOKEN_GRACE, ctx);
                 }
             }
             Err(
@@ -1026,7 +1021,7 @@ impl CcdServer {
             let _ = send_sidecar(offer(&cfg), self.flow, IfaceId(0), &mut self.auth, ctx);
         }
         if let Some(deadline) = outcome.next_deadline {
-            ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+            self.sup.arm(deadline, TOKEN_SUPERVISE, ctx);
         }
         obs::sup_flush(ctx, &mut self.supervisor);
     }
@@ -1087,8 +1082,13 @@ impl Node for CcdServer {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
-            TOKEN_SUPERVISE => self.supervise(ctx),
+            TOKEN_SUPERVISE if self.sup.fire(ctx) => {
+                self.supervise(ctx);
+            }
             TOKEN_RTO => {
+                if !self.rto.fire(ctx) {
+                    return;
+                }
                 if let Some(deadline) = self.transport.next_timeout() {
                     if ctx.now() >= deadline {
                         self.transport.on_rto(ctx.now());
@@ -1097,11 +1097,14 @@ impl Node for CcdServer {
                 self.pump(ctx);
             }
             TOKEN_GRACE => {
+                if !self.grace.fire(ctx) {
+                    return;
+                }
                 // Confirmed segment-1 losses: keep the mirror tidy; e2e
                 // reliability handles retransmission.
                 let _ = self.sidecar.poll_expired(ctx.now());
                 if let Some(deadline) = self.sidecar.next_grace_deadline() {
-                    ctx.set_timer_at(deadline, TOKEN_GRACE);
+                    self.grace.arm(deadline, TOKEN_GRACE, ctx);
                 }
             }
             _ => {}

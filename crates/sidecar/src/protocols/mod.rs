@@ -17,9 +17,62 @@ pub mod retx;
 use crate::auth::ChannelAuth;
 use crate::messages::{SidecarMessage, HEADER_OVERHEAD};
 use sidecar_netsim::fault::FaultPlan;
-use sidecar_netsim::node::{Context, IfaceId, NodeId};
+use sidecar_netsim::node::{Context, IfaceId, NodeId, TimerHandle};
 use sidecar_netsim::packet::{FlowId, Packet};
 use sidecar_netsim::time::{SimDuration, SimTime};
+
+/// A guarded one-shot timer keeping at most one live chain in the queue.
+///
+/// The protocols share a small set of long-lived timers (grace poll,
+/// supervision) that get re-armed from many call sites. The guard
+/// deduplicates arms — re-arming at or after the pending deadline is a
+/// no-op — and, when a *later* chain must be superseded by an earlier
+/// deadline, cancels the stale queued event through its [`TimerHandle`]
+/// instead of letting it fire and be filtered (the accumulating-timer
+/// footgun PR 4 noted: every superseded arm used to stay in the world's
+/// queue until its fire time).
+#[derive(Default, Debug)]
+pub(crate) struct GuardedTimer {
+    armed: Option<(SimTime, TimerHandle)>,
+}
+
+impl GuardedTimer {
+    /// Arms `token` at `deadline` (clamped to now). If a chain is already
+    /// pending at or before `deadline` this is a no-op; a pending *later*
+    /// chain is cancelled and replaced.
+    pub(crate) fn arm(&mut self, deadline: SimTime, token: u64, ctx: &mut Context) {
+        let deadline = deadline.max(ctx.now());
+        if let Some((at, handle)) = self.armed {
+            if at <= deadline {
+                return; // the pending fire will re-arm past this deadline
+            }
+            ctx.cancel_timer(handle);
+        }
+        let handle = ctx.set_timer_at(deadline, token);
+        self.armed = Some((deadline, handle));
+    }
+
+    /// Consumes a fire event. Returns `true` (and clears the guard) when
+    /// the fire matches the live chain; `false` for stray events that must
+    /// be ignored (e.g. a chain orphaned by a crash whose guard state was
+    /// wiped in `on_restart`).
+    pub(crate) fn fire(&mut self, ctx: &Context) -> bool {
+        match self.armed {
+            Some((at, _)) if at == ctx.now() => {
+                self.armed = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disarms the guard, cancelling the pending chain if any.
+    pub(crate) fn disarm(&mut self, ctx: &mut Context) {
+        if let Some((_, handle)) = self.armed.take() {
+            ctx.cancel_timer(handle);
+        }
+    }
+}
 
 /// Encodes `msg` for `flow` and sends it out `iface`; returns the wire size
 /// in bytes. The datagram is stamped with the session's real flow id (so

@@ -18,7 +18,9 @@ use crate::endpoint::{QuackConsumer, QuackProducer};
 use crate::flows::{FlowTable, FlowTableConfig};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
-use crate::protocols::{obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, ScenarioReport};
+use crate::protocols::{
+    obs, open_ctrl, restart_epoch, send_sidecar, FaultScript, GuardedTimer, ScenarioReport,
+};
 use crate::supervise::Supervisor;
 use sidecar_galois::Fp32;
 use sidecar_netsim::link::LinkConfig;
@@ -136,15 +138,13 @@ pub struct SenderSideProxy {
     /// Supervisor outcomes of sessions the table already reclaimed
     /// (`(degradations, recoveries)`), so report totals survive eviction.
     evicted_sup: (u64, u64),
-    /// Earliest armed `TOKEN_GRACE` deadline. Timers are one-shot and
-    /// accumulate, and the grace timer is shared across flows with many
-    /// arm sites (every quACK, every fire); without this guard each arm
-    /// spawns another immortal timer chain and the event queue melts down
-    /// under multi-flow load.
-    grace_armed: Option<SimTime>,
-    /// Earliest armed `TOKEN_SUPERVISE` deadline (same dedup guard: one
-    /// shared timer chain, not one per flow per poll).
-    sup_armed: Option<SimTime>,
+    /// The shared `TOKEN_GRACE` chain. The grace timer has many arm sites
+    /// (every quACK, every fire); the guard dedups arms and cancels
+    /// superseded chains so exactly one event per proxy sits in the queue.
+    grace: GuardedTimer,
+    /// The shared `TOKEN_SUPERVISE` chain (same guard: one timer chain,
+    /// not one per flow per poll).
+    sup: GuardedTimer,
     /// Authenticated control channel; `None` speaks the legacy plain wire.
     auth: Option<ChannelAuth>,
     /// In-network retransmissions performed (all flows).
@@ -186,8 +186,8 @@ impl SenderSideProxy {
             in_transit_window,
             supervision,
             evicted_sup: (0, 0),
-            grace_armed: None,
-            sup_armed: None,
+            grace: GuardedTimer::default(),
+            sup: GuardedTimer::default(),
             auth: None,
             retransmitted: 0,
             control_sent: 0,
@@ -391,12 +391,7 @@ impl SenderSideProxy {
 
     /// Arms the shared supervision timer, keeping at most one live chain.
     fn arm_supervise(&mut self, deadline: SimTime, ctx: &mut Context) {
-        let deadline = deadline.max(ctx.now());
-        if self.sup_armed.is_some_and(|at| at <= deadline) {
-            return; // an earlier fire will re-arm past this deadline
-        }
-        self.sup_armed = Some(deadline);
-        ctx.set_timer_at(deadline, TOKEN_SUPERVISE);
+        self.sup.arm(deadline, TOKEN_SUPERVISE, ctx);
     }
 
     fn supervise_all(&mut self, ctx: &mut Context) {
@@ -427,12 +422,7 @@ impl SenderSideProxy {
         let Some(deadline) = deadline else {
             return;
         };
-        let deadline = deadline.max(ctx.now());
-        if self.grace_armed.is_some_and(|at| at <= deadline) {
-            return;
-        }
-        self.grace_armed = Some(deadline);
-        ctx.set_timer_at(deadline, TOKEN_GRACE);
+        self.grace.arm(deadline, TOKEN_GRACE, ctx);
     }
 
     fn fire_grace(&mut self, ctx: &mut Context) {
@@ -548,20 +538,12 @@ impl Node for SenderSideProxy {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
-            // A fire only counts if it is the chain the guard armed;
-            // superseded events from earlier arms are dropped here.
-            TOKEN_GRACE => {
-                if self.grace_armed != Some(ctx.now()) {
-                    return;
-                }
-                self.grace_armed = None;
+            // Superseded chains are cancelled in the queue; `fire` filters
+            // the rare stragglers (chains orphaned by a crash).
+            TOKEN_GRACE if self.grace.fire(ctx) => {
                 self.fire_grace(ctx);
             }
-            TOKEN_SUPERVISE => {
-                if self.sup_armed != Some(ctx.now()) {
-                    return;
-                }
-                self.sup_armed = None;
+            TOKEN_SUPERVISE if self.sup.fire(ctx) => {
                 self.supervise_all(ctx);
             }
             _ => {}
@@ -584,11 +566,10 @@ impl Node for SenderSideProxy {
         self.evicted_sup.0 += deg;
         self.evicted_sup.1 += rec;
         self.table = FlowTable::new(*self.table.config());
-        // Stale guard times would suppress re-arming for reborn sessions;
-        // any leftover queued events are dropped by the fire-time check.
-        self.grace_armed = None;
-        self.sup_armed = None;
-        let _ = ctx;
+        // Stale guards would suppress re-arming for reborn sessions;
+        // disarm cancels whatever chains survived the outage.
+        self.grace.disarm(ctx);
+        self.sup.disarm(ctx);
     }
 
     fn name(&self) -> &str {
