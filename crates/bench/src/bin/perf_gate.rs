@@ -12,10 +12,13 @@
 //! * `x` (ratio) metrics are machine-independent and compared directly
 //!   with the same tolerance.
 //! * Hard floors: the quACK `insert_speedup` metrics for `Fp64, t = 20,
-//!   batch ≥ 32` must be at least [`QUACK_FLOOR`], and the engine-scaling
+//!   batch ≥ 32` must be at least [`QUACK_FLOOR`], the engine-scaling
 //!   `events_speedup|flows=100000` headline at least [`SIMSCALE_FLOOR`],
-//!   regardless of the baseline — these are the repo's acceptance
-//!   headlines and may never erode, tolerance or not.
+//!   and the flow-engine `manyflow_insert_speedup|flows=100000` headline
+//!   (slab vs legacy table, min across the three protocol session shapes,
+//!   inserts under LRU pressure) at least [`MANYFLOW_FLOOR`], regardless
+//!   of the baseline — these are the repo's acceptance headlines and may
+//!   never erode, tolerance or not.
 //! * Metrics present in only the baseline or only a current report are
 //!   reported but never fail the gate (so adding benchmarks does not
 //!   require a lockstep baseline update).
@@ -41,6 +44,10 @@ const QUACK_FLOOR: f64 = 2.0;
 /// Absolute floor for the engine-scaling headline: modern wheel engine
 /// events/s over the legacy heap engine at the 100k-flow point.
 const SIMSCALE_FLOOR: f64 = 5.0;
+/// Absolute floor for the flow-engine headline: slab-table inserts/s over
+/// the legacy Vec-scan table at the 100k-flow churn point (min across the
+/// three protocol session shapes; measured ~2.7–3.1x).
+const MANYFLOW_FLOOR: f64 = 1.5;
 
 struct Comparison {
     key: String,
@@ -91,6 +98,9 @@ fn headline_floor(key: &str) -> Option<f64> {
     }
     if key == "events_speedup|flows=100000" {
         return Some(SIMSCALE_FLOOR);
+    }
+    if key == "manyflow_insert_speedup|flows=100000" {
+        return Some(MANYFLOW_FLOOR);
     }
     None
 }

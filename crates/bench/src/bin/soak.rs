@@ -22,6 +22,14 @@
 //! * **Flow-table bounds** — many-flow runs complete every flow, residual
 //!   occupancy never exceeds `shards * per_shard`, and the overcommitted
 //!   point (256 flows into 128 sessions) actually evicts.
+//! * **Many-flow certification** — a lossless 1 000-flow ACK-reduction
+//!   run per seed completes every flow, evicts nothing from its
+//!   `sized_for` table, and causally certifies every packet lifecycle.
+//! * **100k-flow vantage point** (full sweeps only; `--quick` skips it) —
+//!   the slab flow engine holds 100 000 concurrent flows: every flow
+//!   completes and the table finishes with all 100k sessions resident
+//!   and **zero** evictions, while the synchronized slow-start burst
+//!   overdrives the trunk (see [`provisioned_manyflow`]).
 //!
 //! CI runs this from the nightly cron job (`soak`, off the PR critical
 //! path); `--quick` (4 seeds) keeps a local sanity pass cheap. The
@@ -31,6 +39,7 @@
 //! Usage: `soak [--seeds N] [--quick]`
 
 use sidecar_bench::{BenchReport, Table};
+use sidecar_netsim::link::LinkConfig;
 use sidecar_netsim::time::{SimDuration, SimTime};
 use sidecar_obs::Lifecycle;
 use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
@@ -38,6 +47,7 @@ use sidecar_proto::protocols::ccd::CcdScenario;
 use sidecar_proto::protocols::manyflow::{ManyFlowProtocol, ManyFlowScenario};
 use sidecar_proto::protocols::retx::RetxScenario;
 use sidecar_proto::protocols::{FaultScript, ScenarioReport};
+use sidecar_proto::FlowTableConfig;
 use std::process::ExitCode;
 
 /// Minimum faulted-sidecar / faulted-baseline goodput ratio. The paper's
@@ -50,6 +60,42 @@ const DEFAULT_SEEDS: u64 = 32;
 /// Ring capacity for the certified lifecycle runs — must hold every
 /// record of a 2k-packet run or `is_complete()` refuses certification.
 const TRACE_CAP: usize = 1 << 20;
+/// Ring capacity for the certified 1k-flow many-flow runs (8k data
+/// packets plus their ACK/quACK records).
+const MANYFLOW_TRACE_CAP: usize = 1 << 21;
+
+/// Provisioned N-flow ACK-reduction run: `sized_for` table, deep
+/// queues, 2 Gbit/s links, and an idle timeout that outlives the
+/// horizon — any *eviction* is then a flow-engine bug, not weather.
+///
+/// Losslessness is a separate, N-dependent claim: at 1k flows the 8k
+/// packet burst serializes in ~50 ms, well inside the senders' PTO, so
+/// the certified leg also asserts zero drops. At 100k flows the
+/// synchronized slow-start burst (~800k packets, ~4.8 s of trunk
+/// serialization against a ~200 ms PTO) intentionally overdrives the
+/// trunk — drops and spurious retransmissions are the realistic weather
+/// a vantage-point table must ride out, and the 100k leg asserts the
+/// flow-engine invariants (completion, zero evictions, full occupancy)
+/// rather than pretending the burst fits the pipe.
+fn provisioned_manyflow(flows: u32, seed: u64, queue_packets: usize) -> ManyFlowScenario {
+    let mut s = ManyFlowScenario::new(ManyFlowProtocol::AckReduction, flows);
+    s.packets_per_flow = 8;
+    s.seed = seed;
+    s.table = FlowTableConfig::sized_for(flows as usize, SimDuration::from_secs(300));
+    s.trunk = LinkConfig {
+        rate_bps: 2_000_000_000,
+        delay: SimDuration::from_millis(25),
+        queue_packets,
+        ..LinkConfig::default()
+    };
+    s.edge = LinkConfig {
+        rate_bps: 2_000_000_000,
+        delay: SimDuration::from_millis(2),
+        queue_packets,
+        ..s.edge
+    };
+    s
+}
 
 fn at(ms: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_millis(ms)
@@ -129,7 +175,8 @@ fn crash() -> FaultScript {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seeds = DEFAULT_SEEDS;
-    if args.iter().any(|a| a == "--quick") {
+    let quick = args.iter().any(|a| a == "--quick");
+    if quick {
         seeds = 4;
     }
     if let Some(pos) = args.iter().position(|a| a == "--seeds") {
@@ -143,7 +190,12 @@ fn main() -> ExitCode {
     }
     println!(
         "seed-sweep soak: {seeds} seeds x (failover, adversary, manyflow, \
-         causal certification)\n"
+         causal certification){}\n",
+        if quick {
+            ""
+        } else {
+            " + 100k-flow vantage point"
+        }
     );
 
     let mut violations: Vec<String> = Vec::new();
@@ -154,6 +206,7 @@ fn main() -> ExitCode {
     let mut fam_tamper = Family::new("ccd/tamper-16");
     let mut fam_forge = Family::new("ackred/forge");
     let mut certified = 0u64;
+    let mut manyflow_certified = 0u64;
     let mut manyflow_runs = 0u64;
 
     let always = (at(0), at(600_000));
@@ -253,6 +306,42 @@ fn main() -> ExitCode {
         let base = ackred.run_baseline_faulted(seed, ackred.reduced_ack_every, &forge);
         check_pair(&mut violations, &mut fam_forge, seed, &side, &base);
 
+        // Certified 1k-flow vantage point: a lossless sized-for run must
+        // complete every flow, evict nothing, and causally certify.
+        let mut s = provisioned_manyflow(1_000, seed, 16_384);
+        s.trace_capacity = Some(MANYFLOW_TRACE_CAP);
+        let report = s.run();
+        let tag = format!("manyflow/certified-1k seed={seed}");
+        if report.completed != 1_000 {
+            violations.push(format!(
+                "{tag}: only {}/1000 flows completed",
+                report.completed
+            ));
+        }
+        if report.evictions() != 0 {
+            violations.push(format!(
+                "{tag}: sized-for table evicted {} sessions on a lossless run",
+                report.evictions()
+            ));
+        }
+        if report.metrics.counter_sum("netsim.drop.") != 0 {
+            violations.push(format!(
+                "{tag}: {} drops on a provisioned-lossless run",
+                report.metrics.counter_sum("netsim.drop.")
+            ));
+        }
+        let lifecycle = Lifecycle::from_trace(&report.trace);
+        if !lifecycle.is_complete() {
+            violations.push(format!(
+                "{tag}: flight-recorder ring truncated ({} dropped)",
+                lifecycle.dropped_records()
+            ));
+        } else if let Err(e) = lifecycle.check_causal() {
+            violations.push(format!("{tag}: causal violation: {e}"));
+        } else {
+            manyflow_certified += 1;
+        }
+
         // Many-flow bounds: within capacity and 2x overcommitted.
         for flows in [64u32, 256] {
             let mut s = ManyFlowScenario::new(ManyFlowProtocol::Retx, flows);
@@ -290,6 +379,45 @@ fn main() -> ExitCode {
         }
     }
 
+    // 100k-flow vantage point: the slab engine's scale claim, nightly.
+    // Skipped under --quick (it is the single most expensive leg); two
+    // seeds keep it deterministic without doubling the soak's runtime.
+    let mut manyflow_100k = 0u64;
+    if !quick {
+        for seed in [211u64, 211 + 7919] {
+            let s = provisioned_manyflow(100_000, seed, 1 << 20);
+            let report = s.run();
+            manyflow_100k += 1;
+            let tag = format!("manyflow/100k seed={seed}");
+            if report.completed != 100_000 {
+                violations.push(format!(
+                    "{tag}: only {}/100000 flows completed",
+                    report.completed
+                ));
+            }
+            if report.evictions() != 0 {
+                violations.push(format!(
+                    "{tag}: sized-for table evicted {} of 100k sessions",
+                    report.evictions()
+                ));
+            }
+            if report.live_flows_at_end != 100_000 {
+                violations.push(format!(
+                    "{tag}: {} of 100000 sessions resident at end",
+                    report.live_flows_at_end
+                ));
+            }
+            println!(
+                "  manyflow/100k seed={seed}: {}/100000 completed, \
+                 {} evictions, {} live at end, {} burst drops ridden out",
+                report.completed,
+                report.evictions(),
+                report.live_flows_at_end,
+                report.metrics.counter_sum("netsim.drop.")
+            );
+        }
+    }
+
     let families = [
         &fam_clean,
         &fam_blackout,
@@ -317,12 +445,20 @@ fn main() -> ExitCode {
     }
     table.print();
     println!(
-        "\ncertified lifecycles: {certified}/{} clean runs",
+        "\ncertified lifecycles: {certified}/{} clean runs, \
+         {manyflow_certified}/{seeds} 1k-flow runs",
         seeds * 2
     );
-    println!("manyflow runs: {manyflow_runs}");
+    println!("manyflow runs: {manyflow_runs} (+{manyflow_100k} at 100k flows)");
     report.push("certified_lifecycles", &[], certified as f64, "count");
+    report.push(
+        "manyflow_certified_1k",
+        &[],
+        manyflow_certified as f64,
+        "count",
+    );
     report.push("manyflow_runs", &[], manyflow_runs as f64, "count");
+    report.push("manyflow_100k_runs", &[], manyflow_100k as f64, "count");
     report.push("violations", &[], violations.len() as f64, "count");
     report.write_default().expect("write BENCH_soak.json");
     sidecar_bench::write_metrics_out("soak");

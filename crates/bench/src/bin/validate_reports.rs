@@ -7,6 +7,14 @@
 //! metric keys, name/filename mismatch) fails the build *before* the
 //! artifact is uploaded or a baseline refresh copies the corruption in.
 //!
+//! Known reports additionally carry **required cells**: `exp_manyflow`
+//! must contain its e2e, certified-1k, and flow-engine-sweep metrics (the
+//! cells both `--quick` and full runs emit), and — whenever any 100k-flow
+//! sweep cell is present (a full run) — the
+//! `manyflow_insert_speedup|flows=100000` perf-gate headline. A refactor
+//! that silently stops emitting the gated cell fails here, not as a
+//! quietly-absent "baseline only" row in the perf gate.
+//!
 //! Usage: `validate_reports [path ...]`
 //!
 //! Each path may be a report file or a directory (scanned non-recursively
@@ -55,7 +63,50 @@ fn validate(path: &Path, report: &BenchReport) -> Vec<String> {
             errors.push(format!("{key}: duplicate metric key"));
         }
     }
+    for cell in required_cells(&report.name, &seen) {
+        if !seen.contains(cell.as_str()) {
+            errors.push(format!("{cell}: required cell missing"));
+        }
+    }
     errors
+}
+
+/// Cells a known report must always carry (keyed as [`Metric::key`],
+/// name + sorted params). Unknown report names require nothing.
+///
+/// [`Metric::key`]: sidecar_bench::Metric::key
+fn required_cells(report: &str, present: &BTreeSet<String>) -> Vec<String> {
+    let mut cells = Vec::new();
+    if report == "exp_manyflow" {
+        for proto in ["retx", "ackred", "ccd"] {
+            // One e2e leg per protocol…
+            cells.push(format!("completed|flows=1|protocol={proto}"));
+            // …and the 1k flow-engine sweep cells (quick and full runs).
+            for name in [
+                "manyflow_inserts_per_sec",
+                "manyflow_insert_speedup",
+                "manyflow_bytes_per_flow",
+                "manyflow_overcommit_evictions",
+            ] {
+                cells.push(format!("{name}|flows=1000|proto={proto}"));
+            }
+        }
+        // The causally certified 1k leg.
+        cells.push("certified_completed|flows=1000".into());
+        cells.push("certified_lifecycles|flows=1000".into());
+        // `ops/s` cells are gated against the calibration-rescaled
+        // baseline, so the report must carry its own calibration cell.
+        cells.push("calibration".into());
+        // Full runs (any 100k sweep cell present) must emit the perf-gate
+        // headline; `--quick` runs stop at 10k and owe nothing here.
+        if present
+            .iter()
+            .any(|k| k.starts_with("manyflow_inserts_per_sec|flows=100000"))
+        {
+            cells.push("manyflow_insert_speedup|flows=100000".into());
+        }
+    }
+    cells
 }
 
 /// Expands a CLI path into report files: files pass through, directories

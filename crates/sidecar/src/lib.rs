@@ -48,7 +48,7 @@ pub use config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 pub use endpoint::{
     ConfirmedLoss, ConsumerStats, LogEntry, ProcessError, QuackConsumer, QuackProducer, QuackReport,
 };
-pub use flows::{FlowTable, FlowTableConfig, FlowTableStats};
+pub use flows::{FlowTable, FlowTableConfig, FlowTableStats, FoldBuffer, FoldStats, SlotId};
 pub use messages::{MessageError, SidecarMessage};
 pub use negotiate::{accept_hello, offer, Capabilities, NegotiationError};
 pub use supervise::{PollOutcome, Supervisor, SupervisorState, SupervisorStats};

@@ -14,7 +14,7 @@
 use crate::auth::ChannelAuth;
 use crate::config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
-use crate::flows::{FlowTable, FlowTableConfig};
+use crate::flows::{FlowTable, FlowTableConfig, SlotId};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{
@@ -101,12 +101,14 @@ impl AckRedProxy {
         self.table.len()
     }
 
-    /// Looks up (or lazily creates) `flow`'s producer session. A session
-    /// created by a data packet after a restart announces the fresh epoch.
-    fn session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) -> &mut ProducerSession {
+    /// Looks up (or lazily creates) `flow`'s producer session, returning a
+    /// generation-checked slot handle so the hot path re-enters the slab
+    /// without a second index probe. A session created by a data packet
+    /// after a restart announces the fresh epoch.
+    fn session_slot(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) -> SlotId {
         let cfg = self.cfg;
         let epoch = self.restart_announce;
-        let (created, session) = self.table.get_or_insert_with(flow, ctx.now(), || {
+        let (created, slot) = self.table.ensure_slot(flow, ctx.now(), || {
             let mut producer = QuackProducer::new(cfg);
             if let Some(e) = epoch {
                 producer.reset(e);
@@ -127,7 +129,16 @@ impl AckRedProxy {
                 );
             }
         }
-        session
+        slot
+    }
+
+    /// Control-path convenience: ensure and borrow the session directly.
+    fn session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) -> &mut ProducerSession {
+        let slot = self.session_slot(flow, announce, ctx);
+        self.table
+            .slot_entry_mut(slot)
+            .expect("slot just ensured")
+            .1
     }
 }
 
@@ -138,9 +149,21 @@ impl Node for AckRedProxy {
             // schedule.
             IfaceId(0) => {
                 let flow = packet.flow;
-                let mut emit = false;
+                // The slot handle from the lookup carries through to the
+                // emit block below, so a quACK-triggering packet costs one
+                // index probe total. The quACK cadence is packet-count
+                // driven (`EveryPackets`), so folds are applied per packet —
+                // deferring them would shift every emission boundary.
+                let mut emit: Option<SlotId> = None;
                 if packet.kind == PacketKind::Data {
-                    emit = self.session(flow, true, ctx).producer.observe(packet.id);
+                    let slot = self.session_slot(flow, true, ctx);
+                    if self
+                        .table
+                        .slot_entry_mut(slot)
+                        .is_some_and(|(_, s)| s.producer.observe(packet.id))
+                    {
+                        emit = Some(slot);
+                    }
                     obs::observed(ctx);
                     obs::quack_fold(ctx, packet.flow.0, packet.seq);
                     self.observed_packets += 1;
@@ -190,11 +213,11 @@ impl Node for AckRedProxy {
                     }
                 }
                 ctx.send(IfaceId(1), packet);
-                if emit {
-                    let session = self
+                if let Some(slot) = emit {
+                    let (_, session) = self
                         .table
-                        .get_mut(flow, ctx.now())
-                        .expect("session created above");
+                        .slot_entry_mut(slot)
+                        .expect("session touched above; the idle sweep cannot evict it");
                     let fill = session.producer.burst_fill();
                     let msg = session.producer.emit();
                     let epoch = session.producer.epoch();

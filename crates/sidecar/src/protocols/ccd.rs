@@ -20,7 +20,7 @@
 use crate::auth::ChannelAuth;
 use crate::config::{AuthConfig, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{ProcessError, QuackConsumer, QuackProducer};
-use crate::flows::{FlowTable, FlowTableConfig};
+use crate::flows::{FlowTable, FlowTableConfig, FoldBuffer, SlotId};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{
@@ -259,6 +259,13 @@ pub struct CcdProxy {
     /// Sidecar parameters (kept for handshakes and new-flow sessions).
     cfg: SidecarConfig,
     table: FlowTable<CcdFlow>,
+    /// Batched fold path for the upstream producers: identifiers of
+    /// interleaved arrivals buffer here (bucketed by table slot) and reach
+    /// each flow's sketch via lane-parallel `observe_batch`. Flushed
+    /// before quACK emission, control handling, and idle sweeps; safe to
+    /// defer because upstream emission is interval-driven and power-sum
+    /// folds commute within an epoch.
+    folds: FoldBuffer,
     /// Pacing buffer of data packets awaiting the downstream segment.
     buffer: VecDeque<Packet>,
     /// Buffer capacity; overflow drops (creating segment-1 backpressure).
@@ -329,6 +336,7 @@ impl CcdProxy {
         CcdProxy {
             cfg: sidecar,
             table: FlowTable::new(table),
+            folds: FoldBuffer::with_capacity(FoldBuffer::DEFAULT_CAPACITY),
             buffer: VecDeque::new(),
             buffer_cap,
             rate: RateController::new(initial_rate_bps, 1_000_000.0, 10_000_000_000.0),
@@ -392,13 +400,13 @@ impl CcdProxy {
     /// (its downstream Hello is queued before the data packet that created
     /// it reaches the pacing buffer's egress), and — post-restart — tells
     /// the server this flow's fresh upstream epoch.
-    fn ensure_session(&mut self, flow: FlowId, ctx: &mut Context) {
+    fn ensure_session(&mut self, flow: FlowId, ctx: &mut Context) -> SlotId {
         let cfg = self.cfg;
         let rtt = self.downstream_rtt;
         let supervision = self.supervision;
         let epoch = self.restart_announce;
         let now = ctx.now();
-        let (created, _) = self.table.get_or_insert_with(flow, now, || {
+        let (created, slot) = self.table.ensure_slot(flow, now, || {
             let mut upstream_producer = QuackProducer::new(cfg);
             if let Some(e) = epoch {
                 upstream_producer.reset(e);
@@ -423,6 +431,19 @@ impl CcdProxy {
             }
             self.supervise_flow(flow, ctx);
         }
+        slot
+    }
+
+    /// Drains the fold buffer: buckets buffered identifiers by slot and
+    /// feeds each flow's run to its upstream producer as one batch.
+    fn flush_folds(&mut self, ctx: &mut Context) {
+        if self.folds.is_empty() {
+            return;
+        }
+        self.folds.flush(&mut self.table, |_, session, ids| {
+            session.upstream_producer.observe_batch(ids);
+        });
+        obs::fold_flush(ctx, &mut self.folds);
     }
 
     fn arm_drain(&mut self, pkt_size: u32, ctx: &mut Context) {
@@ -603,20 +624,21 @@ impl Node for CcdProxy {
             // forwarding.
             IfaceId(0) => {
                 if packet.kind == PacketKind::Data {
-                    self.ensure_session(packet.flow, ctx);
+                    let slot = self.ensure_session(packet.flow, ctx);
                     let enabled = self
                         .table
-                        .get_mut(packet.flow, ctx.now())
-                        .is_some_and(|s| s.supervisor.enabled());
+                        .slot_entry_mut(slot)
+                        .is_some_and(|(_, s)| s.supervisor.enabled());
                     if !enabled {
                         // Degraded flow: plain forwarding, no pacing. The
                         // upstream producer keeps observing — that session
-                        // belongs to the server, not to this one.
-                        if let Some(session) = self.table.peek_mut(packet.flow) {
-                            session.upstream_producer.observe(packet.id);
-                            obs::observed(ctx);
-                            obs::quack_fold(ctx, packet.flow.0, packet.seq);
+                        // belongs to the server, not to this one. Folds are
+                        // deferred through the slot-bucketed batch path.
+                        if self.folds.push(slot, packet.id) {
+                            self.flush_folds(ctx);
                         }
+                        obs::observed(ctx);
+                        obs::quack_fold(ctx, packet.flow.0, packet.seq);
                         obs::flow_table(ctx, &mut self.table);
                         ctx.send(IfaceId(1), packet);
                         return;
@@ -627,11 +649,9 @@ impl Node for CcdProxy {
                         self.buffer_drops += 1;
                         return;
                     }
-                    let session = self
-                        .table
-                        .peek_mut(packet.flow)
-                        .expect("session ensured above");
-                    session.upstream_producer.observe(packet.id);
+                    if self.folds.push(slot, packet.id) {
+                        self.flush_folds(ctx);
+                    }
                     obs::observed(ctx);
                     obs::quack_fold(ctx, packet.flow.0, packet.seq);
                     obs::flow_table(ctx, &mut self.table);
@@ -641,8 +661,11 @@ impl Node for CcdProxy {
                         self.arm_drain(size, ctx);
                     }
                 } else {
-                    // Control/sidecar traffic from the server side.
+                    // Control/sidecar traffic from the server side. Control
+                    // handling reads and resets producer state, so deferred
+                    // folds must land first.
                     if let Payload::Sidecar { proto, ref bytes } = packet.payload {
+                        self.flush_folds(ctx);
                         match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                             Ok((mflow, SidecarMessage::Reset { epoch })) => {
                                 let flow = FlowId(mflow);
@@ -696,6 +719,9 @@ impl Node for CcdProxy {
             // From the client: consume quACKs, forward the rest upstream.
             IfaceId(1) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
+                    // Degradation or resync below may evict or reset
+                    // sessions; land deferred folds first.
+                    self.flush_folds(ctx);
                     match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Quack { epoch, bytes })) => {
                             let flow = FlowId(mflow);
@@ -752,6 +778,9 @@ impl Node for CcdProxy {
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
             TOKEN_EMIT => {
+                // Emission reads every producer sketch: deferred folds must
+                // be in the power sums before the snapshots below.
+                self.flush_folds(ctx);
                 // Reap idle flows first: finished flows stop costing
                 // upstream emissions on the very next tick.
                 for (_, session) in self.table.sweep_idle(ctx.now()) {
@@ -823,6 +852,7 @@ impl Node for CcdProxy {
         self.evicted_sup.0 += deg;
         self.evicted_sup.1 += rec;
         self.table = FlowTable::new(*self.table.config());
+        self.folds.clear();
         // Stale guards would suppress re-arming for reborn sessions;
         // disarm cancels whatever chains survived the outage.
         self.grace.disarm(ctx);

@@ -75,6 +75,10 @@ pub struct ManyFlowReport {
     /// `flowtable.*` occupancy/eviction counters).
     #[cfg(feature = "obs")]
     pub metrics: sidecar_obs::MetricsSnapshot,
+    /// Flight-recorder event trace (empty unless
+    /// [`ManyFlowScenario::trace_capacity`] was set).
+    #[cfg(feature = "obs")]
+    pub trace: sidecar_obs::EventTrace,
 }
 
 impl ManyFlowReport {
@@ -112,6 +116,10 @@ pub struct ManyFlowScenario {
     pub auth: Option<AuthConfig>,
     /// Base seed; per-flow id streams derive from it.
     pub seed: u64,
+    /// Flight-recorder ring capacity override (events); `None` keeps the
+    /// obs default. Set it (generously) to causally certify a many-flow
+    /// run's packet lifecycles. Ignored when the `obs` feature is off.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ManyFlowScenario {
@@ -161,7 +169,20 @@ impl ManyFlowScenario {
             supervision: SupervisionConfig::default(),
             auth: None,
             seed: 1,
+            trace_capacity: None,
         }
+    }
+
+    /// Fresh world for one run, with the flight-recorder ring resized when
+    /// a trace capacity was requested.
+    fn world(&self) -> World {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut w = World::new(self.seed);
+        #[cfg(feature = "obs")]
+        if let Some(cap) = self.trace_capacity {
+            w.obs_mut().trace = sidecar_obs::EventTrace::with_capacity(cap);
+        }
+        w
     }
 
     fn sidecar_cfg(&self) -> SidecarConfig {
@@ -249,6 +270,9 @@ impl ManyFlowScenario {
             report.evictions_capacity = snap.counter("flowtable.evicted.capacity");
             sidecar_obs::global().absorb(&snap);
             report.metrics = snap;
+            let trace = w.obs().trace.clone();
+            sidecar_obs::global_trace_absorb(&trace);
+            report.trace = trace;
         }
         #[cfg(not(feature = "obs"))]
         let _ = w;
@@ -257,7 +281,7 @@ impl ManyFlowScenario {
 
     fn run_retx(&self) -> ManyFlowReport {
         let cfg = self.sidecar_cfg();
-        let mut w = World::new(self.seed);
+        let mut w = self.world();
         let senders: Vec<NodeId> = self
             .flow_ids()
             .iter()
@@ -334,7 +358,7 @@ impl ManyFlowScenario {
 
     fn run_ackred(&self) -> ManyFlowReport {
         let cfg = self.sidecar_cfg();
-        let mut w = World::new(self.seed);
+        let mut w = self.world();
         let senders: Vec<NodeId> = self
             .flow_ids()
             .iter()
@@ -412,7 +436,7 @@ impl ManyFlowScenario {
     fn run_ccd(&self) -> ManyFlowReport {
         let cfg = self.sidecar_cfg();
         let quack_interval = SimDuration::from_millis(30);
-        let mut w = World::new(self.seed);
+        let mut w = self.world();
         let senders: Vec<NodeId> = self
             .flow_ids()
             .iter()

@@ -281,6 +281,17 @@ pub(crate) mod obs {
         ctx.obs_observe("flowtable.flow_quacks", FLOW_QUACKS_BOUNDS, quacks);
     }
 
+    /// Publishes a fold buffer's batch-path counters since the last flush
+    /// (batches handed to `insert_batch`, identifiers folded, identifiers
+    /// dropped because their flow was evicted mid-buffer).
+    pub(crate) fn fold_flush(ctx: &mut Context, folds: &mut crate::flows::FoldBuffer) {
+        if let Some(d) = folds.take_stats() {
+            ctx.obs_add("flowtable.fold.batches", d.batches);
+            ctx.obs_add("flowtable.fold.ids", d.ids);
+            ctx.obs_add("flowtable.fold.stale", d.stale);
+        }
+    }
+
     /// A proxy folded data packet `(flow, seq)` into its quACK sketch
     /// (flight-recorder twin of [`observed`], carrying packet identity).
     pub(crate) fn quack_fold(ctx: &mut Context, flow: u32, seq: u64) {
@@ -374,6 +385,8 @@ pub(crate) mod obs {
 
     #[inline(always)]
     pub(crate) fn flow_evicted(_ctx: &mut Context, _quacks: u64) {}
+
+    pub(crate) fn fold_flush(_ctx: &mut Context, _folds: &mut crate::flows::FoldBuffer) {}
 
     #[inline(always)]
     pub(crate) fn quack_fold(_ctx: &mut Context, _flow: u32, _seq: u64) {}

@@ -15,7 +15,7 @@
 use crate::auth::ChannelAuth;
 use crate::config::{AuthConfig, QuackFrequency, SidecarConfig, SupervisionConfig};
 use crate::endpoint::{QuackConsumer, QuackProducer};
-use crate::flows::{FlowTable, FlowTableConfig};
+use crate::flows::{FlowTable, FlowTableConfig, FoldBuffer, SlotId};
 use crate::messages::SidecarMessage;
 use crate::negotiate::{accept_hello, offer, Capabilities};
 use crate::protocols::{
@@ -601,6 +601,12 @@ struct ProducerSession {
 pub struct ReceiverSideProxy {
     cfg: SidecarConfig,
     table: FlowTable<ProducerSession>,
+    /// Batched fold path: data-packet identifiers buffer here (bucketed by
+    /// table slot) and reach each flow's sketch via lane-parallel
+    /// `observe_batch` — flushed before anything reads, resets, or evicts
+    /// a sketch. Safe to defer because quACK emission is timer-driven and
+    /// power-sum folds commute within an epoch.
+    folds: FoldBuffer,
     /// Set after a restart: the fresh epoch each recreated flow announces
     /// when its data reappears (lazy per-flow version of the old broadcast
     /// restart announcement).
@@ -624,6 +630,7 @@ impl ReceiverSideProxy {
         ReceiverSideProxy {
             cfg,
             table: FlowTable::new(table),
+            folds: FoldBuffer::with_capacity(FoldBuffer::DEFAULT_CAPACITY),
             restart_announce: None,
             auth: None,
             quacks_sent: 0,
@@ -642,14 +649,15 @@ impl ReceiverSideProxy {
         self.table.len()
     }
 
-    /// Ensures `flow` has a session. A fresh session starts its own emit
-    /// chain; when `announce` is set and the proxy restarted, the fresh
-    /// post-restart epoch is announced to the consumer for this flow.
-    fn ensure_session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) {
+    /// Ensures `flow` has a session, returning its slot handle for O(1)
+    /// re-entry. A fresh session starts its own emit chain; when `announce`
+    /// is set and the proxy restarted, the fresh post-restart epoch is
+    /// announced to the consumer for this flow.
+    fn ensure_session(&mut self, flow: FlowId, announce: bool, ctx: &mut Context) -> SlotId {
         let cfg = self.cfg;
         let epoch = self.restart_announce;
         let now = ctx.now();
-        let (created, _) = self.table.get_or_insert_with(flow, now, || {
+        let (created, slot) = self.table.ensure_slot(flow, now, || {
             let mut producer = QuackProducer::new(cfg);
             if let Some(e) = epoch {
                 producer.reset(e);
@@ -674,9 +682,25 @@ impl ReceiverSideProxy {
             }
             self.arm(flow, ctx);
         }
+        slot
+    }
+
+    /// Drains the fold buffer: buckets buffered identifiers by slot and
+    /// feeds each flow's run to its producer as one lane-parallel batch.
+    fn flush_folds(&mut self, ctx: &mut Context) {
+        if self.folds.is_empty() {
+            return;
+        }
+        self.folds.flush(&mut self.table, |_, session, ids| {
+            session.producer.observe_batch(ids);
+        });
+        obs::fold_flush(ctx, &mut self.folds);
     }
 
     fn emit(&mut self, flow: FlowId, ctx: &mut Context) {
+        // Pending folds must reach the sketch before it is sealed into a
+        // quACK (the emitted count covers everything observed so far).
+        self.flush_folds(ctx);
         let (msg, fill, epoch, count) = {
             let Some(session) = self.table.peek_mut(flow) else {
                 return;
@@ -715,6 +739,8 @@ impl Node for ReceiverSideProxy {
             // From the subpath: observe data identifiers, forward downstream.
             IfaceId(0) => match packet.payload {
                 Payload::Sidecar { proto, ref bytes } => {
+                    // Control can reset or read a sketch; fold first.
+                    self.flush_folds(ctx);
                     match open_ctrl(&mut self.auth, proto, bytes, ctx) {
                         Ok((mflow, SidecarMessage::Configure { interval })) => {
                             let flow = FlowId(mflow);
@@ -767,12 +793,14 @@ impl Node for ReceiverSideProxy {
                 }
                 _ => {
                     if packet.kind == PacketKind::Data {
-                        self.ensure_session(packet.flow, true, ctx);
-                        let session = self
-                            .table
-                            .get_mut(packet.flow, ctx.now())
-                            .expect("session just ensured");
-                        session.producer.observe(packet.id);
+                        // O(1) mux: one index probe ensures the session and
+                        // refreshes its LRU clock; the identifier rides the
+                        // fold buffer to the sketch in a slot-bucketed
+                        // batch (interleaved arrivals regroup per flow).
+                        let slot = self.ensure_session(packet.flow, true, ctx);
+                        if self.folds.push(slot, packet.id) {
+                            self.flush_folds(ctx);
+                        }
                         obs::observed(ctx);
                         obs::quack_fold(ctx, packet.flow.0, packet.seq);
                         obs::flow_table(ctx, &mut self.table);
@@ -791,6 +819,9 @@ impl Node for ReceiverSideProxy {
         if base != TOKEN_EMIT {
             return;
         }
+        // Fold before the reaper looks at the table: an eviction with
+        // identifiers still buffered would discard them as stale.
+        self.flush_folds(ctx);
         // An idle flow's own timer is its reaper: evict, report, and let
         // the chain die so finished flows stop costing emissions.
         if let Some(evicted) = self.table.evict_if_idle(flow, ctx.now()) {
@@ -817,6 +848,7 @@ impl Node for ReceiverSideProxy {
         // single-flow code broadcast one Reset here; per-flow tagging makes
         // that a per-flow event).
         self.table = FlowTable::new(*self.table.config());
+        self.folds.clear();
         self.restart_announce = Some(restart_epoch(ctx.now()));
     }
 

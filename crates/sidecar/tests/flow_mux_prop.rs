@@ -8,6 +8,19 @@
 //! (same timestamps, same delivery pattern, same quACK schedule) through a
 //! standalone pair, and demands identical confirmed-loss sets, epochs, and
 //! counts.
+//!
+//! The slab rebuild adds two layers on top:
+//!
+//! * the same transparency property at K up to 1024 under *adversarial*
+//!   interleavings — strict round-robin (maximally interleaved, every
+//!   packet lands on a different slot than its predecessor), bursty
+//!   per-flow runs (the fold-bucketing fast path), and eviction-and-return
+//!   (slot recycling through the free list while neighbours keep state);
+//! * a slab-vs-legacy equivalence oracle: the PR 4 scan table survives as
+//!   [`sidecar_proto::flows::legacy`], and an arbitrary op soup (touch /
+//!   remove / evict-if-idle / sweep, strictly increasing timestamps) must
+//!   leave both tables with identical surviving flows, per-flow quACK
+//!   state, eviction results, and stats.
 
 use proptest::prelude::*;
 use sidecar_galois::Fp32;
@@ -17,7 +30,8 @@ use sidecar_proto::{
     FlowTable, FlowTableConfig, ProcessError, QuackConsumer, QuackProducer, SidecarConfig,
     SidecarMessage,
 };
-use std::collections::BTreeSet;
+use sidecar_quack::PowerSumQuack;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn cfg(threshold: usize) -> SidecarConfig {
     SidecarConfig {
@@ -176,5 +190,351 @@ proptest! {
                 flow
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial interleavings at scale (slab engine, K up to 1024)
+// ---------------------------------------------------------------------------
+
+/// A scheduled proxy event: one data packet for a flow, or an explicit
+/// eviction (the slot returns to the free list; the flow's next packet
+/// re-creates it from scratch — in a recycled slot, under adversarial
+/// schedules the *same* slot another flow's state just vacated).
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Packet { flow: usize, delivered: bool },
+    Evict { flow: usize },
+}
+
+/// Tiny deterministic generator so the big-K schedules stay cheap to
+/// produce and shrink (proptest only picks `seed`, not the event soup).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// True with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Maximally interleaved: every packet lands on a different flow (and
+/// shard/slot) than its predecessor — the worst case for any scheme that
+/// caches "the current flow".
+fn round_robin_schedule(k: usize, rounds: usize, seed: u64) -> Vec<Ev> {
+    let mut lcg = Lcg(seed | 1);
+    let mut events = Vec::with_capacity(k * rounds);
+    for _ in 0..rounds {
+        for flow in 0..k {
+            events.push(Ev::Packet {
+                flow,
+                delivered: lcg.chance(9, 10),
+            });
+        }
+    }
+    events
+}
+
+/// Bursty per-flow runs: contiguous packets for one flow before switching —
+/// the arrival shape the slot-bucketed fold path is built for.
+fn bursty_schedule(k: usize, burst: usize, bursts: usize, seed: u64) -> Vec<Ev> {
+    let mut lcg = Lcg(seed | 1);
+    let mut events = Vec::with_capacity(burst * bursts);
+    for _ in 0..bursts {
+        let flow = (lcg.next() as usize) % k;
+        for _ in 0..burst {
+            events.push(Ev::Packet {
+                flow,
+                delivered: lcg.chance(9, 10),
+            });
+        }
+    }
+    events
+}
+
+/// Round-robin with rotating explicit evictions: flows leave mid-run and
+/// return later, recycling slots out of the free list while their
+/// neighbours' sessions must stay untouched.
+fn eviction_and_return_schedule(k: usize, rounds: usize, evict_every: usize, seed: u64) -> Vec<Ev> {
+    let mut lcg = Lcg(seed | 1);
+    let mut events = Vec::new();
+    let mut victim = 0usize;
+    for round in 0..rounds {
+        for flow in 0..k {
+            events.push(Ev::Packet {
+                flow,
+                delivered: lcg.chance(9, 10),
+            });
+        }
+        if (round + 1) % evict_every == 0 {
+            events.push(Ev::Evict { flow: victim });
+            victim = (victim + 7) % k;
+        }
+    }
+    events
+}
+
+type Fingerprint = (BTreeSet<u64>, u32, u32, u64);
+
+/// Runs a schedule through one shared slab table. Each eviction closes one
+/// session *incarnation*; a flow's fingerprint is the list of its
+/// incarnations' fingerprints in order.
+fn run_muxed_ev(
+    events: &[Ev],
+    k: usize,
+    quack_every: u64,
+    threshold: usize,
+) -> Vec<Vec<Fingerprint>> {
+    let mut table: FlowTable<Session> =
+        FlowTable::new(FlowTableConfig::sized_for(k, SimDuration::from_secs(3_600)));
+    let mut fps: Vec<Vec<Fingerprint>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, ev) in events.iter().enumerate() {
+        let t = SimTime::ZERO + SimDuration::from_millis(i as u64);
+        match *ev {
+            Ev::Packet { flow, delivered } => {
+                let (_, session) =
+                    table.get_or_insert_with(FlowId(flow as u32), t, || Session::new(threshold));
+                session.step(flow, delivered, quack_every, t);
+            }
+            Ev::Evict { flow } => {
+                if let Some(session) = table.remove(FlowId(flow as u32)) {
+                    fps[flow].push(session.finish(t));
+                }
+            }
+        }
+    }
+    let t_end = SimTime::ZERO + SimDuration::from_millis(events.len() as u64);
+    for (flow, fp) in fps.iter_mut().enumerate().take(k) {
+        if let Some(session) = table.remove(FlowId(flow as u32)) {
+            fp.push(session.finish(t_end));
+        }
+    }
+    fps
+}
+
+/// Replays every flow's exact event subsequence through isolated sessions,
+/// splitting incarnations at the same eviction points.
+fn run_isolated_ev(
+    events: &[Ev],
+    k: usize,
+    quack_every: u64,
+    threshold: usize,
+) -> Vec<Vec<Fingerprint>> {
+    // One pass to bucket events per flow (the naive per-flow scan is
+    // O(K·events) and K reaches 1024 here).
+    let mut per_flow: Vec<Vec<(usize, Option<bool>)>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            Ev::Packet { flow, delivered } => per_flow[flow].push((i, Some(delivered))),
+            Ev::Evict { flow } => per_flow[flow].push((i, None)),
+        }
+    }
+    let t_end = SimTime::ZERO + SimDuration::from_millis(events.len() as u64);
+    per_flow
+        .into_iter()
+        .enumerate()
+        .map(|(flow, evs)| {
+            let mut fps = Vec::new();
+            let mut session: Option<Session> = None;
+            for (i, delivered) in evs {
+                let t = SimTime::ZERO + SimDuration::from_millis(i as u64);
+                match delivered {
+                    Some(delivered) => session.get_or_insert_with(|| Session::new(threshold)).step(
+                        flow,
+                        delivered,
+                        quack_every,
+                        t,
+                    ),
+                    None => {
+                        if let Some(s) = session.take() {
+                            fps.push(s.finish(t));
+                        }
+                    }
+                }
+            }
+            if let Some(s) = session.take() {
+                fps.push(s.finish(t_end));
+            }
+            fps
+        })
+        .collect()
+}
+
+fn assert_schedule_transparent(
+    events: &[Ev],
+    k: usize,
+    quack_every: u64,
+    threshold: usize,
+) -> Result<(), TestCaseError> {
+    let muxed = run_muxed_ev(events, k, quack_every, threshold);
+    let isolated = run_isolated_ev(events, k, quack_every, threshold);
+    for (flow, (m, i)) in muxed.iter().zip(isolated.iter()).enumerate() {
+        prop_assert_eq!(m, i, "flow {} diverged (k={})", flow, k);
+    }
+    Ok(())
+}
+
+proptest! {
+    // Big-K runs are expensive; a handful of cases per shape is plenty —
+    // the schedules themselves are the adversarial part, not the sampling.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Strict round-robin interleaving at K up to 1024.
+    #[test]
+    fn mux_transparent_round_robin_at_scale(
+        k in prop_oneof![Just(16usize), Just(128), Just(1024)],
+        rounds in 2usize..4,
+        quack_every in 2u64..8,
+        seed in any::<u64>(),
+    ) {
+        let events = round_robin_schedule(k, rounds, seed);
+        assert_schedule_transparent(&events, k, quack_every, 8)?;
+    }
+
+    /// Bursty per-flow runs (contiguous arrivals) at K up to 512.
+    #[test]
+    fn mux_transparent_bursty_runs(
+        k in prop_oneof![Just(8usize), Just(64), Just(512)],
+        burst in 2usize..16,
+        bursts in 8usize..48,
+        quack_every in 2u64..8,
+        seed in any::<u64>(),
+    ) {
+        let events = bursty_schedule(k, burst, bursts, seed);
+        assert_schedule_transparent(&events, k, quack_every, 8)?;
+    }
+
+    /// Eviction-and-return: slots recycle through the free list mid-run.
+    #[test]
+    fn mux_transparent_eviction_and_return(
+        k in prop_oneof![Just(8usize), Just(64), Just(256)],
+        rounds in 4usize..8,
+        evict_every in 1usize..4,
+        quack_every in 2u64..8,
+        seed in any::<u64>(),
+    ) {
+        let events = eviction_and_return_schedule(k, rounds, evict_every, seed);
+        assert_schedule_transparent(&events, k, quack_every, 8)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slab-vs-legacy equivalence oracle
+// ---------------------------------------------------------------------------
+
+/// One flow-table operation. Timestamps increase strictly monotonically
+/// across the op sequence, which makes LRU order well-defined (the legacy
+/// table breaks recency ties by scan order, the slab by list position —
+/// with distinct timestamps there are no ties to break).
+#[derive(Clone, Copy, Debug)]
+enum TableOp {
+    /// Ensure the flow exists (possibly capacity-evicting the shard's LRU)
+    /// and fold one identifier into its quACK.
+    Touch(u32),
+    /// Explicitly remove the flow.
+    Remove(u32),
+    /// Evict the flow iff idle.
+    EvictIfIdle(u32),
+    /// Sweep every idle flow.
+    Sweep,
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    // The vendored propcheck union is uniform; repeating the touch branch
+    // weights the mix toward the hot path (~2/3 touches).
+    prop_oneof![
+        (0u32..24).prop_map(TableOp::Touch),
+        (0u32..24).prop_map(TableOp::Touch),
+        (0u32..24).prop_map(TableOp::Touch),
+        (0u32..24).prop_map(TableOp::Touch),
+        (0u32..24).prop_map(TableOp::Remove),
+        (0u32..24).prop_map(TableOp::EvictIfIdle),
+        Just(TableOp::Sweep),
+    ]
+}
+
+type Sketch = PowerSumQuack<Fp32>;
+
+fn snapshot(table: &FlowTable<Sketch>) -> BTreeMap<u32, Sketch> {
+    table.iter().map(|(f, s)| (f.0, s.clone())).collect()
+}
+
+fn snapshot_legacy(
+    table: &sidecar_proto::flows::legacy::FlowTable<Sketch>,
+) -> BTreeMap<u32, Sketch> {
+    table.iter().map(|(f, s)| (f.0, s.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The slab engine and the PR 4 scan table are the same policy: an
+    /// arbitrary op soup leaves identical surviving flows, per-flow quACK
+    /// state, eviction results, and lifetime stats.
+    #[test]
+    fn slab_matches_legacy_oracle(
+        ops in proptest::collection::vec(table_op(), 1..250),
+        threshold in 2usize..6,
+    ) {
+        // Deliberately tiny: 2 shards × 3 slots so capacity evictions and
+        // free-list recycling happen constantly; a short idle timeout so
+        // sweeps bite mid-sequence.
+        let cfg = FlowTableConfig {
+            shards: 2,
+            per_shard: 3,
+            idle_timeout: SimDuration::from_millis(80),
+        };
+        let mut slab: FlowTable<Sketch> = FlowTable::new(cfg);
+        let mut legacy: sidecar_proto::flows::legacy::FlowTable<Sketch> =
+            sidecar_proto::flows::legacy::FlowTable::new(cfg);
+        let mut next_id = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            // Strictly increasing, never-equal timestamps (see enum doc).
+            let t = SimTime::ZERO + SimDuration::from_millis(10 * (i as u64 + 1));
+            match *op {
+                TableOp::Touch(f) => {
+                    next_id += 1;
+                    let id = next_id;
+                    let (c_slab, s_slab) =
+                        slab.get_or_insert_with(FlowId(f), t, || Sketch::new(threshold));
+                    s_slab.insert(id);
+                    let (c_leg, s_leg) =
+                        legacy.get_or_insert_with(FlowId(f), t, || Sketch::new(threshold));
+                    s_leg.insert(id);
+                    prop_assert_eq!(c_slab, c_leg, "created flag diverged on flow {}", f);
+                }
+                TableOp::Remove(f) => {
+                    prop_assert_eq!(slab.remove(FlowId(f)), legacy.remove(FlowId(f)));
+                }
+                TableOp::EvictIfIdle(f) => {
+                    prop_assert_eq!(
+                        slab.evict_if_idle(FlowId(f), t),
+                        legacy.evict_if_idle(FlowId(f), t)
+                    );
+                }
+                TableOp::Sweep => {
+                    // Eviction *sets* must match; the tables may surface
+                    // them in different orders (tail-walk vs scan).
+                    let mut a: Vec<(u32, Sketch)> =
+                        slab.sweep_idle(t).into_iter().map(|(f, s)| (f.0, s)).collect();
+                    let mut b: Vec<(u32, Sketch)> =
+                        legacy.sweep_idle(t).into_iter().map(|(f, s)| (f.0, s)).collect();
+                    a.sort_by_key(|(f, _)| *f);
+                    b.sort_by_key(|(f, _)| *f);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(slab.len(), legacy.len(), "live count diverged after op {}", i);
+        }
+        prop_assert_eq!(snapshot(&slab), snapshot_legacy(&legacy));
+        prop_assert_eq!(slab.take_stats(), legacy.take_stats());
     }
 }

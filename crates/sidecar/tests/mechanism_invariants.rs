@@ -7,9 +7,12 @@
 #![cfg(feature = "obs")]
 
 use sidecar_netsim::link::{LinkConfig, LossModel};
+use sidecar_netsim::time::SimDuration;
 use sidecar_proto::protocols::ack_reduction::AckReductionScenario;
 use sidecar_proto::protocols::ccd::CcdScenario;
+use sidecar_proto::protocols::manyflow::{ManyFlowProtocol, ManyFlowScenario};
 use sidecar_proto::protocols::retx::RetxScenario;
+use sidecar_proto::FlowTableConfig;
 
 /// §4.3 / §2.2: with `QuackFrequency::EveryPackets(2)` the proxy quACKs
 /// once per two observed data packets — the quACK count tracks `packets/n`
@@ -146,4 +149,93 @@ fn flow_table_never_evicts_in_lossless_scenarios() {
         assert_eq!(m.counter("flowtable.evicted.capacity"), 0, "{label}: {m:?}");
         assert_eq!(m.counter("sidecar.flow_mismatch"), 0, "{label}: {m:?}");
     }
+}
+
+/// ISSUE 8 / DESIGN §14: a lossless 10k-flow run through a
+/// [`FlowTableConfig::sized_for`] slab must finish with **zero evictions
+/// and zero threshold failures** — the engine's capacity claim stated as
+/// arithmetic. ACK reduction carries the invariant (the lightest proxy
+/// tier, so 10k flows stay affordable in a debug build); links are
+/// provisioned so the only possible eviction causes would be table bugs:
+/// deep queues absorb the 10k-flow slow-start burst, the idle timeout
+/// outlives the horizon, and `sized_for`'s 2× headroom must absorb the
+/// hashed shard imbalance.
+#[test]
+fn lossless_10k_flow_run_has_zero_evictions_and_threshold_failures() {
+    const FLOWS: u32 = 10_000;
+    let mut s = ManyFlowScenario::new(ManyFlowProtocol::AckReduction, FLOWS);
+    s.packets_per_flow = 8;
+    s.table = FlowTableConfig::sized_for(FLOWS as usize, SimDuration::from_secs(300));
+    s.trunk = LinkConfig {
+        rate_bps: 2_000_000_000,
+        delay: SimDuration::from_millis(25),
+        queue_packets: 131_072,
+        ..LinkConfig::default()
+    };
+    s.edge = LinkConfig {
+        rate_bps: 2_000_000_000,
+        delay: SimDuration::from_millis(2),
+        queue_packets: 131_072,
+        ..s.edge
+    };
+    s.horizon = SimDuration::from_secs(60);
+    let report = s.run();
+    let m = &report.metrics;
+
+    assert_eq!(report.completed, FLOWS, "every flow must finish");
+    assert_eq!(
+        m.counter_sum("netsim.drop."),
+        0,
+        "the run must actually be lossless: {m:?}"
+    );
+    // The headline invariant: a sized-for table under a lossless population
+    // never sheds state…
+    assert_eq!(report.evictions_idle, 0, "{report:?}");
+    assert_eq!(report.evictions_capacity, 0, "{report:?}");
+    assert_eq!(report.live_flows_at_end, FLOWS as usize);
+    assert_eq!(m.counter("flowtable.created"), FLOWS as u64);
+    // …and no sketch ever overflows or misdecodes.
+    assert!(m.counter("quack.decoded") > 0);
+    assert_eq!(m.counter("quack.err.threshold"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.malformed"), 0);
+    assert_eq!(m.counter("quack.err.count_inconsistent"), 0);
+}
+
+/// ISSUE 8: under deliberate overcommit (24 flows through a 2×4 table),
+/// every capacity-evicted flow's next packet rebuilds a fresh session and
+/// its subsequent quACK stream resyncs **cleanly** — consumers may see the
+/// benign `stale` outcome while counts catch up, but never a decode error
+/// (threshold / malformed / wrong-epoch / count-inconsistent), and every
+/// flow still completes via end-to-end recovery.
+#[test]
+fn overcommitted_table_resyncs_evicted_flows_without_decode_errors() {
+    const FLOWS: u32 = 24;
+    let mut s = ManyFlowScenario::new(ManyFlowProtocol::AckReduction, FLOWS);
+    s.packets_per_flow = 32;
+    s.horizon = SimDuration::from_secs(30);
+    s.table = FlowTableConfig {
+        shards: 2,
+        per_shard: 4,
+        idle_timeout: SimDuration::from_secs(2),
+    };
+    let report = s.run();
+    let m = &report.metrics;
+
+    assert!(
+        report.evictions_capacity > 0,
+        "overcommit must force LRU evictions: {report:?}"
+    );
+    assert!(
+        m.counter("flowtable.created") > FLOWS as u64,
+        "evicted flows must return and rebuild sessions: {m:?}"
+    );
+    assert_eq!(report.completed, FLOWS, "{report:?}");
+    // Clean resync, never a decode error.
+    assert_eq!(m.counter("quack.err.threshold"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.malformed"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.wrong_epoch"), 0, "{m:?}");
+    assert_eq!(m.counter("quack.err.count_inconsistent"), 0, "{m:?}");
+    // One supervisor transition per flow (Handshaking → Active): no flow
+    // ever fell back to degraded mode over an eviction.
+    assert_eq!(m.counter("supervisor.transitions"), FLOWS as u64, "{m:?}");
 }
