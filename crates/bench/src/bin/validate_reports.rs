@@ -106,6 +106,20 @@ fn required_cells(report: &str, present: &BTreeSet<String>) -> Vec<String> {
             cells.push("manyflow_insert_speedup|flows=100000".into());
         }
     }
+    if report == "exp_live" {
+        // The live-vs-netsim overhead comparison plus the certification
+        // bit: a run that cannot certify its flight recorder (or never
+        // measured one of the two hosts) is not a valid report.
+        for name in [
+            "calibration",
+            "live_ns_per_packet",
+            "netsim_ns_per_packet",
+            "live_overhead_ratio",
+            "certified",
+        ] {
+            cells.push(name.into());
+        }
+    }
     cells
 }
 

@@ -1,0 +1,77 @@
+//! Live receiving end host: a paranoid-transport [`ReceiverNode`] on a
+//! real UDP socket. Pairs with `live-sender`.
+//!
+//! ```text
+//! live-receiver --bind 127.0.0.1:7002 --peer 127.0.0.1:7001 --expect 1000
+//! ```
+//!
+//! Runs until `--expect` unique data units arrived (then lingers briefly so
+//! final ACKs drain) or `--max-secs` elapses.
+
+use sidecar_live::cli::Args;
+use sidecar_live::LiveDriver;
+use sidecar_netsim::node::IfaceId;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{ReceiverConfig, ReceiverNode};
+use sidecar_netsim::Driver;
+use std::net::UdpSocket;
+
+const USAGE: &str = "--bind ADDR --peer ADDR [--expect N] [--ack-every N] \
+                     [--max-ack-delay-ms N] [--seed N] [--max-secs S]";
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let bind = args.require("bind").to_string();
+    let peer = args.require("peer").to_string();
+    let expect: u64 = args.parse_or("expect", 0);
+    let ack_every: u32 = args.parse_or("ack-every", 8);
+    let max_ack_delay_ms: u64 = args.parse_or("max-ack-delay-ms", 20);
+    let seed: u64 = args.parse_or("seed", 2);
+    let max_secs: f64 = args.parse_or("max-secs", 60.0);
+    args.finish();
+
+    let socket = UdpSocket::bind(&bind).unwrap_or_else(|e| {
+        eprintln!("bind {bind}: {e}");
+        std::process::exit(1);
+    });
+    let peer = peer.parse().unwrap_or_else(|e| {
+        eprintln!("bad --peer {peer}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut driver = LiveDriver::new(seed);
+    let receiver = driver.install(Box::new(ReceiverNode::new(ReceiverConfig {
+        ack_every,
+        max_ack_delay: SimDuration::from_millis(max_ack_delay_ms),
+        ..ReceiverConfig::default()
+    })));
+    driver
+        .attach_socket(receiver, IfaceId(0), socket, peer)
+        .expect("attach socket");
+
+    let slice = SimDuration::from_millis(50);
+    let cap = SimTime::ZERO + SimDuration::from_secs_f64(max_secs);
+    let mut deadline = SimTime::ZERO;
+    loop {
+        deadline = driver.now().max(deadline) + slice;
+        driver.run_until(deadline.min(cap));
+        let node: &ReceiverNode = (&driver as &dyn Driver).node_as(receiver);
+        if expect > 0 && node.stats().unique_units >= expect {
+            // Linger so the final ACK batch drains before we exit.
+            let linger = driver.now() + SimDuration::from_millis(100);
+            driver.run_until(linger);
+            break;
+        }
+        if driver.now() >= cap {
+            break;
+        }
+    }
+
+    let node: &ReceiverNode = (&driver as &dyn Driver).node_as(receiver);
+    let stats = node.stats();
+    println!("unique_units {}", stats.unique_units);
+    println!("acks_sent {}", stats.acks_sent);
+    println!("driver_packets_in {}", driver.stats().packets_in);
+    let done = expect == 0 || stats.unique_units >= expect;
+    std::process::exit(if done { 0 } else { 1 });
+}

@@ -1,0 +1,95 @@
+//! Live sending end host: a paranoid-transport [`SenderNode`] on a real
+//! UDP socket. Pairs with `live-receiver` (directly, or through one or two
+//! `live-proxy` instances bracketing a lossy segment).
+//!
+//! ```text
+//! live-sender --bind 127.0.0.1:7001 --peer 127.0.0.1:7002 --packets 1000
+//! ```
+
+use sidecar_live::cli::Args;
+use sidecar_live::LiveDriver;
+use sidecar_netsim::node::IfaceId;
+use sidecar_netsim::packet::FlowId;
+use sidecar_netsim::time::{SimDuration, SimTime};
+use sidecar_netsim::transport::{CcAlgorithm, SenderConfig, SenderNode};
+use sidecar_netsim::Driver;
+use std::net::UdpSocket;
+
+const USAGE: &str = "--bind ADDR --peer ADDR [--packets N] [--flow N] [--seed N] \
+                     [--cc newreno|cubic|bbr|fixed] [--max-secs S]";
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let bind = args.require("bind").to_string();
+    let peer = args.require("peer").to_string();
+    let packets: u64 = args.parse_or("packets", 1_000);
+    let flow: u32 = args.parse_or("flow", 1);
+    let seed: u64 = args.parse_or("seed", 1);
+    let max_secs: f64 = args.parse_or("max-secs", 60.0);
+    let cc = match args.get("cc").unwrap_or("newreno") {
+        "newreno" => CcAlgorithm::NewReno,
+        "cubic" => CcAlgorithm::Cubic,
+        "bbr" => CcAlgorithm::Bbr,
+        "fixed" => CcAlgorithm::Fixed(64),
+        other => {
+            eprintln!("unknown --cc {other:?}");
+            std::process::exit(2);
+        }
+    };
+    args.finish();
+
+    let socket = UdpSocket::bind(&bind).unwrap_or_else(|e| {
+        eprintln!("bind {bind}: {e}");
+        std::process::exit(1);
+    });
+    let peer = peer.parse().unwrap_or_else(|e| {
+        eprintln!("bad --peer {peer}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut driver = LiveDriver::new(seed);
+    let sender = driver.install(Box::new(SenderNode::new(SenderConfig {
+        flow: FlowId(flow),
+        total_packets: Some(packets),
+        cc,
+        id_seed: seed ^ 0xA5A5,
+        peer_max_ack_delay: SimDuration::from_millis(60),
+        ..SenderConfig::default()
+    })));
+    driver
+        .attach_socket(sender, IfaceId(0), socket, peer)
+        .expect("attach socket");
+
+    let slice = SimDuration::from_millis(50);
+    let cap = SimTime::ZERO + SimDuration::from_secs_f64(max_secs);
+    let mut deadline = SimTime::ZERO;
+    let complete = loop {
+        deadline = driver.now().max(deadline) + slice;
+        driver.run_until(deadline.min(cap));
+        let node: &SenderNode = (&driver as &dyn Driver).node_as(sender);
+        if node.core().is_complete() {
+            break true;
+        }
+        if driver.now() >= cap {
+            break false;
+        }
+    };
+
+    let node: &SenderNode = (&driver as &dyn Driver).node_as(sender);
+    let stats = node.stats();
+    let dstats = driver.stats();
+    println!("complete {complete}");
+    println!("sent_packets {}", stats.sent_packets);
+    println!("delivered_packets {}", stats.delivered_packets);
+    println!("retransmissions {}", stats.retransmissions);
+    println!(
+        "completed_at_ms {}",
+        stats
+            .completed_at
+            .map(|t| (t.as_nanos() / 1_000_000).to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    println!("driver_packets_out {}", dstats.packets_out);
+    println!("driver_packets_in {}", dstats.packets_in);
+    std::process::exit(if complete { 0 } else { 1 });
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod fault;
 pub mod forward;
 pub mod link;
@@ -60,6 +61,7 @@ pub mod trace;
 pub mod transport;
 pub mod world;
 
+pub use driver::Driver;
 pub use fault::FaultPlan;
 pub use forward::Forwarder;
 pub use link::{Link, LinkConfig, LinkStats, LossModel};

@@ -36,6 +36,14 @@ pub struct LinkId(pub usize);
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TimerHandle(pub(crate) u64);
 
+impl TimerHandle {
+    /// The raw handle value. Drivers outside this crate use it to advance
+    /// their own monotone handle counters past what a callback allocated.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// An action a node requested during a callback.
 #[derive(Debug)]
 pub enum Action {
@@ -106,10 +114,11 @@ impl<'a> Context<'a> {
         }
     }
 
-    /// Sets the first [`TimerHandle`] value this callback allocates. The
-    /// world passes its monotone handle counter here so handles are unique
-    /// across the whole run; unit-test contexts keep the 0 default.
-    pub(crate) fn set_handle_base(&mut self, base: u64) {
+    /// Sets the first [`TimerHandle`] value this callback allocates. A
+    /// driver (the world, or a live-socket host) passes its monotone handle
+    /// counter here so handles are unique across the whole run; unit-test
+    /// contexts keep the 0 default.
+    pub fn set_handle_base(&mut self, base: u64) {
         self.handle_base = base;
     }
 

@@ -9,8 +9,8 @@
 //!
 //! # Wheel layout
 //!
-//! The wheel is a single-level calendar queue: [`NSLOTS`] slots of
-//! [`SLOT_NS`] nanoseconds each (2^14 × 2^13 ns ≈ 134 ms of horizon).
+//! The wheel is a single-level calendar queue: `NSLOTS` slots of
+//! `SLOT_NS` nanoseconds each (2^14 × 2^13 ns ≈ 134 ms of horizon).
 //! Event payloads live in a free-listed slab — the pool that makes
 //! steady-state scheduling allocation-free — and each slot is an intrusive
 //! singly-linked list threaded through the slab (a head index per slot, a

@@ -150,7 +150,7 @@ impl ReceiverCore {
         if gap {
             self.stats.gaps_observed += 1;
         }
-        self.unacked += 1;
+        self.unacked = self.unacked.saturating_add(1);
         let immediate = (self.cfg.immediate_on_gap && gap) || self.unacked >= self.cfg.ack_every;
         if immediate {
             Some(self.build_ack(now, gap))
@@ -189,7 +189,9 @@ impl ReceiverCore {
     /// a gap (arrived non-contiguously above the previous largest).
     fn record_pn(&mut self, pn: u64) -> bool {
         let gap = match self.ranges.last() {
-            Some(&(_, e)) => pn > e + 1,
+            // Checked: a peer controls `pn` on a real socket, and the top
+            // range can legitimately end at u64::MAX.
+            Some(&(_, e)) => pn > e.saturating_add(1),
             None => pn > 0,
         };
         // Find insertion point.
@@ -204,9 +206,11 @@ impl ReceiverCore {
         }) {
             Ok(_) => return false, // duplicate pn; no new gap
             Err(idx) => {
-                // Try to extend neighbors.
-                let extends_prev = idx > 0 && self.ranges[idx - 1].1 + 1 == pn;
-                let extends_next = idx < self.ranges.len() && self.ranges[idx].0 == pn + 1;
+                // Try to extend neighbors (checked: `pn` may be u64::MAX
+                // and a neighbor may end there).
+                let extends_prev = idx > 0 && self.ranges[idx - 1].1.checked_add(1) == Some(pn);
+                let extends_next =
+                    idx < self.ranges.len() && pn.checked_add(1) == Some(self.ranges[idx].0);
                 match (extends_prev, extends_next) {
                     (true, true) => {
                         self.ranges[idx - 1].1 = self.ranges[idx].1;
@@ -217,6 +221,13 @@ impl ReceiverCore {
                     (false, false) => self.ranges.insert(idx, (pn, pn)),
                 }
             }
+        }
+        // Bound the *internal* set too, not just the ACK encoding: an
+        // adversarial every-other-pn pattern would otherwise grow this Vec
+        // without limit. Old history is droppable (QUIC-style).
+        if self.ranges.len() > self.cfg.max_ranges {
+            let excess = self.ranges.len() - self.cfg.max_ranges;
+            self.ranges.drain(..excess);
         }
         gap
     }
@@ -258,7 +269,13 @@ mod tests {
     use super::*;
 
     fn data(pn: u64) -> Packet {
-        Packet::data(FlowId(0), pn, pn * 13 + 5, 1500, SimTime::ZERO)
+        Packet::data(
+            FlowId(0),
+            pn,
+            pn.wrapping_mul(13).wrapping_add(5),
+            1500,
+            SimTime::ZERO,
+        )
     }
 
     fn recv() -> ReceiverCore {
@@ -375,6 +392,43 @@ mod tests {
             }
             _ => panic!("not an ack"),
         }
+    }
+
+    #[test]
+    fn extreme_pns_survive_reorder_and_duplication() {
+        // Regression: `record_pn` computed `e + 1` / `pn + 1` unchecked. A
+        // packet number of u64::MAX — attacker-settable on a real socket —
+        // followed by a duplicate or reordered neighbors overflowed (debug
+        // panic; wrapped gap detection in release).
+        let mut r = recv();
+        let _ = r.on_data(&data(u64::MAX), SimTime::ZERO);
+        let _ = r.on_data(&data(u64::MAX), SimTime::ZERO); // duplicate at the top
+        let _ = r.on_data(&data(u64::MAX - 2), SimTime::ZERO); // reordered below
+        let _ = r.on_data(&data(u64::MAX - 1), SimTime::ZERO); // fills the hole
+        assert_eq!(r.largest_pn(), Some(u64::MAX));
+        assert_eq!(r.range_count(), 1);
+        // Duplicates adjacent to the top must not register fresh gaps.
+        let before = r.stats().gaps_observed;
+        let _ = r.on_data(&data(u64::MAX), SimTime::ZERO);
+        assert_eq!(r.stats().gaps_observed, before);
+    }
+
+    #[test]
+    fn internal_range_set_is_bounded() {
+        // Regression: only the ACK *encoding* honored `max_ranges`; the
+        // internal Vec grew one range per every-other-pn packet, unbounded
+        // on adversarial input.
+        let mut r = ReceiverCore::new(ReceiverConfig {
+            max_ranges: 8,
+            ack_every: u32::MAX,
+            immediate_on_gap: false,
+            ..ReceiverConfig::default()
+        });
+        for pn in 0..4096u64 {
+            let _ = r.on_data(&data(pn * 2), SimTime::ZERO);
+        }
+        assert!(r.range_count() <= 8, "ranges = {}", r.range_count());
+        assert_eq!(r.largest_pn(), Some(8190));
     }
 
     #[test]

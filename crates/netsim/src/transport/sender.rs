@@ -379,6 +379,7 @@ impl SenderCore {
     pub fn on_ack(&mut self, ack: &AckInfo, now: SimTime) {
         let mut newly_acked = 0u64;
         let mut ack_of_largest: Option<InFlight> = None;
+        let mut max_acked_pn: Option<u64> = None;
         // Collect acked packet numbers (ranges are few; in-flight is a map).
         let acked_pns: Vec<u64> = self
             .in_flight
@@ -390,6 +391,7 @@ impl SenderCore {
             let info = self.in_flight.remove(&pn).expect("collected above");
             self.window_released.remove(&pn);
             newly_acked += 1;
+            max_acked_pn = Some(max_acked_pn.map_or(pn, |m: u64| m.max(pn)));
             if pn == ack.largest {
                 ack_of_largest = Some(info);
             }
@@ -409,6 +411,7 @@ impl SenderCore {
         for pn in late_pns {
             let info = self.lost_unacked.remove(&pn).expect("collected above");
             newly_acked += 1;
+            max_acked_pn = Some(max_acked_pn.map_or(pn, |m: u64| m.max(pn)));
             if self.delivered_units.insert(info.unit) {
                 self.stats.delivered_packets += 1;
             }
@@ -421,10 +424,14 @@ impl SenderCore {
         if let Some(info) = ack_of_largest {
             self.rtt.on_sample(now - info.sent_at);
         }
-        self.largest_acked = Some(
-            self.largest_acked
-                .map_or(ack.largest, |l| l.max(ack.largest)),
-        );
+        // Advance loss detection only from packet numbers this sender
+        // actually sent and saw acknowledged — never from the wire-supplied
+        // `ack.largest`, which a forged or corrupted ACK could set to
+        // u64::MAX and instantly declare the whole window lost via the
+        // reorder threshold. For an honest peer the two agree: its largest
+        // is always a packet we transmitted.
+        let advanced = max_acked_pn.expect("newly_acked > 0 implies an acked pn");
+        self.largest_acked = Some(self.largest_acked.map_or(advanced, |l| l.max(advanced)));
         self.cc.on_ack(newly_acked, now, &self.rtt);
         self.detect_losses(now);
         self.check_complete(now);
@@ -654,6 +661,32 @@ mod tests {
         // Backoff pushes the next deadline beyond one plain RTO from now.
         let d2 = s.next_timeout().unwrap();
         assert!(d2 > deadline);
+    }
+
+    #[test]
+    fn forged_largest_cannot_nuke_the_window() {
+        // Regression: `largest_acked` used to advance straight to the
+        // wire-supplied `ack.largest`. A forged ACK claiming
+        // largest = u64::MAX (while genuinely acking one real pn so the
+        // early-return didn't save us) pushed the loss cutoff past every
+        // in-flight packet and declared the whole window lost.
+        let mut s = core(100);
+        let _ = s.poll_send(SimTime::ZERO); // pns 0..4 in flight
+        let forged = AckInfo {
+            largest: u64::MAX,
+            ranges: vec![(u64::MAX, u64::MAX), (0, 0)],
+            immediate: false,
+        };
+        s.on_ack(&forged, SimTime::from_nanos(1_000_000));
+        // pn 0 was genuinely acked; the forged largest must not have
+        // written off pns 1..4.
+        assert_eq!(s.stats().delivered_packets, 1);
+        assert_eq!(s.stats().lost_packets, 0);
+        assert_eq!(s.in_flight_count(), 3);
+        // Loss detection still keys off real acknowledgments afterwards.
+        s.on_ack(&ack_for(&[1, 2, 3]), SimTime::from_nanos(2_000_000));
+        assert_eq!(s.in_flight_count(), 0);
+        assert_eq!(s.stats().lost_packets, 0);
     }
 
     #[test]

@@ -363,6 +363,49 @@ impl World {
             .expect("node type mismatch")
     }
 
+    /// Borrows a node as `dyn Node` (no downcast). Drivers use this to
+    /// reach hosted state machines without knowing their concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly while `id` is being dispatched.
+    pub fn node_dyn(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.0]
+            .as_deref()
+            .expect("node is being dispatched")
+    }
+
+    /// Mutably borrows a node as `dyn Node` (no downcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly while `id` is being dispatched.
+    pub fn node_dyn_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node is being dispatched")
+    }
+
+    /// Enqueues a packet arrival at `node`/`iface` for the current time, as
+    /// if a link had just delivered it: the ingress seam a
+    /// [`Driver`](crate::driver::Driver) uses to hand externally sourced packets to a
+    /// hosted node. The event goes through the ordinary queue, so it is
+    /// FIFO-ordered after anything already due now and dispatched with full
+    /// trace/obs accounting.
+    pub fn inject(&mut self, node: NodeId, iface: IfaceId, packet: Packet) {
+        let at = self.now;
+        let seq = self.next_seq();
+        self.queue.push(
+            at,
+            seq,
+            EventKind::Arrival {
+                node,
+                iface,
+                packet,
+            },
+        );
+    }
+
     /// Runs `on_start` on every node if not yet done.
     fn ensure_started(&mut self) {
         if self.started {

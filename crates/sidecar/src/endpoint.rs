@@ -632,6 +632,49 @@ mod tests {
     }
 
     #[test]
+    fn epoch_resync_survives_u32_wraparound() {
+        // The protocols resync with `epoch().wrapping_add(1)`; epochs are
+        // compared by equality only, so u32::MAX -> 0 must behave exactly
+        // like any other bump: the new epoch matches, the stale one is
+        // rejected with WrongEpoch (never ThresholdExceeded or a panic).
+        let (mut prod, mut cons) = pair();
+        prod.reset(u32::MAX);
+        let _ = cons.reset(u32::MAX);
+        for i in 0..20u64 {
+            let id = i * 613 + 7;
+            cons.record_sent(id, i, t(0));
+            prod.observe(id);
+        }
+        let (epoch, bytes) = quack_bytes(prod.emit());
+        assert_eq!(epoch, u32::MAX);
+        assert!(cons.process_quack(t(10), epoch, &bytes).is_ok());
+
+        // Resync across the wrap, exactly as the reset paths do.
+        let stale = bytes;
+        let new_epoch = cons.epoch().wrapping_add(1);
+        assert_eq!(new_epoch, 0);
+        let _ = cons.reset(new_epoch);
+        prod.reset(new_epoch);
+        for i in 0..20u64 {
+            let id = i * 401 + 3;
+            cons.record_sent(id, i, t(20));
+            prod.observe(id);
+        }
+        let (epoch, bytes) = quack_bytes(prod.emit());
+        assert_eq!(epoch, 0);
+        let report = cons.process_quack(t(30), epoch, &bytes).unwrap();
+        assert_eq!(report.received.len(), 20);
+        // A quACK from the pre-wrap epoch is cleanly refused.
+        match cons.process_quack(t(31), u32::MAX, &stale) {
+            Err(ProcessError::WrongEpoch { got, expected }) => {
+                assert_eq!(got, u32::MAX);
+                assert_eq!(expected, 0);
+            }
+            other => panic!("expected WrongEpoch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn losses_detected_graced_then_confirmed() {
         let (mut prod, mut cons) = pair();
         for i in 0..30u64 {

@@ -1133,6 +1133,38 @@ mod tests {
     }
 
     #[test]
+    fn slot_generation_check_survives_u32_wraparound() {
+        // `evict_slot` bumps with `wrapping_add`, so after 2^32 recycles a
+        // slot's generation passes through u32::MAX -> 0. Generations are
+        // compared by equality only; a handle minted at gen u32::MAX must
+        // go stale across the wrap exactly as at any other boundary (ABA:
+        // the recycled slot's new occupant must not honor the old handle).
+        let mut table = small(1, 1, 100);
+        let (_, first) = table.ensure_slot(FlowId(1), t(0), || 10u32);
+        table.slots[first.index as usize].gen = u32::MAX;
+        // Re-mint the handle at the doctored generation (probe hit returns
+        // the current gen), then recycle the slot across the wrap.
+        let (created, seed) = table.ensure_slot(FlowId(1), t(0), || 10u32);
+        assert!(!created);
+        assert_eq!(seed.gen, u32::MAX);
+        table.remove(FlowId(1));
+        // remove() bumped MAX -> 0; walk one full cycle edge explicitly.
+        assert_eq!(table.slots[seed.index as usize].gen, 0);
+        let (_, h0) = table.ensure_slot(FlowId(2), t(1), || 20u32);
+        assert_eq!(h0.index, seed.index, "1-slot arena must reuse the slot");
+        assert_eq!(h0.gen, 0, "generation wrapped to zero");
+        assert_eq!(table.slot_entry_mut(seed), None, "pre-wrap handle is stale");
+        assert_eq!(table.slot_entry_mut(h0), Some((FlowId(2), &mut 20)));
+        // And a handle from the wrapped epoch goes stale on the next
+        // recycle like any other.
+        table.remove(FlowId(2));
+        let (_, h1) = table.ensure_slot(FlowId(3), t(2), || 30u32);
+        assert_eq!(h1.gen, 1);
+        assert_eq!(table.slot_entry_mut(h0), None);
+        assert_eq!(table.slot_entry_mut(h1), Some((FlowId(3), &mut 30)));
+    }
+
+    #[test]
     fn index_survives_heavy_delete_churn() {
         // Backward-shift deletion stress: interleave inserts and removes so
         // probe chains repeatedly form and compact, then verify every

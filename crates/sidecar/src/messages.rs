@@ -65,6 +65,14 @@ pub mod tag {
 /// for link accounting.
 pub const HEADER_OVERHEAD: u32 = 28;
 
+/// Largest sidecar datagram body that fits in one real UDP datagram: the
+/// IPv4 maximum UDP payload (65,507 bytes) minus [`HEADER_OVERHEAD`].
+/// Bodies beyond this cannot be emitted on a live socket, and the legacy
+/// `wire_size` arithmetic would silently truncate their length accounting —
+/// the checked encoders reject them with [`MessageError::Oversized`]
+/// instead.
+pub const MAX_BODY: usize = 65_507 - HEADER_OVERHEAD as usize;
+
 /// A decoded sidecar message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SidecarMessage {
@@ -112,6 +120,9 @@ pub enum MessageError {
     UnknownTag(u8),
     /// The body is too short for the message type.
     Truncated,
+    /// The encoded body exceeds [`MAX_BODY`] and cannot travel in one UDP
+    /// datagram (the carried value is the offending body length).
+    Oversized(usize),
 }
 
 impl core::fmt::Display for MessageError {
@@ -119,6 +130,9 @@ impl core::fmt::Display for MessageError {
         match self {
             MessageError::UnknownTag(t) => write!(f, "unknown sidecar message tag {t}"),
             MessageError::Truncated => write!(f, "truncated sidecar message"),
+            MessageError::Oversized(len) => {
+                write!(f, "sidecar message body of {len} bytes exceeds {MAX_BODY}")
+            }
         }
     }
 }
@@ -229,11 +243,36 @@ impl SidecarMessage {
         }
     }
 
+    /// Serializes to `(tag, body)`, rejecting bodies over [`MAX_BODY`] with
+    /// a typed error instead of letting an impossible-to-transmit datagram
+    /// reach the wire (where the old length accounting silently truncated).
+    pub fn try_encode(&self) -> Result<(u8, Vec<u8>), MessageError> {
+        let (t, body) = self.encode();
+        if body.len() > MAX_BODY {
+            return Err(MessageError::Oversized(body.len()));
+        }
+        Ok((t, body))
+    }
+
+    /// [`SidecarMessage::encode_for_flow`] with the [`MAX_BODY`] check: the
+    /// flow prefix counts toward the limit, so a body that fits untagged can
+    /// still be rejected for a non-zero flow.
+    pub fn try_encode_for_flow(&self, flow: u32) -> Result<(u8, Vec<u8>), MessageError> {
+        let (t, body) = self.encode_for_flow(flow);
+        if body.len() > MAX_BODY {
+            return Err(MessageError::Oversized(body.len()));
+        }
+        Ok((t, body))
+    }
+
     /// On-the-wire size of the sidecar datagram body plus a nominal
-    /// UDP/IP-style header overhead used for link accounting.
+    /// UDP/IP-style header overhead used for link accounting. Saturates
+    /// (rather than truncating) on bodies too large to encode — such
+    /// messages are rejected by [`SidecarMessage::try_encode`] before any
+    /// wire accounting can see them.
     pub fn wire_size(&self) -> u32 {
         let (_, body) = self.encode();
-        HEADER_OVERHEAD + body.len() as u32
+        HEADER_OVERHEAD.saturating_add(u32::try_from(body.len()).unwrap_or(u32::MAX))
     }
 
     /// [`SidecarMessage::wire_size`] for the flow-tagged encoding: non-zero
@@ -396,6 +435,36 @@ mod tests {
                 Err(MessageError::UnknownTag(t)),
             );
         }
+    }
+
+    #[test]
+    fn oversized_bodies_rejected_with_typed_error() {
+        // Quack body = 4-byte epoch + sketch bytes, so MAX_BODY - 4 sketch
+        // bytes is the largest encodable quACK.
+        let at_limit = SidecarMessage::Quack {
+            epoch: 1,
+            bytes: vec![0; MAX_BODY - 4],
+        };
+        assert!(at_limit.try_encode().is_ok());
+        // The same message no longer fits once the 4-byte flow prefix is
+        // added.
+        assert_eq!(
+            at_limit.try_encode_for_flow(7),
+            Err(MessageError::Oversized(MAX_BODY + 4))
+        );
+        let over = SidecarMessage::Quack {
+            epoch: 1,
+            bytes: vec![0; MAX_BODY - 3],
+        };
+        assert_eq!(
+            over.try_encode(),
+            Err(MessageError::Oversized(MAX_BODY + 1))
+        );
+        assert_eq!(over.try_encode_for_flow(0), over.try_encode());
+        let display = MessageError::Oversized(MAX_BODY + 1).to_string();
+        assert!(display.contains("65479"), "{display}");
+        // wire_size saturates rather than wrapping for oversized bodies.
+        assert_eq!(over.wire_size(), HEADER_OVERHEAD + (MAX_BODY as u32) + 1);
     }
 
     #[test]

@@ -382,7 +382,7 @@ impl AckRedServer {
             Err(
                 err @ (ProcessError::ThresholdExceeded { .. } | ProcessError::CountInconsistent),
             ) => {
-                let epoch = self.sidecar.epoch() + 1;
+                let epoch = self.sidecar.epoch().wrapping_add(1);
                 let _ = self.sidecar.reset(epoch);
                 let _ = send_sidecar(
                     SidecarMessage::Reset { epoch },

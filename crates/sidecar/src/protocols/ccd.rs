@@ -506,7 +506,7 @@ impl CcdProxy {
                 self.rate.rate_bps = (self.rate.rate_bps * 0.5).max(self.rate.min_bps);
                 let (new_epoch, degrade) = {
                     let session = self.table.peek_mut(flow).expect("session checked above");
-                    let new_epoch = session.downstream_consumer.epoch() + 1;
+                    let new_epoch = session.downstream_consumer.epoch().wrapping_add(1);
                     let _ = session.downstream_consumer.reset(new_epoch);
                     (new_epoch, session.supervisor.on_quack_error(&err, now))
                 };
@@ -999,7 +999,7 @@ impl CcdServer {
             ) => {
                 self.window = (self.window * 0.5).max(2.0);
                 self.transport.set_cwnd_cap(Some(self.window as u64));
-                let epoch = self.sidecar.epoch() + 1;
+                let epoch = self.sidecar.epoch().wrapping_add(1);
                 let _ = self.sidecar.reset(epoch);
                 let _ = send_sidecar(
                     SidecarMessage::Reset { epoch },

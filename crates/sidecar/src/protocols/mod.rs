@@ -15,7 +15,7 @@ pub mod manyflow;
 pub mod retx;
 
 use crate::auth::ChannelAuth;
-use crate::messages::{SidecarMessage, HEADER_OVERHEAD};
+use crate::messages::{SidecarMessage, HEADER_OVERHEAD, MAX_BODY};
 use sidecar_netsim::fault::FaultPlan;
 use sidecar_netsim::node::{Context, IfaceId, NodeId, TimerHandle};
 use sidecar_netsim::packet::{FlowId, Packet};
@@ -92,6 +92,14 @@ pub(crate) fn send_sidecar(
         Some(channel) => channel.seal(&msg, flow.0),
         None => msg.encode_for_flow(flow.0),
     };
+    // Enforce the single-datagram wire maximum on the final body (sealed
+    // envelopes included): an oversized control message is dropped here with
+    // its counter bumped, never emitted with a truncated length field.
+    if body.len() > MAX_BODY {
+        #[cfg(feature = "obs")]
+        ctx.obs_inc("sidecar.err.oversized");
+        return 0;
+    }
     let size = HEADER_OVERHEAD + body.len() as u32;
     #[cfg(feature = "obs")]
     {

@@ -330,8 +330,9 @@ impl SenderSideProxy {
                 err @ (crate::endpoint::ProcessError::ThresholdExceeded { .. }
                 | crate::endpoint::ProcessError::CountInconsistent),
             ) => {
-                // Reset both sides to a fresh epoch (§3.3).
-                let new_epoch = session.consumer.epoch() + 1;
+                // Reset both sides to a fresh epoch (§3.3). Wrapping: epochs
+                // are compared by equality, so u32::MAX -> 0 resyncs fine.
+                let new_epoch = session.consumer.epoch().wrapping_add(1);
                 let leftovers = session.consumer.reset(new_epoch);
                 for entry in leftovers {
                     session.buffer.remove(&entry.tag);

@@ -106,6 +106,40 @@ proptest! {
         prop_assert!(rx.open(tag, &sealed).is_err());
     }
 
+    /// The checked encoders agree with the infallible ones below the wire
+    /// maximum and reject with a typed error above it — for every variant,
+    /// at every flow. Decoding the truncated *image* of an oversized body
+    /// (what the old silently-truncating length accounting would have put
+    /// on the wire) stays total: it parses as a shorter message or fails
+    /// cleanly, never panics.
+    #[test]
+    fn oversized_encode_rejected_and_truncated_images_decode_totally(
+        flow in any::<u32>(),
+        pad in 0usize..8,
+        cut in 0usize..64,
+    ) {
+        use sidecar_proto::messages::MAX_BODY;
+
+        let msg = SidecarMessage::Quack { epoch: 9, bytes: vec![0xA5; MAX_BODY - 7 + pad] };
+        let (_, body) = msg.encode_for_flow(flow);
+        match msg.try_encode_for_flow(flow) {
+            Ok((t2, b2)) => {
+                prop_assert!(body.len() <= MAX_BODY);
+                prop_assert_eq!((t2, b2), msg.encode_for_flow(flow));
+            }
+            Err(e) => {
+                prop_assert!(body.len() > MAX_BODY);
+                prop_assert_eq!(e, sidecar_proto::MessageError::Oversized(body.len()));
+            }
+        }
+        // Truncated-length images: decode every prefix an attacker (or the
+        // old truncating arithmetic) could present at either tag family.
+        let cut = body.len().saturating_sub(cut);
+        let (tag, _) = msg.encode_for_flow(flow);
+        let _ = SidecarMessage::decode_flow(tag, &body[..cut]);
+        let _ = SidecarMessage::decode(tag, &body[..cut]);
+    }
+
     /// Wire roundtrip of every message variant.
     #[test]
     fn every_variant_roundtrips(epoch in any::<u32>(),
