@@ -180,6 +180,19 @@ fn main() {
         .expect("write BENCH_exp_failover.json");
     sidecar_bench::write_metrics_out("exp_failover");
     sidecar_bench::write_trace_out("exp_failover");
+    // `--timeseries-out [path]`: re-run the clean retx scenario at the
+    // first seed with a 500 ms simulator-clock sampler attached and
+    // archive the windowed series (deterministic, so the artifact is
+    // byte-stable across machines; `validate_reports` schema-checks it).
+    if std::env::args().any(|a| a == "--timeseries-out") {
+        let sampled = RetxScenario {
+            total_packets: 1_200,
+            sample_interval: Some(SimDuration::from_millis(500)),
+            ..RetxScenario::default()
+        };
+        let run = sampled.run_sidecar(SEEDS[0]);
+        sidecar_bench::write_timeseries_out("exp_failover", &run.timeseries);
+    }
     println!(
         "\nexpected shape: under 'none' the sidecar ratio reflects each\n\
          protocol's ordinary win; under every fault the ratio stays near or\n\

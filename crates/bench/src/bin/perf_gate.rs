@@ -16,7 +16,9 @@
 //!   `events_speedup|flows=100000` headline at least [`SIMSCALE_FLOOR`],
 //!   and the flow-engine `manyflow_insert_speedup|flows=100000` headline
 //!   (slab vs legacy table, min across the three protocol session shapes,
-//!   inserts under LRU pressure) at least [`MANYFLOW_FLOOR`], regardless
+//!   inserts under LRU pressure) at least [`MANYFLOW_FLOOR`], and the
+//!   telemetry-cost `obs_overhead_headroom` headline (plain / sampled
+//!   wall-clock of the same seeded run) at least [`OBS_FLOOR`], regardless
 //!   of the baseline — these are the repo's acceptance headlines and may
 //!   never erode, tolerance or not.
 //! * Metrics present in only the baseline or only a current report are
@@ -48,6 +50,10 @@ const SIMSCALE_FLOOR: f64 = 5.0;
 /// the legacy Vec-scan table at the 100k-flow churn point (min across the
 /// three protocol session shapes; measured ~2.7–3.1x).
 const MANYFLOW_FLOOR: f64 = 1.5;
+/// Absolute floor for the observability-overhead headline: plain over
+/// sampled wall-clock of the same seeded retx run (`exp_obs_overhead`).
+/// 0.95 means the telemetry layer may cost at most ~5% of the datapath.
+const OBS_FLOOR: f64 = 0.95;
 
 struct Comparison {
     key: String,
@@ -101,6 +107,9 @@ fn headline_floor(key: &str) -> Option<f64> {
     }
     if key == "manyflow_insert_speedup|flows=100000" {
         return Some(MANYFLOW_FLOOR);
+    }
+    if key == "obs_overhead_headroom" {
+        return Some(OBS_FLOOR);
     }
     None
 }

@@ -162,10 +162,12 @@ fn average(reports: Vec<ScenarioReport>) -> ScenarioReport {
         proxy_retransmissions: reports.iter().map(|r| r.proxy_retransmissions).sum::<u64>() / k,
         degradations: reports.iter().map(|r| r.degradations).sum(),
         recoveries: reports.iter().map(|r| r.recoveries).sum(),
-        // An averaged report has no single world's registry or event ring
-        // behind it.
+        // An averaged report has no single world's registry, event ring,
+        // sampler, or scoreboard behind it.
         metrics: Default::default(),
         trace: Default::default(),
+        timeseries: Default::default(),
+        scoreboard: Default::default(),
     }
 }
 

@@ -36,7 +36,13 @@
 //! summary lands in `BENCH_soak.json` with informational units only — the
 //! perf gate never reads it; the exit code is the contract.
 //!
-//! Usage: `soak [--seeds N] [--quick]`
+//! With `--timeseries-out`, every clean retx run is additionally sampled
+//! on the simulator clock (500 ms cadence) and its windowed time-series
+//! lands in `BENCH_soak_seed<seed>_timeseries.txt` (honoring
+//! `$BENCH_OUT_DIR`) — the nightly job uploads the set as CI artifacts,
+//! giving each soak a per-seed behavioral record to diff against.
+//!
+//! Usage: `soak [--seeds N] [--quick] [--timeseries-out]`
 
 use sidecar_bench::{BenchReport, Table};
 use sidecar_netsim::link::LinkConfig;
@@ -176,6 +182,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seeds = DEFAULT_SEEDS;
     let quick = args.iter().any(|a| a == "--quick");
+    let timeseries_out = args.iter().any(|a| a == "--timeseries-out");
     if quick {
         seeds = 4;
     }
@@ -232,12 +239,19 @@ fn main() -> ExitCode {
         let seed = 101 + i * 7919;
 
         // Clean retx, certified: mechanism engagement + causal history.
+        // Under --timeseries-out the clean run also carries the 500 ms
+        // simulator-clock sampler; the faulted reruns below reuse the
+        // same scenario, so their (discarded) series cost is accepted.
         let retx = RetxScenario {
             trace_capacity: Some(TRACE_CAP),
+            sample_interval: timeseries_out.then(|| SimDuration::from_millis(500)),
             ..RetxScenario::default()
         };
         let side = retx.run_sidecar(seed);
         let base = retx.run_baseline(seed);
+        if timeseries_out {
+            sidecar_bench::write_timeseries_out(&format!("soak_seed{seed}"), &side.timeseries);
+        }
         check_pair(&mut violations, &mut fam_clean, seed, &side, &base);
         if side.proxy_retransmissions == 0 {
             violations.push(format!(

@@ -15,12 +15,21 @@
 //! that silently stops emitting the gated cell fails here, not as a
 //! quietly-absent "baseline only" row in the perf gate.
 //!
+//! Time-series artifacts (`BENCH_*_timeseries.txt`, emitted by benches
+//! accepting `--timeseries-out`) are validated alongside the JSON: the
+//! file must parse as the canonical [`sidecar_obs::TimeSeries`] text
+//! format and pass [`TimeSeries::validate`] — strictly increasing
+//! timestamps, finite values, no duplicate series keys within a point.
+//!
 //! Usage: `validate_reports [path ...]`
 //!
 //! Each path may be a report file or a directory (scanned non-recursively
-//! for `BENCH_*.json`). With no arguments, scans the current directory.
-//! It is an error for a directory scan to find nothing — a CI leg that
-//! validates zero reports is misconfigured, not passing.
+//! for `BENCH_*.json` and `BENCH_*_timeseries.txt`). With no arguments,
+//! scans the current directory. It is an error for a directory scan to
+//! find nothing — a CI leg that validates zero reports is misconfigured,
+//! not passing.
+//!
+//! [`TimeSeries::validate`]: sidecar_obs::TimeSeries::validate
 //!
 //! Exit status: 0 = all reports valid, 1 = at least one invalid (or none
 //! found), 2 = usage/IO error.
@@ -106,6 +115,21 @@ fn required_cells(report: &str, present: &BTreeSet<String>) -> Vec<String> {
             cells.push("manyflow_insert_speedup|flows=100000".into());
         }
     }
+    if report == "exp_obs_overhead" {
+        // The telemetry-cost report must always carry the gated headroom
+        // headline and its calibration cell — a refactor that stops
+        // emitting the gate's input fails here, not as a silent
+        // "baseline only" row.
+        for name in [
+            "calibration",
+            "obs_overhead_headroom",
+            "obs_overhead_per_packet",
+            "scoreboard_record",
+            "sampler_tick",
+        ] {
+            cells.push(name.into());
+        }
+    }
     if report == "exp_live" {
         // The live-vs-netsim overhead comparison plus the certification
         // bit: a run that cannot certify its flight recorder (or never
@@ -123,8 +147,28 @@ fn required_cells(report: &str, present: &BTreeSet<String>) -> Vec<String> {
     cells
 }
 
+/// Whether a file name is a time-series artifact rather than a JSON
+/// report.
+fn is_timeseries(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|f| f.to_str())
+        .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with("_timeseries.txt"))
+}
+
+/// Validates one `BENCH_*_timeseries.txt` artifact: parse roundtrip plus
+/// the schema checks (`TimeSeries::validate`). An *empty* series is legal
+/// — a sampled run shorter than one interval has no windows — but an
+/// unreadable or malformed file is not.
+fn validate_timeseries(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let series = sidecar_obs::TimeSeries::parse(&text)?;
+    series.validate()?;
+    Ok(series.len())
+}
+
 /// Expands a CLI path into report files: files pass through, directories
-/// are scanned (one level) for `BENCH_*.json`.
+/// are scanned (one level) for `BENCH_*.json` and
+/// `BENCH_*_timeseries.txt`.
 fn expand(path: &Path) -> std::io::Result<Vec<PathBuf>> {
     if !path.is_dir() {
         return Ok(vec![path.to_path_buf()]);
@@ -136,6 +180,7 @@ fn expand(path: &Path) -> std::io::Result<Vec<PathBuf>> {
             p.file_name()
                 .and_then(|f| f.to_str())
                 .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+                || is_timeseries(p)
         })
         .collect();
     found.sort();
@@ -168,6 +213,19 @@ fn main() -> ExitCode {
     let mut bad = 0usize;
     let mut metrics_total = 0usize;
     for path in &files {
+        if is_timeseries(path) {
+            match validate_timeseries(path) {
+                Ok(points) => {
+                    println!("  ok   {} ({points} sample points)", path.display());
+                }
+                Err(e) => {
+                    bad += 1;
+                    println!("  FAIL {}", path.display());
+                    println!("         {e}");
+                }
+            }
+            continue;
+        }
         match BenchReport::read(path) {
             Ok(report) => {
                 let errors = validate(path, &report);

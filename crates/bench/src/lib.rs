@@ -167,6 +167,32 @@ pub fn write_trace_out(name: &str) {
     println!("[bench-trace] wrote {}", path.display());
 }
 
+/// Handles the `--timeseries-out [path]` flag for benches that run a
+/// sampled scenario: when the flag is present, renders `series` in the
+/// canonical [`sidecar_obs::TimeSeries`] text format to `path`, or to
+/// `BENCH_<name>_timeseries.txt` next to the bench's JSON when the flag
+/// carries no path (honoring `$BENCH_OUT_DIR`).
+///
+/// The rendering is byte-stable for deterministic simulator runs, so CI
+/// can archive the artifact and `validate_reports` can schema-check it
+/// (parse roundtrip, finite values, monotone timestamps). No-op without
+/// the flag.
+pub fn write_timeseries_out(name: &str, series: &sidecar_obs::TimeSeries) {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--timeseries-out") else {
+        return;
+    };
+    let path = match args.get(pos + 1) {
+        Some(p) if !p.starts_with("--") => std::path::PathBuf::from(p),
+        _ => {
+            let dir = std::env::var_os("BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
+            std::path::PathBuf::from(dir).join(format!("BENCH_{name}_timeseries.txt"))
+        }
+    };
+    std::fs::write(&path, series.render()).expect("write timeseries-out file");
+    println!("[bench-timeseries] wrote {}", path.display());
+}
+
 /// Formats a duration the way the paper's tables do (ns/us/ms autoscale).
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();

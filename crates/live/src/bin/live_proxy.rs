@@ -18,7 +18,14 @@
 //! seals the control channel; `--drop-every N` adds deterministic loss on
 //! the sender-side proxy's subpath egress for demos without a real lossy
 //! link.
+//!
+//! `--admin 127.0.0.1:9090` starts the live introspection endpoint
+//! (`/metrics`, `/flows`, `/healthz`, `/timeseries`; see
+//! [`sidecar_live::admin`]); `--sample-ms N` adds a wall-clock sampler
+//! thread feeding `/timeseries` at that cadence (default 1000 when
+//! `--admin` is set).
 
+use sidecar_live::admin::{AdminHandles, AdminServer};
 use sidecar_live::cli::Args;
 use sidecar_live::LiveDriver;
 use sidecar_netsim::node::IfaceId;
@@ -32,7 +39,8 @@ const USAGE: &str = "--role sender-side|receiver-side \
                      [--bind-host A --peer-host A] [--bind-sub A --peer-sub A] \
                      [--bind-down A --peer-down A] [--threshold N] [--quack-ms N] \
                      [--subpath-rtt-ms N] [--auth-secret N --nonce N] \
-                     [--drop-every N] [--seed N] [--max-secs S]";
+                     [--drop-every N] [--seed N] [--max-secs S] \
+                     [--admin ADDR] [--sample-ms N]";
 
 fn bound(args: &Args, bind_key: &str, peer_key: &str) -> (UdpSocket, SocketAddr) {
     let bind = args.require(bind_key).to_string();
@@ -65,6 +73,8 @@ fn main() {
     });
     let nonce: u64 = args.parse_or("nonce", 1);
     let auth = auth_secret.map(|secret| AuthConfig::from_secret(secret, 1).with_nonce(nonce));
+    let admin_addr = args.get("admin").map(str::to_string);
+    let sample_ms: u64 = args.parse_or("sample-ms", 1000);
 
     let cfg = SidecarConfig {
         threshold,
@@ -74,6 +84,21 @@ fn main() {
     };
 
     let mut driver = LiveDriver::new(seed);
+    // The admin endpoint reads Clone-shared observability handles, so it
+    // serves live numbers for the whole run without touching the datapath.
+    let _admin = admin_addr.map(|addr| {
+        let handles = AdminHandles {
+            registry: driver.obs().metrics.clone(),
+            scoreboard: driver.obs().scoreboard.clone(),
+        };
+        let interval = (sample_ms > 0).then(|| std::time::Duration::from_millis(sample_ms));
+        let server = AdminServer::spawn(addr.as_str(), handles, interval).unwrap_or_else(|e| {
+            eprintln!("admin bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("admin listening on http://{}", server.local_addr());
+        server
+    });
     match role.as_str() {
         // Interfaces follow the simulator's convention: the sender-side
         // proxy speaks to the server on IfaceId(0) and the subpath on

@@ -56,6 +56,8 @@ pub mod packet;
 pub mod rng;
 pub mod router;
 pub mod sched;
+#[cfg(feature = "obs")]
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod transport;
@@ -71,5 +73,7 @@ pub use packet::{AckInfo, FlowId, Packet, PacketKind, Payload};
 pub use rng::SimRng;
 pub use router::FlowRouter;
 pub use sched::{set_thread_scheduler, SchedulerKind};
+#[cfg(feature = "obs")]
+pub use telemetry::run_sampled;
 pub use time::{transmission_time, SimDuration, SimTime};
 pub use world::World;

@@ -192,6 +192,17 @@ impl<'a> Context<'a> {
         }
     }
 
+    /// Records one unhealthy event for `flow` on the world's per-flow health
+    /// scoreboard (no-op without a world handle). One lock-free atomic add
+    /// on the packet path; the scoreboard ranks flows for `/flows` and the
+    /// health proptests.
+    #[cfg(feature = "obs")]
+    pub fn obs_flow_health(&mut self, flow: u32, dim: sidecar_obs::HealthDim) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.scoreboard.record(flow, dim);
+        }
+    }
+
     /// Allocates the next world-scoped control-datagram sequence for
     /// flight-recorder stamping. Sequences start at 1 so a stamped control
     /// packet is distinguishable from the obs-off default of 0; without a

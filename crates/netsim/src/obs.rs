@@ -71,6 +71,12 @@ pub struct WorldObs {
     pub hot: HotCounters,
     /// Event-trace ring scoped to this world (sim-time timestamps only).
     pub trace: sidecar_obs::EventTrace,
+    /// Per-flow health scoreboard, fed by the protocols' trouble taps
+    /// (proxy retx, decode failures, auth rejections, evictions) through
+    /// [`Context::obs_flow_health`](crate::node::Context::obs_flow_health).
+    /// The handle is `Clone`-shared, so a live admin thread can rank flows
+    /// while the dispatch thread records.
+    pub scoreboard: sidecar_obs::FlowScoreboard,
     /// World-scoped control-datagram sequence, allocated through
     /// [`Context::next_ctrl_seq`](crate::node::Context::next_ctrl_seq) to
     /// stamp sidecar control packets with a flight-recorder `TraceId`. Data
@@ -89,6 +95,7 @@ impl WorldObs {
             metrics,
             hot,
             trace: sidecar_obs::EventTrace::default(),
+            scoreboard: sidecar_obs::FlowScoreboard::default(),
             ctrl_seq: 0,
         }
     }

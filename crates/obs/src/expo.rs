@@ -1,0 +1,291 @@
+//! Zero-dependency Prometheus text exposition for [`MetricsSnapshot`]s.
+//!
+//! [`render_prometheus`] turns a snapshot into the Prometheus text format
+//! (version 0.0.4): one `# TYPE` header per family, counters and gauges as
+//! single samples, histograms as *cumulative* `_bucket{le="…"}` samples
+//! plus `_sum`/`_count` — exactly what a stock Prometheus scraper expects
+//! from the live admin endpoint's `/metrics`.
+//!
+//! Registry names use dots (`netsim.delivered`); Prometheus metric names
+//! may not. [`sanitize_metric_name`] maps every illegal character to `_`,
+//! so `netsim.delivered` is exposed as `netsim_delivered`. The mapping is
+//! lossy in general (distinct registry names *could* collide after
+//! sanitizing), which is why [`parse_prometheus`] — the inverse used by
+//! tests and scrape validation — works over already-sanitized names:
+//! `parse(render(s))` equals `s` exactly when `s`'s names are already in
+//! sanitized form, and `render(parse(t))` is byte-identical for any `t`
+//! this module rendered.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes `_`, and
+/// a leading digit gets a `_` prefix. Empty names become `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+            continue;
+        }
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if legal { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn is_sanitized(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Renders `snap` in the Prometheus text exposition format (see module
+/// docs). Deterministic: snapshot order is name order, and floats use
+/// shortest-roundtrip formatting.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value:?}");
+    }
+    for h in &snap.histograms {
+        let name = sanitize_metric_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &count) in h.buckets.iter().enumerate() {
+            cum += count;
+            match h.bounds.get(i) {
+                Some(le) => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Parses text produced by [`render_prometheus`] back into a
+/// [`MetricsSnapshot`] (with sanitized names). Used by the exposition
+/// roundtrip tests and by scrape-validation tooling; not a general
+/// Prometheus parser — it insists on the exact shape this module renders
+/// (a `# TYPE` header before each family, cumulative buckets, `_sum` and
+/// `_count` trailing each histogram).
+pub fn parse_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+    #[derive(PartialEq)]
+    enum Kind {
+        Counter,
+        Gauge,
+        Histogram,
+    }
+    let mut snap = MetricsSnapshot::default();
+    let mut family: Option<(String, Kind)> = None;
+    // In-progress histogram: (name, cumulative buckets with bounds, sum, count).
+    let mut hist: Option<HistogramSnapshot> = None;
+    let mut hist_done = (false, false); // saw _sum, saw _count
+    let flush_hist = |hist: &mut Option<HistogramSnapshot>,
+                      done: &mut (bool, bool),
+                      snap: &mut MetricsSnapshot|
+     -> Result<(), String> {
+        if let Some(mut h) = hist.take() {
+            if !done.0 || !done.1 {
+                return Err(format!("histogram {} missing _sum or _count", h.name));
+            }
+            // De-cumulate the buckets.
+            let mut prev = 0u64;
+            for b in h.buckets.iter_mut() {
+                let cum = *b;
+                *b = cum
+                    .checked_sub(prev)
+                    .ok_or_else(|| format!("histogram {}: non-cumulative buckets", h.name))?;
+                prev = cum;
+            }
+            if h.buckets.len() != h.bounds.len() + 1 {
+                return Err(format!("histogram {}: missing +Inf bucket", h.name));
+            }
+            snap.histograms.push(h);
+        }
+        *done = (false, false);
+        Ok(())
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            flush_hist(&mut hist, &mut hist_done, &mut snap)?;
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("missing family name"))?;
+            if !is_sanitized(name) {
+                return Err(err("illegal metric name"));
+            }
+            let kind = match parts.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                _ => return Err(err("unknown family type")),
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing garbage"));
+            }
+            if kind == Kind::Histogram {
+                hist = Some(HistogramSnapshot {
+                    name: name.to_string(),
+                    ..HistogramSnapshot::default()
+                });
+            }
+            family = Some((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or other comments
+        }
+        let (sample, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("missing sample value"))?;
+        let (name, kind) = family.as_ref().ok_or_else(|| err("sample before # TYPE"))?;
+        match kind {
+            Kind::Counter => {
+                if sample != name {
+                    return Err(err("sample name does not match its family"));
+                }
+                let v: u64 = value.parse().map_err(|_| err("bad counter value"))?;
+                snap.counters.push((name.clone(), v));
+            }
+            Kind::Gauge => {
+                if sample != name {
+                    return Err(err("sample name does not match its family"));
+                }
+                let v: f64 = value.parse().map_err(|_| err("bad gauge value"))?;
+                snap.gauges.push((name.clone(), v));
+            }
+            Kind::Histogram => {
+                let h = hist.as_mut().expect("histogram family opens hist state");
+                if let Some(rest) = sample.strip_prefix(name.as_str()) {
+                    if let Some(le) = rest
+                        .strip_prefix("_bucket{le=\"")
+                        .and_then(|s| s.strip_suffix("\"}"))
+                    {
+                        let cum: u64 = value.parse().map_err(|_| err("bad bucket value"))?;
+                        if le != "+Inf" {
+                            let bound: u64 = le.parse().map_err(|_| err("bad le bound"))?;
+                            h.bounds.push(bound);
+                        }
+                        h.buckets.push(cum);
+                        continue;
+                    }
+                    if rest == "_sum" {
+                        h.sum = value.parse().map_err(|_| err("bad sum"))?;
+                        hist_done.0 = true;
+                        continue;
+                    }
+                    if rest == "_count" {
+                        h.count = value.parse().map_err(|_| err("bad count"))?;
+                        hist_done.1 = true;
+                        continue;
+                    }
+                }
+                return Err(err("unexpected histogram sample"));
+            }
+        }
+    }
+    flush_hist(&mut hist, &mut hist_done, &mut snap)?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("netsim_delivered".into(), 42), ("z_total".into(), 0)],
+            gauges: vec![("flowtable_occupancy".into(), 17.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "quack_batch_fill".into(),
+                bounds: vec![1, 4, 16],
+                buckets: vec![2, 0, 5, 1],
+                count: 8,
+                sum: 77,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_prometheus_text_format() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE netsim_delivered counter\nnetsim_delivered 42\n"));
+        assert!(text.contains("# TYPE flowtable_occupancy gauge\nflowtable_occupancy 17.5\n"));
+        // Buckets are cumulative and close with +Inf.
+        assert!(text.contains("quack_batch_fill_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("quack_batch_fill_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("quack_batch_fill_bucket{le=\"16\"} 7\n"));
+        assert!(text.contains("quack_batch_fill_bucket{le=\"+Inf\"} 8\n"));
+        assert!(text.contains("quack_batch_fill_sum 77\n"));
+        assert!(text.contains("quack_batch_fill_count 8\n"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("netsim.drop.loss"), "netsim_drop_loss");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        let snap = MetricsSnapshot {
+            counters: vec![("netsim.delivered".into(), 1)],
+            ..MetricsSnapshot::default()
+        };
+        assert!(render_prometheus(&snap).contains("netsim_delivered 1"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let s = sample();
+        let text = render_prometheus(&s);
+        let parsed = parse_prometheus(&text).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(render_prometheus(&parsed), text);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::default()), "");
+        assert_eq!(parse_prometheus("").unwrap(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "netsim_delivered 42",                         // sample before # TYPE
+            "# TYPE x wat\nx 1",                           // unknown family type
+            "# TYPE bad.name counter\nbad.name 1",         // unsanitized name
+            "# TYPE c counter\nd 1",                       // family mismatch
+            "# TYPE c counter\nc x",                       // bad value
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1", // missing _sum/_count
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3", // non-cumulative
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -32,17 +32,25 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expo;
 pub mod lifecycle;
 mod metrics;
+mod scoreboard;
 mod snapshot;
+mod timeseries;
 mod trace;
 
 pub use event::{
     AuthRejectKind, ControlKind, DropCause, Event, QuackErrorKind, SessionState, TraceClass,
 };
+pub use expo::{parse_prometheus, render_prometheus, sanitize_metric_name};
 pub use lifecycle::{Lifecycle, PacketTimeline, TraceId};
 pub use metrics::{Counter, MetricsRegistry};
+pub use scoreboard::{FlowHealthRow, FlowScoreboard, HealthDim, ScoreboardSnapshot};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use timeseries::{
+    counter_delta, diff_point, PercentileTrack, SamplePoint, Sampler, TimeSeries, WRAP_GUARD,
+};
 pub use trace::EventTrace;
 
 use std::sync::{Mutex, OnceLock};

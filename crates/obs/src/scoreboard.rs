@@ -1,0 +1,465 @@
+//! Per-flow health scoreboard: which flows are sick *right now*.
+//!
+//! Aggregate counters say the proxy retransmitted 10k packets; an operator
+//! wants to know *which flows* those came from. The [`FlowScoreboard`] is a
+//! fixed-capacity, lock-free table of per-flow trouble counters fed from
+//! the protocols' packet path — proxy retransmissions, decode failures,
+//! authentication rejections, and flow-table eviction pressure — and read
+//! out as a deterministic top-K ranking ([`FlowScoreboard::snapshot`]).
+//!
+//! # Packet-path cost
+//!
+//! [`FlowScoreboard::record`] is one Fibonacci hash, a short linear probe
+//! over a power-of-two slot array, and one relaxed atomic add — no locks,
+//! no allocation, O(1) with a probe bound of the table length. The events
+//! it records (retx, decode failure, auth reject, eviction) are exceptional
+//! on a healthy path, so the steady-state cost is zero adds per packet.
+//! When the table is full, records for untracked flows count into
+//! [`FlowScoreboard::overflow`] instead of being silently lost.
+//!
+//! # Determinism
+//!
+//! Slot placement depends on arrival order, but snapshots sort rows by
+//! `(score desc, flow asc)` before truncating to K, so the rendered
+//! scoreboard is a pure function of the per-flow totals — identical across
+//! runs of a deterministic scenario regardless of hash-table internals.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for an unoccupied slot (`u32` flow ids can never reach it).
+const EMPTY: u64 = u64::MAX;
+
+/// Fibonacci multiplier (2^64 / φ), the same mixing constant the slab flow
+/// table uses for its open-addressed index.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The health dimensions the scoreboard tracks per flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthDim {
+    /// A sender-side proxy retransmitted one of this flow's packets.
+    ProxyRetx = 0,
+    /// A quACK decode for this flow failed (threshold, epoch, malformed…).
+    DecodeFail = 1,
+    /// An authenticated control datagram for this flow was rejected.
+    AuthReject = 2,
+    /// This flow's session was evicted from the flow table.
+    Eviction = 3,
+}
+
+/// Number of [`HealthDim`] variants.
+const DIMS: usize = 4;
+
+#[derive(Debug)]
+struct Slot {
+    flow: AtomicU64,
+    cells: [AtomicU64; DIMS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            flow: AtomicU64::new(EMPTY),
+            cells: [const { AtomicU64::new(0) }; DIMS],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Power-of-two slot array, linearly probed.
+    slots: Box<[Slot]>,
+    /// Records that found the table full.
+    overflow: AtomicU64,
+}
+
+/// The shared scoreboard handle. Cloning shares the same table (an `Arc`
+/// bump), so the live admin thread can snapshot while the dispatch thread
+/// records.
+#[derive(Clone, Debug)]
+pub struct FlowScoreboard {
+    inner: Arc<Inner>,
+}
+
+impl Default for FlowScoreboard {
+    fn default() -> Self {
+        FlowScoreboard::with_capacity(DEFAULT_FLOWS)
+    }
+}
+
+/// Default tracked-flow capacity.
+pub const DEFAULT_FLOWS: usize = 1024;
+
+impl FlowScoreboard {
+    /// A scoreboard tracking up to `flows` distinct flows (rounded up to a
+    /// power of two, floor 8).
+    pub fn with_capacity(flows: usize) -> Self {
+        let cap = flows.next_power_of_two().max(8);
+        FlowScoreboard {
+            inner: Arc::new(Inner {
+                slots: (0..cap).map(|_| Slot::new()).collect(),
+                overflow: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Tracked-flow capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Records one `dim` event for `flow` (see module docs for cost).
+    pub fn record(&self, flow: u32, dim: HealthDim) {
+        self.record_n(flow, dim, 1);
+    }
+
+    /// Records `n` `dim` events for `flow`.
+    pub fn record_n(&self, flow: u32, dim: HealthDim, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slots = &self.inner.slots;
+        let mask = slots.len() - 1;
+        let mut idx = ((flow as u64).wrapping_mul(FIB) >> 32) as usize & mask;
+        for _ in 0..slots.len() {
+            let slot = &slots[idx];
+            let occupant = slot.flow.load(Ordering::Acquire);
+            if occupant == flow as u64 {
+                slot.cells[dim as usize].fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+            if occupant == EMPTY {
+                match slot.flow.compare_exchange(
+                    EMPTY,
+                    flow as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        slot.cells[dim as usize].fetch_add(n, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(actual) if actual == flow as u64 => {
+                        // Lost the race to ourselves on another thread.
+                        slot.cells[dim as usize].fetch_add(n, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(_) => { /* someone else claimed it; keep probing */ }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+        self.inner.overflow.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records untracked because the table was full.
+    pub fn overflow(&self) -> u64 {
+        self.inner.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Clears every slot and the overflow counter. Intended for quiesced
+    /// reuse (between bench runs); racing records may be lost.
+    pub fn reset(&self) {
+        for slot in self.inner.slots.iter() {
+            slot.flow.store(EMPTY, Ordering::Release);
+            for cell in &slot.cells {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
+        self.inner.overflow.store(0, Ordering::Relaxed);
+    }
+
+    /// The top-`k` flows by total score, ties broken by ascending flow id —
+    /// a deterministic ranking independent of slot placement.
+    pub fn snapshot(&self, k: usize) -> ScoreboardSnapshot {
+        let mut rows: Vec<FlowHealthRow> = Vec::new();
+        for slot in self.inner.slots.iter() {
+            let occupant = slot.flow.load(Ordering::Acquire);
+            if occupant == EMPTY {
+                continue;
+            }
+            let cell = |d: HealthDim| slot.cells[d as usize].load(Ordering::Relaxed);
+            rows.push(FlowHealthRow {
+                flow: occupant as u32,
+                retx: cell(HealthDim::ProxyRetx),
+                decode_fail: cell(HealthDim::DecodeFail),
+                auth_reject: cell(HealthDim::AuthReject),
+                evictions: cell(HealthDim::Eviction),
+            });
+        }
+        let tracked = rows.len();
+        rows.sort_by(|a, b| b.score().cmp(&a.score()).then(a.flow.cmp(&b.flow)));
+        rows.truncate(k);
+        ScoreboardSnapshot {
+            rows,
+            tracked,
+            capacity: self.inner.slots.len(),
+            overflow: self.overflow(),
+        }
+    }
+}
+
+/// One flow's trouble counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlowHealthRow {
+    /// Flow id.
+    pub flow: u32,
+    /// Proxy retransmissions ([`HealthDim::ProxyRetx`]).
+    pub retx: u64,
+    /// quACK decode failures ([`HealthDim::DecodeFail`]).
+    pub decode_fail: u64,
+    /// Auth rejections ([`HealthDim::AuthReject`]).
+    pub auth_reject: u64,
+    /// Flow-table evictions ([`HealthDim::Eviction`]).
+    pub evictions: u64,
+}
+
+impl FlowHealthRow {
+    /// Ranking score: the unweighted event total. Saturating, so a
+    /// pathological flow cannot wrap itself back to healthy.
+    pub fn score(&self) -> u64 {
+        self.retx
+            .saturating_add(self.decode_fail)
+            .saturating_add(self.auth_reject)
+            .saturating_add(self.evictions)
+    }
+}
+
+/// A deterministic point-in-time ranking (see [`FlowScoreboard::snapshot`]).
+///
+/// The text encoding is line-based and byte-stable:
+///
+/// ```text
+/// # scoreboard tracked=<n> capacity=<c> overflow=<o>
+/// flow=<id> score=<s> retx=<r> decode_fail=<d> auth_reject=<a> evictions=<e>
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScoreboardSnapshot {
+    /// Top-K rows, highest score first (ties: ascending flow id).
+    pub rows: Vec<FlowHealthRow>,
+    /// Distinct flows tracked at snapshot time (before top-K truncation).
+    pub tracked: usize,
+    /// Table capacity.
+    pub capacity: usize,
+    /// Records dropped because the table was full.
+    pub overflow: u64,
+}
+
+impl ScoreboardSnapshot {
+    /// Renders the stable text encoding (see the type docs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# scoreboard tracked={} capacity={} overflow={}",
+            self.tracked, self.capacity, self.overflow
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "flow={} score={} retx={} decode_fail={} auth_reject={} evictions={}",
+                r.flow,
+                r.score(),
+                r.retx,
+                r.decode_fail,
+                r.auth_reject,
+                r.evictions
+            );
+        }
+        out
+    }
+
+    /// Parses text produced by [`ScoreboardSnapshot::render`].
+    pub fn parse(text: &str) -> Result<ScoreboardSnapshot, String> {
+        let mut snap = ScoreboardSnapshot::default();
+        let mut saw_header = false;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+            if let Some(rest) = line.strip_prefix("# scoreboard ") {
+                for field in rest.split_whitespace() {
+                    let (key, value) = field
+                        .split_once('=')
+                        .ok_or_else(|| err("bad header field"))?;
+                    match key {
+                        "tracked" => {
+                            snap.tracked = value.parse().map_err(|_| err("bad tracked"))?
+                        }
+                        "capacity" => {
+                            snap.capacity = value.parse().map_err(|_| err("bad capacity"))?
+                        }
+                        "overflow" => {
+                            snap.overflow = value.parse().map_err(|_| err("bad overflow"))?
+                        }
+                        _ => return Err(err("unknown header field")),
+                    }
+                }
+                saw_header = true;
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut row = FlowHealthRow::default();
+            let mut claimed_score = 0u64;
+            for field in line.split_whitespace() {
+                let (key, value) = field.split_once('=').ok_or_else(|| err("bad field"))?;
+                let parse_u64 = || value.parse::<u64>().map_err(|_| err("bad value"));
+                match key {
+                    "flow" => row.flow = value.parse().map_err(|_| err("bad flow"))?,
+                    "score" => claimed_score = parse_u64()?,
+                    "retx" => row.retx = parse_u64()?,
+                    "decode_fail" => row.decode_fail = parse_u64()?,
+                    "auth_reject" => row.auth_reject = parse_u64()?,
+                    "evictions" => row.evictions = parse_u64()?,
+                    _ => return Err(err("unknown field")),
+                }
+            }
+            if row.score() != claimed_score {
+                return Err(err("score does not match the component sum"));
+            }
+            snap.rows.push(row);
+        }
+        if !saw_header {
+            return Err("missing `# scoreboard` header".into());
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_per_flow() {
+        let sb = FlowScoreboard::with_capacity(16);
+        sb.record(7, HealthDim::ProxyRetx);
+        sb.record(7, HealthDim::ProxyRetx);
+        sb.record(7, HealthDim::DecodeFail);
+        sb.record_n(3, HealthDim::AuthReject, 5);
+        let snap = sb.snapshot(10);
+        assert_eq!(snap.tracked, 2);
+        assert_eq!(snap.rows[0].flow, 3, "auth-rejected flow outranks");
+        assert_eq!(snap.rows[0].auth_reject, 5);
+        assert_eq!(snap.rows[1].flow, 7);
+        assert_eq!(snap.rows[1].retx, 2);
+        assert_eq!(snap.rows[1].decode_fail, 1);
+        assert_eq!(snap.overflow, 0);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_any_arrival_order() {
+        // The same event multiset in two different arrival orders must
+        // render identically — ranking is (score desc, flow asc), never
+        // slot order.
+        let mut events: Vec<(u32, HealthDim, u64)> = Vec::new();
+        for flow in 0..32u32 {
+            events.push((flow, HealthDim::ProxyRetx, (flow as u64 * 7) % 11));
+            events.push((flow, HealthDim::Eviction, (flow as u64) % 3));
+        }
+        let forward = FlowScoreboard::with_capacity(64);
+        for (f, d, n) in &events {
+            forward.record_n(*f, *d, *n);
+        }
+        let backward = FlowScoreboard::with_capacity(64);
+        for (f, d, n) in events.iter().rev() {
+            backward.record_n(*f, *d, *n);
+        }
+        assert_eq!(
+            forward.snapshot(10).render(),
+            backward.snapshot(10).render()
+        );
+    }
+
+    #[test]
+    fn full_table_overflows_instead_of_evicting() {
+        let sb = FlowScoreboard::with_capacity(8);
+        assert_eq!(sb.capacity(), 8);
+        for flow in 0..8 {
+            sb.record(flow, HealthDim::ProxyRetx);
+        }
+        sb.record_n(99, HealthDim::ProxyRetx, 3);
+        assert_eq!(sb.overflow(), 3);
+        let snap = sb.snapshot(100);
+        assert_eq!(snap.tracked, 8);
+        assert!(snap.rows.iter().all(|r| r.flow != 99));
+        assert_eq!(snap.overflow, 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let sb = FlowScoreboard::with_capacity(8);
+        for flow in 0..9 {
+            sb.record(flow, HealthDim::DecodeFail);
+        }
+        assert!(sb.overflow() > 0);
+        sb.reset();
+        assert_eq!(sb.overflow(), 0);
+        assert_eq!(sb.snapshot(10).tracked, 0);
+        sb.record(1, HealthDim::Eviction);
+        assert_eq!(sb.snapshot(10).rows[0].evictions, 1);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let a = FlowScoreboard::with_capacity(8);
+        let b = a.clone();
+        a.record(5, HealthDim::ProxyRetx);
+        assert_eq!(b.snapshot(1).rows[0].flow, 5);
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        let sb = FlowScoreboard::with_capacity(64);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let sb = sb.clone();
+                std::thread::spawn(move || {
+                    for flow in 0..32u32 {
+                        for _ in 0..100 {
+                            sb.record(flow, HealthDim::ProxyRetx);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = sb.snapshot(64);
+        assert_eq!(snap.tracked, 32);
+        assert!(snap.rows.iter().all(|r| r.retx == 400), "{snap:?}");
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let sb = FlowScoreboard::with_capacity(16);
+        sb.record_n(4, HealthDim::ProxyRetx, 9);
+        sb.record_n(2, HealthDim::Eviction, 9);
+        sb.record(11, HealthDim::AuthReject);
+        let snap = sb.snapshot(10);
+        let text = snap.render();
+        let parsed = ScoreboardSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "flow=1 score=0",                                                      // no header
+            "# scoreboard tracked=x", // bad header value
+            "# scoreboard wat=1",     // unknown header field
+            "# scoreboard tracked=0 capacity=8 overflow=0\nflow=1 score=5 retx=1", // score lies
+            "# scoreboard tracked=0 capacity=8 overflow=0\nflow=1 wat=1", // unknown field
+            "# scoreboard tracked=0 capacity=8 overflow=0\nflow", // not key=value
+        ] {
+            assert!(ScoreboardSnapshot::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! Windowed time-series sampling over metrics snapshots.
+//!
+//! The registry ([`crate::MetricsRegistry`]) accumulates monotone counters,
+//! gauges, and histograms; a single end-of-run snapshot hides everything an
+//! operator actually watches — rates, drift, bursts. A [`Sampler`] closes
+//! that gap: feed it a [`MetricsSnapshot`] once per sampling interval and it
+//! diffs consecutive snapshots into a [`SamplePoint`] — windowed counter
+//! *rates* (events/second over the window), gauge tracks, and per-window
+//! histogram percentile tracks (p50/p90/p99 via
+//! [`HistogramSnapshot::percentile`]) — stored in a bounded [`TimeSeries`]
+//! ring with a byte-stable text encoding, the same contract
+//! [`EventTrace::render`](crate::EventTrace::render) honors.
+//!
+//! # Determinism contract
+//!
+//! Like the rest of this crate, nothing here reads a clock: timestamps are
+//! caller-supplied nanoseconds (the simulator passes sim-time, the live
+//! driver passes its monotonic axis). Sampling a deterministic run at
+//! deterministic instants therefore renders byte-identical text, which is
+//! what makes time-series golden-testable.
+//!
+//! # Counter edges: resets and wraparound
+//!
+//! Raw subtraction of consecutive counter readings breaks at two edges, and
+//! both produce garbage rates (a `u64` underflow is a ~1.8e19 "rate"):
+//!
+//! * **Reset** — the process restarted (live) or a node's registry was
+//!   replaced; the counter restarts from zero and the new reading is
+//!   *below* the old one.
+//! * **Wraparound** — a counter legitimately passes `u64::MAX` and wraps.
+//!
+//! [`counter_delta`] disambiguates by where the previous reading sat: a
+//! drop from within [`WRAP_GUARD`] of `u64::MAX` is treated as a genuine
+//! wrap (delta = the wrapped distance); any other drop is a reset (delta =
+//! the new reading, i.e. everything counted since the restart). Histogram
+//! windows apply the same policy per bucket: any decreasing bucket or
+//! count marks a reset and the window restarts from the current snapshot.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Previous readings within this distance of `u64::MAX` make a decreasing
+/// counter a wraparound rather than a reset (see module docs).
+pub const WRAP_GUARD: u64 = 1 << 32;
+
+/// The window delta between two readings of one monotone counter, safe
+/// against resets and `u64` wraparound — never underflows.
+pub fn counter_delta(prev: u64, cur: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else if prev > u64::MAX - WRAP_GUARD {
+        // The previous reading sat against the ceiling: the counter wrapped.
+        cur.wrapping_sub(prev)
+    } else {
+        // Reset: the counter restarted from zero and has reached `cur`.
+        cur
+    }
+}
+
+/// One histogram's percentile track over a sampling window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PercentileTrack {
+    /// Histogram name.
+    pub name: String,
+    /// Observations that landed in the window.
+    pub count: u64,
+    /// Window median estimate.
+    pub p50: f64,
+    /// Window 90th-percentile estimate.
+    pub p90: f64,
+    /// Window 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// One sampling instant: rates, gauges, and percentile tracks for the
+/// window that ended at `at_ns`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SamplePoint {
+    /// Window end, in caller-supplied nanoseconds.
+    pub at_ns: u64,
+    /// Per-counter rate in events/second over the window, sorted by name.
+    /// Every counter present in the current snapshot appears (zero rates
+    /// included), so rows stay aligned across points.
+    pub rates: Vec<(String, f64)>,
+    /// Gauge values at the window end, sorted by name. Non-finite gauge
+    /// values are dropped at sampling time, so rendered series always
+    /// validate as finite.
+    pub gauges: Vec<(String, f64)>,
+    /// Percentile tracks for histograms that saw observations in the
+    /// window, sorted by name.
+    pub pcts: Vec<PercentileTrack>,
+}
+
+/// Diffs two consecutive snapshots into the [`SamplePoint`] for the window
+/// `prev_ns..at_ns`. Exposed so tests can recompute a sampler's output from
+/// the raw snapshots (the oracle property); requires `at_ns > prev_ns`.
+pub fn diff_point(
+    prev_ns: u64,
+    prev: &MetricsSnapshot,
+    at_ns: u64,
+    cur: &MetricsSnapshot,
+) -> SamplePoint {
+    assert!(at_ns > prev_ns, "sampling window must have positive width");
+    let dt = (at_ns - prev_ns) as f64 / 1e9;
+    let rates = cur
+        .counters
+        .iter()
+        .map(|(name, value)| {
+            let delta = counter_delta(prev.counter(name), *value);
+            (name.clone(), delta as f64 / dt)
+        })
+        .collect();
+    let gauges = cur
+        .gauges
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .cloned()
+        .collect();
+    let mut pcts = Vec::new();
+    for h in &cur.histograms {
+        let window = match prev.histogram(&h.name) {
+            Some(old) => histogram_window(old, h),
+            None => h.clone(),
+        };
+        if window.count == 0 {
+            continue;
+        }
+        // The window histogram is non-empty, so every percentile is Some.
+        pcts.push(PercentileTrack {
+            name: h.name.clone(),
+            count: window.count,
+            p50: window.p50().unwrap_or(0.0),
+            p90: window.p90().unwrap_or(0.0),
+            p99: window.p99().unwrap_or(0.0),
+        });
+    }
+    SamplePoint {
+        at_ns,
+        rates,
+        gauges,
+        pcts,
+    }
+}
+
+/// The window histogram between two readings: per-bucket deltas, or the
+/// current snapshot wholesale when a reset is detected (any decreasing
+/// bucket or count, or changed bounds).
+fn histogram_window(prev: &HistogramSnapshot, cur: &HistogramSnapshot) -> HistogramSnapshot {
+    let reset = prev.bounds != cur.bounds
+        || cur.count < prev.count
+        || cur.buckets.len() != prev.buckets.len()
+        || cur.buckets.iter().zip(&prev.buckets).any(|(c, p)| c < p);
+    if reset {
+        return cur.clone();
+    }
+    HistogramSnapshot {
+        name: cur.name.clone(),
+        bounds: cur.bounds.clone(),
+        buckets: cur
+            .buckets
+            .iter()
+            .zip(&prev.buckets)
+            .map(|(c, p)| c - p)
+            .collect(),
+        count: cur.count - prev.count,
+        // Sums accumulate observed values and can wrap long before count
+        // does; the window sum stays correct under modular arithmetic.
+        sum: cur.sum.wrapping_sub(prev.sum),
+    }
+}
+
+/// A bounded ring of [`SamplePoint`]s with a byte-stable text encoding.
+///
+/// Like [`EventTrace`](crate::EventTrace), the ring evicts its oldest point
+/// when full and owns up to it: [`TimeSeries::render`] emits a
+/// `# truncated dropped=N` header whenever points were lost, so a consumer
+/// can never mistake a truncated series for a complete one.
+///
+/// The encoding is line-based, one line per track per point:
+///
+/// ```text
+/// t=<ns> rate <name> <f64>
+/// t=<ns> gauge <name> <f64>
+/// t=<ns> pct <name> count=<u64> p50=<f64> p90=<f64> p99=<f64>
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: VecDeque<SamplePoint>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Equality compares the retained points and the eviction debt — not the
+/// configured capacity, which is tuning, not data (a parsed series must
+/// compare equal to the series that rendered it).
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points && self.dropped == other.dropped
+    }
+}
+
+impl TimeSeries {
+    /// A ring holding at most `capacity` points (floor 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeries {
+            points: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a point, evicting the oldest when the ring is full.
+    pub fn push(&mut self, point: SamplePoint) {
+        if self.capacity == 0 {
+            // A default-constructed series is unbounded-by-accident
+            // otherwise; treat capacity 0 as "default capacity".
+            self.capacity = DEFAULT_CAPACITY;
+        }
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped += 1;
+        }
+        self.points.push_back(point);
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &SamplePoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recent point, if any.
+    pub fn last(&self) -> Option<&SamplePoint> {
+        self.points.back()
+    }
+
+    /// Renders the stable text encoding (see the type docs). Byte-identical
+    /// across runs for deterministic inputs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "# truncated dropped={}", self.dropped);
+        }
+        for p in &self.points {
+            for (name, v) in &p.rates {
+                let _ = writeln!(out, "t={} rate {name} {v:?}", p.at_ns);
+            }
+            for (name, v) in &p.gauges {
+                let _ = writeln!(out, "t={} gauge {name} {v:?}", p.at_ns);
+            }
+            for t in &p.pcts {
+                let _ = writeln!(
+                    out,
+                    "t={} pct {} count={} p50={:?} p90={:?} p99={:?}",
+                    p.at_ns, t.name, t.count, t.p50, t.p90, t.p99
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses text produced by [`TimeSeries::render`]. Blank lines and `#`
+    /// comments are ignored (the truncation header is a comment; parsed
+    /// series report `dropped() == 0`). Lines must be grouped by point in
+    /// render order: a timestamp may not reappear after a later one.
+    pub fn parse(text: &str) -> Result<TimeSeries, String> {
+        let mut series = TimeSeries::with_capacity(DEFAULT_CAPACITY);
+        let mut open: Option<SamplePoint> = None;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+            let mut parts = line.split_whitespace();
+            let at_ns: u64 = parts
+                .next()
+                .and_then(|t| t.strip_prefix("t="))
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("missing t=<ns>"))?;
+            let point = match &mut open {
+                Some(p) if p.at_ns == at_ns => p,
+                _ => {
+                    if let Some(done) = open.take() {
+                        if at_ns <= done.at_ns {
+                            return Err(err("timestamps must be grouped and increasing"));
+                        }
+                        series.push_parsed(done)?;
+                    }
+                    open = Some(SamplePoint {
+                        at_ns,
+                        ..SamplePoint::default()
+                    });
+                    open.as_mut().expect("just set")
+                }
+            };
+            let kind = parts.next().ok_or_else(|| err("missing record kind"))?;
+            let name = parts.next().ok_or_else(|| err("missing name"))?;
+            match kind {
+                "rate" | "gauge" => {
+                    let value: f64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad value"))?;
+                    if parts.next().is_some() {
+                        return Err(err("trailing garbage"));
+                    }
+                    let track = if kind == "rate" {
+                        &mut point.rates
+                    } else {
+                        &mut point.gauges
+                    };
+                    track.push((name.to_string(), value));
+                }
+                "pct" => {
+                    let mut t = PercentileTrack {
+                        name: name.to_string(),
+                        count: 0,
+                        p50: 0.0,
+                        p90: 0.0,
+                        p99: 0.0,
+                    };
+                    for field in parts {
+                        let (key, value) =
+                            field.split_once('=').ok_or_else(|| err("bad pct field"))?;
+                        match key {
+                            "count" => t.count = value.parse().map_err(|_| err("bad count"))?,
+                            "p50" => t.p50 = value.parse().map_err(|_| err("bad p50"))?,
+                            "p90" => t.p90 = value.parse().map_err(|_| err("bad p90"))?,
+                            "p99" => t.p99 = value.parse().map_err(|_| err("bad p99"))?,
+                            _ => return Err(err("unknown pct field")),
+                        }
+                    }
+                    point.pcts.push(t);
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+        }
+        if let Some(done) = open.take() {
+            series.push_parsed(done)?;
+        }
+        Ok(series)
+    }
+
+    fn push_parsed(&mut self, point: SamplePoint) -> Result<(), String> {
+        if self.points.len() == self.capacity {
+            return Err(format!(
+                "series exceeds the parse capacity of {} points",
+                self.capacity
+            ));
+        }
+        self.points.push_back(point);
+        Ok(())
+    }
+
+    /// Schema validation for artifact files: timestamps strictly
+    /// increasing, every value finite, and no duplicate `(kind, name)` key
+    /// within a point. `validate_reports` runs this over every
+    /// `BENCH_*_timeseries.txt` a bench emitted.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_ns: Option<u64> = None;
+        for (i, p) in self.points.iter().enumerate() {
+            if let Some(prev) = last_ns {
+                if p.at_ns <= prev {
+                    return Err(format!(
+                        "point {i}: timestamp {} not after previous {prev}",
+                        p.at_ns
+                    ));
+                }
+            }
+            last_ns = Some(p.at_ns);
+            let check_sorted = |kind: &str, names: &[&str]| -> Result<(), String> {
+                for w in names.windows(2) {
+                    if w[1] <= w[0] {
+                        return Err(format!(
+                            "point {i}: {kind} names not strictly sorted: {:?} then {:?}",
+                            w[0], w[1]
+                        ));
+                    }
+                }
+                Ok(())
+            };
+            let rate_names: Vec<&str> = p.rates.iter().map(|(n, _)| n.as_str()).collect();
+            let gauge_names: Vec<&str> = p.gauges.iter().map(|(n, _)| n.as_str()).collect();
+            let pct_names: Vec<&str> = p.pcts.iter().map(|t| t.name.as_str()).collect();
+            check_sorted("rate", &rate_names)?;
+            check_sorted("gauge", &gauge_names)?;
+            check_sorted("pct", &pct_names)?;
+            let finite = p
+                .rates
+                .iter()
+                .chain(p.gauges.iter())
+                .all(|(_, v)| v.is_finite())
+                && p.pcts
+                    .iter()
+                    .all(|t| t.p50.is_finite() && t.p90.is_finite() && t.p99.is_finite());
+            if !finite {
+                return Err(format!("point {i}: non-finite value at t={}", p.at_ns));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Default ring capacity: at one sample per 100 ms this holds ~7 minutes of
+/// history, and at the 1 s live default, over an hour.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Diffs a stream of [`MetricsSnapshot`]s into a bounded [`TimeSeries`].
+///
+/// Call [`Sampler::sample`] once per interval with the current snapshot and
+/// its timestamp. The first call primes the differ (no point is emitted —
+/// a window needs two edges); every later call with an advanced timestamp
+/// appends one [`SamplePoint`]. Calls that do not advance the clock are
+/// ignored, so a sloppy caller cannot produce zero-width windows.
+#[derive(Clone, Debug, Default)]
+pub struct Sampler {
+    prev: Option<(u64, MetricsSnapshot)>,
+    series: TimeSeries,
+}
+
+impl Sampler {
+    /// A sampler whose ring retains `capacity` points.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Sampler {
+            prev: None,
+            series: TimeSeries::with_capacity(capacity),
+        }
+    }
+
+    /// Feeds the snapshot taken at `at_ns` (see the type docs).
+    pub fn sample(&mut self, at_ns: u64, snap: MetricsSnapshot) {
+        match &self.prev {
+            Some((prev_ns, prev)) if at_ns > *prev_ns => {
+                self.series.push(diff_point(*prev_ns, prev, at_ns, &snap));
+            }
+            Some((prev_ns, _)) if at_ns <= *prev_ns => return,
+            _ => {}
+        }
+        self.prev = Some((at_ns, snap));
+    }
+
+    /// The accumulated series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Consumes the sampler, yielding its series.
+    pub fn into_series(self) -> TimeSeries {
+        self.series
+    }
+
+    /// Timestamp of the last accepted snapshot, if any.
+    pub fn last_sampled_ns(&self) -> Option<u64> {
+        self.prev.as_ref().map(|(ns, _)| *ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn snap(counters: &[(&str, u64)], gauges: &[(&str, f64)]) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            gauges: gauges.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rates_are_windowed_deltas_per_second() {
+        let mut s = Sampler::with_capacity(8);
+        s.sample(0, snap(&[("pkts", 100)], &[]));
+        s.sample(2_000_000_000, snap(&[("pkts", 300)], &[("q", 7.0)]));
+        let series = s.series();
+        assert_eq!(series.len(), 1, "first sample only primes");
+        let p = series.last().unwrap();
+        assert_eq!(p.at_ns, 2_000_000_000);
+        assert_eq!(p.rates, vec![("pkts".to_string(), 100.0)]);
+        assert_eq!(p.gauges, vec![("q".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn counter_reset_yields_restart_rate_not_garbage() {
+        // Regression for the reset edge: a counter that restarted from zero
+        // must contribute its post-restart total, never a u64 underflow.
+        assert_eq!(counter_delta(1_000, 5), 5);
+        let mut s = Sampler::with_capacity(8);
+        s.sample(0, snap(&[("pkts", 1_000)], &[]));
+        s.sample(1_000_000_000, snap(&[("pkts", 5)], &[]));
+        let p = s.series().last().unwrap();
+        assert_eq!(p.rates, vec![("pkts".to_string(), 5.0)]);
+    }
+
+    #[test]
+    fn counter_wraparound_yields_wrapped_distance() {
+        // Regression for the wrap edge: a previous reading against the
+        // u64 ceiling means the counter wrapped, not that it reset.
+        assert_eq!(counter_delta(u64::MAX - 3, 5), 9);
+        assert_eq!(counter_delta(u64::MAX, 0), 1);
+        // Below the guard band a drop is a reset.
+        assert_eq!(counter_delta(u64::MAX - WRAP_GUARD, 5), 5);
+        let mut s = Sampler::with_capacity(8);
+        s.sample(0, snap(&[("pkts", u64::MAX - 3)], &[]));
+        s.sample(1_000_000_000, snap(&[("pkts", 5)], &[]));
+        let p = s.series().last().unwrap();
+        assert_eq!(p.rates, vec![("pkts".to_string(), 9.0)]);
+    }
+
+    #[test]
+    fn non_advancing_samples_are_ignored() {
+        let mut s = Sampler::with_capacity(8);
+        s.sample(5, snap(&[("c", 1)], &[]));
+        s.sample(5, snap(&[("c", 2)], &[]));
+        s.sample(3, snap(&[("c", 9)], &[]));
+        assert!(s.series().is_empty());
+        assert_eq!(s.last_sampled_ns(), Some(5));
+        s.sample(6, snap(&[("c", 2)], &[]));
+        assert_eq!(s.series().len(), 1);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_cover_the_window_only() {
+        let reg = MetricsRegistry::new();
+        let bounds = &[10, 100];
+        reg.observe("lat", bounds, 5);
+        let mut s = Sampler::with_capacity(8);
+        s.sample(0, reg.snapshot());
+        for v in [50, 60, 70] {
+            reg.observe("lat", bounds, v);
+        }
+        s.sample(1_000_000_000, reg.snapshot());
+        let p = s.series().last().unwrap();
+        assert_eq!(p.pcts.len(), 1);
+        let t = &p.pcts[0];
+        assert_eq!(t.count, 3, "only the window's observations count");
+        // All three landed in (10, 100]; window p50 interpolates there, so
+        // it must be far above the pre-window observation at 5.
+        assert!(t.p50 > 10.0, "window p50 {} leaked pre-window data", t.p50);
+    }
+
+    #[test]
+    fn quiet_histograms_emit_no_track() {
+        let reg = MetricsRegistry::new();
+        reg.observe("lat", &[10], 3);
+        let mut s = Sampler::with_capacity(8);
+        s.sample(0, reg.snapshot());
+        s.sample(1_000_000_000, reg.snapshot());
+        assert!(s.series().last().unwrap().pcts.is_empty());
+    }
+
+    #[test]
+    fn histogram_reset_restarts_the_window() {
+        let prev = HistogramSnapshot {
+            name: "h".into(),
+            bounds: vec![10],
+            buckets: vec![5, 1],
+            count: 6,
+            sum: 40,
+        };
+        let cur = HistogramSnapshot {
+            name: "h".into(),
+            bounds: vec![10],
+            buckets: vec![2, 0],
+            count: 2,
+            sum: 4,
+        };
+        let w = histogram_window(&prev, &cur);
+        assert_eq!(w, cur, "decreasing buckets mean reset");
+    }
+
+    #[test]
+    fn ring_truncates_and_confesses() {
+        let mut series = TimeSeries::with_capacity(2);
+        for i in 0..4 {
+            series.push(SamplePoint {
+                at_ns: i,
+                ..SamplePoint::default()
+            });
+        }
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.dropped(), 2);
+        assert!(series.render().starts_with("# truncated dropped=2\n"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut s = Sampler::with_capacity(8);
+        let reg = MetricsRegistry::new();
+        reg.add("a.b", 3);
+        reg.gauge_set("g", -0.125);
+        reg.observe("h", &[1, 4], 2);
+        s.sample(0, reg.snapshot());
+        reg.add("a.b", 7);
+        reg.observe("h", &[1, 4], 3);
+        s.sample(500_000_000, reg.snapshot());
+        reg.add("a.b", 1);
+        reg.gauge_set("g", 2.5);
+        s.sample(1_000_000_000, reg.snapshot());
+        let text = s.series().render();
+        let parsed = TimeSeries::parse(&text).unwrap();
+        assert_eq!(&parsed, s.series());
+        assert_eq!(parsed.render(), text, "re-render is byte-identical");
+        parsed.validate().expect("sampler output validates");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "rate a 1",                              // missing t=
+            "t=1 rate a",                            // missing value
+            "t=1 rate a x",                          // bad value
+            "t=1 wat a 1",                           // unknown kind
+            "t=1 rate a 1 extra",                    // trailing garbage
+            "t=2 rate a 1\nt=1 rate a 1",            // decreasing timestamps
+            "t=1 rate a 1\nt=2 g b 1\nt=1 rate c 1", // regrouped timestamp
+            "t=1 pct h count=1 p50=x",               // bad pct field
+            "t=1 pct h wat=1",                       // unknown pct field
+        ] {
+            assert!(TimeSeries::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_series() {
+        let mut dup = TimeSeries::with_capacity(4);
+        dup.push(SamplePoint {
+            at_ns: 1,
+            rates: vec![("a".into(), 1.0), ("a".into(), 2.0)],
+            ..SamplePoint::default()
+        });
+        assert!(dup.validate().is_err(), "duplicate keys must fail");
+
+        let mut inf = TimeSeries::with_capacity(4);
+        inf.push(SamplePoint {
+            at_ns: 1,
+            rates: vec![("a".into(), f64::INFINITY)],
+            ..SamplePoint::default()
+        });
+        assert!(inf.validate().is_err(), "non-finite values must fail");
+    }
+
+    #[test]
+    fn non_finite_gauges_are_dropped_at_sampling_time() {
+        let mut s = Sampler::with_capacity(4);
+        s.sample(0, snap(&[], &[("g", f64::NAN)]));
+        s.sample(1_000, snap(&[], &[("g", f64::INFINITY), ("h", 1.0)]));
+        let p = s.series().last().unwrap();
+        assert_eq!(p.gauges, vec![("h".to_string(), 1.0)]);
+        s.series().validate().unwrap();
+    }
+}

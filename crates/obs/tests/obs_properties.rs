@@ -1,0 +1,278 @@
+//! Property tests for the telemetry layer: exposition roundtrip, the
+//! sampler-vs-raw-snapshot oracle, and scoreboard ranking.
+//!
+//! Three claims the unit tests spot-check are swept here over generated
+//! inputs:
+//!
+//! * **Exposition roundtrip** — `parse_prometheus(render_prometheus(s))`
+//!   recovers any snapshot whose names are already in the Prometheus
+//!   charset, and `sanitize_metric_name` is an idempotent projection onto
+//!   that charset for arbitrary byte soup.
+//! * **Sampler oracle** — feeding a [`Sampler`] an arbitrary snapshot
+//!   sequence (including counter resets and wraparounds) produces exactly
+//!   the points [`diff_point`] computes from the raw snapshot pairs, with
+//!   rates equal to `counter_delta / dt` — and the rendered series
+//!   roundtrips through `parse` and passes `validate`.
+//! * **Scoreboard ranking** — for any event soup, `snapshot(k)` agrees
+//!   with a `BTreeMap` oracle: per-flow totals conserved (tracked rows +
+//!   overflow), rows ordered by `(score desc, flow asc)`, and the
+//!   rendering invariant under arrival order.
+
+use proptest::prelude::*;
+use sidecar_obs::{
+    counter_delta, diff_point, parse_prometheus, render_prometheus, sanitize_metric_name,
+    FlowScoreboard, HealthDim, HistogramSnapshot, MetricsSnapshot, Sampler, TimeSeries,
+};
+use std::collections::BTreeMap;
+
+/// Fixed name pool: indices into this stay sorted (the snapshot invariant
+/// — registry maps are `BTreeMap`s) and every name is already inside the
+/// Prometheus charset, so `sanitize_metric_name` is the identity and the
+/// exposition roundtrip can be exact.
+const NAMES: [&str; 6] = [
+    "net_a_rate",
+    "net_b_total",
+    "proxy_retx",
+    "quack:decoded",
+    "sidecar_sent",
+    "zz_tail",
+];
+
+/// Builds a snapshot from per-name optional counter/gauge values and one
+/// optional histogram. Gauges derive from integers so they are always
+/// finite.
+fn snapshot(
+    counters: &[Option<u64>],
+    gauges: &[Option<u32>],
+    hist: Option<(Vec<u64>, u64)>,
+) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for (i, v) in counters.iter().enumerate() {
+        if let Some(v) = v {
+            snap.counters.push((NAMES[i].to_string(), *v));
+        }
+    }
+    for (i, v) in gauges.iter().enumerate() {
+        if let Some(v) = v {
+            snap.gauges.push((NAMES[i].to_string(), *v as f64 / 128.0));
+        }
+    }
+    if let Some((buckets, sum)) = hist {
+        // Three fixed bounds; buckets has 4 entries (last = overflow).
+        let count = buckets.iter().sum();
+        snap.histograms.push(HistogramSnapshot {
+            name: "hist_window".to_string(),
+            bounds: vec![10, 100, 1_000],
+            buckets,
+            count,
+            sum,
+        });
+    }
+    snap
+}
+
+/// Strategy pieces: an optional small-or-edge counter value. Mixing tiny
+/// values with near-`u64::MAX` ones exercises both the reset and the
+/// wraparound branches of [`counter_delta`].
+fn counter_value(selector: u8, magnitude: u64) -> Option<u64> {
+    match selector % 4 {
+        0 => None,
+        1 => Some(magnitude % 1_000),
+        2 => Some(magnitude),
+        _ => Some(u64::MAX - (magnitude % 1_000)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn sanitize_is_an_idempotent_projection(bytes in prop::collection::vec(any::<u8>(), 0..24)) {
+        let raw = String::from_utf8_lossy(&bytes).into_owned();
+        let once = sanitize_metric_name(&raw);
+        // Lands in the legal charset…
+        prop_assert!(!once.is_empty());
+        for (i, c) in once.chars().enumerate() {
+            let legal = c.is_ascii_alphabetic()
+                || c == '_'
+                || c == ':'
+                || (i > 0 && c.is_ascii_digit());
+            prop_assert!(legal, "illegal char {c:?} in {once:?} from {raw:?}");
+        }
+        // …and a legal name is a fixed point.
+        prop_assert_eq!(&sanitize_metric_name(&once), &once);
+    }
+
+    #[test]
+    fn prometheus_exposition_roundtrips(
+        counters in prop::collection::vec((any::<u8>(), any::<u64>()), 6),
+        gauges in prop::collection::vec((any::<u8>(), any::<u32>()), 6),
+        buckets in prop::collection::vec(0u64..50, 4),
+        sum in any::<u64>(),
+        with_hist in any::<bool>(),
+    ) {
+        let cvals: Vec<Option<u64>> =
+            counters.iter().map(|(s, m)| counter_value(*s, *m)).collect();
+        let gvals: Vec<Option<u32>> = gauges
+            .iter()
+            .map(|(s, v)| (s % 3 != 0).then_some(*v))
+            .collect();
+        let snap = snapshot(&cvals, &gvals, with_hist.then_some((buckets, sum)));
+        let text = render_prometheus(&snap);
+        let parsed = parse_prometheus(&text).expect("rendered exposition must parse");
+        // NAMES are chosen inside the Prometheus charset, so sanitization
+        // is the identity and the roundtrip is exact.
+        prop_assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn sampler_matches_the_raw_snapshot_oracle(
+        steps in prop::collection::vec(
+            (
+                1u64..3_000_000_000,                                  // dt_ns
+                prop::collection::vec((any::<u8>(), any::<u64>()), 6), // counters
+                prop::collection::vec((any::<u8>(), any::<u32>()), 6), // gauges
+                prop::collection::vec(0u64..50, 4),                    // hist buckets
+            ),
+            2..8,
+        ),
+    ) {
+        // Build the snapshot sequence with strictly increasing timestamps.
+        let mut t = 0u64;
+        let mut seq: Vec<(u64, MetricsSnapshot)> = Vec::new();
+        for (dt, counters, gauges, buckets) in &steps {
+            t += dt;
+            let cvals: Vec<Option<u64>> =
+                counters.iter().map(|(s, m)| counter_value(*s, *m)).collect();
+            let gvals: Vec<Option<u32>> = gauges
+                .iter()
+                .map(|(s, v)| (s % 3 != 0).then_some(*v))
+                .collect();
+            let hist_sum: u64 = buckets.iter().sum();
+            seq.push((t, snapshot(&cvals, &gvals, Some((buckets.clone(), hist_sum)))));
+        }
+
+        let mut sampler = Sampler::default();
+        for (at, snap) in &seq {
+            sampler.sample(*at, snap.clone());
+        }
+        let points: Vec<_> = sampler.series().points().cloned().collect();
+        prop_assert_eq!(points.len(), seq.len() - 1);
+
+        for (i, point) in points.iter().enumerate() {
+            let (prev_ns, prev) = &seq[i];
+            let (at_ns, cur) = &seq[i + 1];
+            // Whole-point oracle: recompute from the raw snapshot pair.
+            let oracle = diff_point(*prev_ns, prev, *at_ns, cur);
+            prop_assert_eq!(point, &oracle);
+            // Rate arithmetic oracle: counter_delta over the window width,
+            // one row per counter in the *current* snapshot.
+            prop_assert_eq!(point.rates.len(), cur.counters.len());
+            let dt = (*at_ns - *prev_ns) as f64 / 1e9;
+            for (name, rate) in &point.rates {
+                let expect = counter_delta(prev.counter(name), cur.counter(name)) as f64 / dt;
+                prop_assert!(
+                    (rate - expect).abs() <= expect.abs() * 1e-12,
+                    "rate {name}={rate}, oracle {expect}"
+                );
+            }
+        }
+
+        // The rendered series roundtrips and validates.
+        let series = sampler.series();
+        let text = series.render();
+        let parsed = TimeSeries::parse(&text).expect("rendered series must parse");
+        prop_assert_eq!(&parsed, series);
+        prop_assert!(parsed.validate().is_ok());
+    }
+
+    #[test]
+    fn scoreboard_ranking_matches_map_oracle(
+        events in prop::collection::vec((any::<u32>(), any::<u8>(), 1u64..100), 0..64),
+        flow_space in 1u32..40,
+        k in 0usize..12,
+    ) {
+        let dims = [
+            HealthDim::ProxyRetx,
+            HealthDim::DecodeFail,
+            HealthDim::AuthReject,
+            HealthDim::Eviction,
+        ];
+        // Capacity 64 ≥ flow_space, so nothing overflows and the oracle is
+        // exact per flow.
+        let sb = FlowScoreboard::with_capacity(64);
+        let mut oracle: BTreeMap<u32, [u64; 4]> = BTreeMap::new();
+        let mut total = 0u64;
+        for (flow, dim, n) in &events {
+            let flow = flow % flow_space;
+            let dim_i = (*dim as usize) % dims.len();
+            sb.record_n(flow, dims[dim_i], *n);
+            oracle.entry(flow).or_default()[dim_i] += n;
+            total += n;
+        }
+        let snap = sb.snapshot(k);
+        prop_assert_eq!(snap.tracked, oracle.len());
+        prop_assert_eq!(snap.overflow, 0);
+        prop_assert_eq!(snap.rows.len(), k.min(oracle.len()));
+        // Rows carry the oracle's exact totals…
+        for row in &snap.rows {
+            let cells = oracle.get(&row.flow).expect("row for untracked flow");
+            prop_assert_eq!(
+                [row.retx, row.decode_fail, row.auth_reject, row.evictions],
+                *cells
+            );
+        }
+        // …in (score desc, flow asc) order…
+        for w in snap.rows.windows(2) {
+            prop_assert!(
+                (w[1].score(), w[0].flow) < (w[0].score(), w[1].flow + 1)
+                    || w[0].score() > w[1].score()
+                    || (w[0].score() == w[1].score() && w[0].flow < w[1].flow),
+                "rows out of order: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // …and the top-K really is the K best: every omitted flow scores
+        // no higher than the last kept row (ties broken by flow id).
+        if let Some(last) = snap.rows.last() {
+            let kept: Vec<u32> = snap.rows.iter().map(|r| r.flow).collect();
+            for (flow, cells) in &oracle {
+                if kept.contains(flow) {
+                    continue;
+                }
+                let score: u64 = cells.iter().sum();
+                prop_assert!(
+                    (score, std::cmp::Reverse(*flow))
+                        <= (last.score(), std::cmp::Reverse(last.flow)),
+                    "omitted flow {flow} (score {score}) outranks kept tail"
+                );
+            }
+        }
+        // Conservation: every recorded event is in some slot (no overflow
+        // at this capacity).
+        let full = sb.snapshot(usize::MAX);
+        let sum: u64 = full.rows.iter().map(|r| r.score()).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn scoreboard_render_is_arrival_order_invariant(
+        events in prop::collection::vec((any::<u32>(), any::<u8>(), 1u64..50), 1..48),
+        k in 1usize..16,
+    ) {
+        let dims = [
+            HealthDim::ProxyRetx,
+            HealthDim::DecodeFail,
+            HealthDim::AuthReject,
+            HealthDim::Eviction,
+        ];
+        let apply = |order: &[(u32, u8, u64)]| {
+            let sb = FlowScoreboard::with_capacity(64);
+            for (flow, dim, n) in order {
+                sb.record_n(flow % 32, dims[(*dim as usize) % dims.len()], *n);
+            }
+            sb.snapshot(k).render()
+        };
+        let forward = apply(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, apply(&reversed));
+    }
+}

@@ -168,8 +168,8 @@ impl Node for AckRedProxy {
                     obs::quack_fold(ctx, packet.flow.0, packet.seq);
                     self.observed_packets += 1;
                     if self.observed_packets.is_multiple_of(64) {
-                        for (_, s) in self.table.sweep_idle(ctx.now()) {
-                            obs::flow_evicted(ctx, s.quacks);
+                        for (f, s) in self.table.sweep_idle(ctx.now()) {
+                            obs::flow_evicted(ctx, f.0, s.quacks);
                         }
                     }
                 }
@@ -242,8 +242,8 @@ impl Node for AckRedProxy {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         if token == TOKEN_SWEEP {
-            for (_, s) in self.table.sweep_idle(ctx.now()) {
-                obs::flow_evicted(ctx, s.quacks);
+            for (f, s) in self.table.sweep_idle(ctx.now()) {
+                obs::flow_evicted(ctx, f.0, s.quacks);
             }
             obs::flow_table(ctx, &mut self.table);
             ctx.set_timer_after(self.table.config().idle_timeout, TOKEN_SWEEP);
@@ -356,7 +356,7 @@ impl AckRedServer {
 
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
         let result = self.sidecar.process_quack(ctx.now(), epoch, bytes);
-        obs::quack_outcome(ctx, &result);
+        obs::quack_outcome(ctx, self.flow.0, &result);
         match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
@@ -675,6 +675,8 @@ impl AckReductionScenario {
             sidecar_obs::global_trace_absorb(&trace);
             trace
         };
+        #[cfg(feature = "obs")]
+        let scoreboard = w.obs().scoreboard.snapshot(super::SCOREBOARD_TOP_K);
         let srv = w.node_as::<AckRedServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -695,6 +697,10 @@ impl AckReductionScenario {
             metrics,
             #[cfg(feature = "obs")]
             trace,
+            #[cfg(feature = "obs")]
+            timeseries: sidecar_obs::TimeSeries::default(),
+            #[cfg(feature = "obs")]
+            scoreboard,
         }
     }
 

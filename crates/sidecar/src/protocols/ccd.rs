@@ -488,7 +488,7 @@ impl CcdProxy {
                 return;
             }
         };
-        obs::quack_outcome(ctx, &result);
+        obs::quack_outcome(ctx, flow.0, &result);
         match result {
             Ok(report) => {
                 self.rate
@@ -783,10 +783,10 @@ impl Node for CcdProxy {
                 self.flush_folds(ctx);
                 // Reap idle flows first: finished flows stop costing
                 // upstream emissions on the very next tick.
-                for (_, session) in self.table.sweep_idle(ctx.now()) {
+                for (f, session) in self.table.sweep_idle(ctx.now()) {
                     self.evicted_sup.0 += session.supervisor.stats.degradations;
                     self.evicted_sup.1 += session.supervisor.stats.recoveries;
-                    obs::flow_evicted(ctx, session.quacks);
+                    obs::flow_evicted(ctx, f.0, session.quacks);
                 }
                 let flows: Vec<FlowId> = self.table.iter().map(|(f, _)| f).collect();
                 for flow in flows {
@@ -972,7 +972,7 @@ impl CcdServer {
 
     fn handle_quack(&mut self, epoch: u32, bytes: &[u8], ctx: &mut Context) {
         let result = self.sidecar.process_quack(ctx.now(), epoch, bytes);
-        obs::quack_outcome(ctx, &result);
+        obs::quack_outcome(ctx, self.flow.0, &result);
         match result {
             Ok(report) => {
                 self.supervisor.on_feedback_ok(ctx.now());
@@ -1295,6 +1295,8 @@ impl CcdScenario {
             sidecar_obs::global_trace_absorb(&trace);
             trace
         };
+        #[cfg(feature = "obs")]
+        let scoreboard = w.obs().scoreboard.snapshot(super::SCOREBOARD_TOP_K);
         let srv = w.node_as::<CcdServer>(server);
         let stats = srv.stats().clone();
         let mtu = srv.core().config().mtu;
@@ -1315,6 +1317,10 @@ impl CcdScenario {
             metrics,
             #[cfg(feature = "obs")]
             trace,
+            #[cfg(feature = "obs")]
+            timeseries: sidecar_obs::TimeSeries::default(),
+            #[cfg(feature = "obs")]
+            scoreboard,
         }
     }
 

@@ -165,7 +165,7 @@ pub(crate) mod obs {
     use crate::endpoint::{ProcessError, QuackReport};
     use crate::supervise::{Supervisor, SupervisorState};
     use sidecar_netsim::node::Context;
-    use sidecar_obs::{Event, QuackErrorKind, SessionState};
+    use sidecar_obs::{Event, HealthDim, QuackErrorKind, SessionState};
 
     /// Histogram bounds for the producer's burst-buffer fill at emit time
     /// (the lane batch is [`sidecar_galois::LANES`] = 8 wide; larger fills
@@ -208,8 +208,14 @@ pub(crate) mod obs {
         });
     }
 
-    /// The outcome of one `process_quack` call at a consumer.
-    pub(crate) fn quack_outcome(ctx: &mut Context, result: &Result<QuackReport, ProcessError>) {
+    /// The outcome of one `process_quack` call at a consumer, attributed to
+    /// the flow whose sketch was decoded (decode failures feed the flow's
+    /// health scoreboard row).
+    pub(crate) fn quack_outcome(
+        ctx: &mut Context,
+        flow: u32,
+        result: &Result<QuackReport, ProcessError>,
+    ) {
         let node = ctx.node_id().0 as u32;
         match result {
             Ok(report) => {
@@ -239,6 +245,7 @@ pub(crate) mod obs {
                 };
                 ctx.obs_inc(name);
                 ctx.obs_event(Event::QuackError { node, kind });
+                ctx.obs_flow_health(flow, HealthDim::DecodeFail);
             }
         }
     }
@@ -266,6 +273,17 @@ pub(crate) mod obs {
                 to: state(t.to),
             });
         }
+        // Published as a gauge so the live admin endpoint's `/healthz` can
+        // read session health straight from the shared registry:
+        // 0 = Connecting, 1 = Active, 2 = Degraded.
+        ctx.obs_gauge(
+            "supervisor.state",
+            match sup.state() {
+                SupervisorState::Connecting => 0.0,
+                SupervisorState::Active => 1.0,
+                SupervisorState::Degraded => 2.0,
+            },
+        );
     }
 
     /// Histogram bounds for a session's lifetime quACK count, recorded when
@@ -285,8 +303,11 @@ pub(crate) mod obs {
     }
 
     /// A per-flow session was reclaimed after emitting `quacks` quACKs.
-    pub(crate) fn flow_evicted(ctx: &mut Context, quacks: u64) {
+    /// Eviction feeds the flow's scoreboard row: a repeatedly reclaimed flow
+    /// is fighting the table for capacity.
+    pub(crate) fn flow_evicted(ctx: &mut Context, flow: u32, quacks: u64) {
         ctx.obs_observe("flowtable.flow_quacks", FLOW_QUACKS_BOUNDS, quacks);
+        ctx.obs_flow_health(flow, HealthDim::Eviction);
     }
 
     /// Publishes a fold buffer's batch-path counters since the last flush
@@ -319,6 +340,7 @@ pub(crate) mod obs {
     pub(crate) fn proxy_retx(ctx: &mut Context, flow: u32, seq: u64) {
         let node = ctx.node_id().0 as u32;
         ctx.obs_event(Event::ProxyRetx { node, flow, seq });
+        ctx.obs_flow_health(flow, HealthDim::ProxyRetx);
     }
 
     /// Mirrors a wrapped transport core's loss/recovery events into the
@@ -356,6 +378,11 @@ pub(crate) mod obs {
         ctx.obs_inc(counter);
         let node = ctx.node_id().0 as u32;
         ctx.obs_event(Event::AuthReject { node, kind });
+        // Scoreboard attribution: a datagram that failed authentication
+        // cannot be trusted to name its flow (the flow field is exactly what
+        // a forger controls), so every auth reject lands on the sentinel
+        // flow-0 row rather than smearing forged ids across the table.
+        ctx.obs_flow_health(0, HealthDim::AuthReject);
     }
 }
 
@@ -380,7 +407,12 @@ pub(crate) mod obs {
     }
 
     #[inline(always)]
-    pub(crate) fn quack_outcome(_ctx: &mut Context, _result: &Result<QuackReport, ProcessError>) {}
+    pub(crate) fn quack_outcome(
+        _ctx: &mut Context,
+        _flow: u32,
+        _result: &Result<QuackReport, ProcessError>,
+    ) {
+    }
 
     #[inline(always)]
     pub(crate) fn handshake(_ctx: &mut Context, _accepted: bool) {}
@@ -392,7 +424,7 @@ pub(crate) mod obs {
     pub(crate) fn flow_table<S>(_ctx: &mut Context, _table: &mut crate::flows::FlowTable<S>) {}
 
     #[inline(always)]
-    pub(crate) fn flow_evicted(_ctx: &mut Context, _quacks: u64) {}
+    pub(crate) fn flow_evicted(_ctx: &mut Context, _flow: u32, _quacks: u64) {}
 
     pub(crate) fn fold_flush(_ctx: &mut Context, _folds: &mut crate::flows::FoldBuffer) {}
 
@@ -463,7 +495,22 @@ pub struct ScenarioReport {
     /// `(scenario, seed)`; empty on baseline runs.
     #[cfg(feature = "obs")]
     pub trace: sidecar_obs::EventTrace,
+    /// Windowed metrics time-series, sampled on the sim clock when the
+    /// scenario sets a sampling interval (e.g.
+    /// [`RetxScenario::sample_interval`](crate::protocols::retx::RetxScenario));
+    /// empty otherwise. Deterministic for a given `(scenario, seed)`.
+    #[cfg(feature = "obs")]
+    pub timeseries: sidecar_obs::TimeSeries,
+    /// Final per-flow health ranking (top [`SCOREBOARD_TOP_K`] rows) from
+    /// the world's scoreboard; empty on baseline runs.
+    #[cfg(feature = "obs")]
+    pub scoreboard: sidecar_obs::ScoreboardSnapshot,
 }
+
+/// How many scoreboard rows scenario reports retain (the full table keeps
+/// every flow; reports carry only the unhealthiest ranks).
+#[cfg(feature = "obs")]
+pub const SCOREBOARD_TOP_K: usize = 16;
 
 impl ScenarioReport {
     /// Completion time in seconds (∞ if the flow never finished —

@@ -308,7 +308,7 @@ impl SenderSideProxy {
             return;
         };
         let result = session.consumer.process_quack(ctx.now(), epoch, bytes);
-        obs::quack_outcome(ctx, &result);
+        obs::quack_outcome(ctx, flow.0, &result);
         match result {
             Ok(report) => {
                 session.supervisor.on_feedback_ok(ctx.now());
@@ -826,7 +826,7 @@ impl Node for ReceiverSideProxy {
         // An idle flow's own timer is its reaper: evict, report, and let
         // the chain die so finished flows stop costing emissions.
         if let Some(evicted) = self.table.evict_if_idle(flow, ctx.now()) {
-            obs::flow_evicted(ctx, evicted.quacks);
+            obs::flow_evicted(ctx, flow.0, evicted.quacks);
             obs::flow_table(ctx, &mut self.table);
             return;
         }
@@ -904,6 +904,13 @@ pub struct RetxScenario {
     /// scenario's lifecycle fits without truncation. Ignored when the `obs`
     /// feature is off.
     pub trace_capacity: Option<usize>,
+    /// Metrics time-series sampling interval on the sim clock. `Some(i)`
+    /// drives the run through [`sidecar_netsim::telemetry::run_sampled`],
+    /// attaching a windowed [`sidecar_obs::TimeSeries`] to the report —
+    /// deterministic for a given `(scenario, seed)`, so the series is
+    /// golden-testable. `None` (the default) skips sampling entirely.
+    #[cfg(feature = "obs")]
+    pub sample_interval: Option<SimDuration>,
 }
 
 impl Default for RetxScenario {
@@ -946,6 +953,8 @@ impl Default for RetxScenario {
             supervision: SupervisionConfig::default(),
             auth: None,
             trace_capacity: None,
+            #[cfg(feature = "obs")]
+            sample_interval: None,
         }
     }
 }
@@ -1019,7 +1028,24 @@ impl RetxScenario {
         // Periodic sidecar timers never let the event queue drain; run to a
         // generous wall-clock deadline instead and read completion from the
         // sender's stats.
-        w.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+        let deadline = SimTime::ZERO + SimDuration::from_secs(120);
+        #[cfg(feature = "obs")]
+        let mut sampler = sidecar_obs::Sampler::default();
+        #[cfg(feature = "obs")]
+        if let Some(interval) = self.sample_interval {
+            let registry = w.obs().metrics.clone();
+            sidecar_netsim::telemetry::run_sampled(
+                &mut w,
+                &registry,
+                deadline,
+                interval,
+                &mut sampler,
+            );
+        } else {
+            w.run_until(deadline);
+        }
+        #[cfg(not(feature = "obs"))]
+        w.run_until(deadline);
 
         let sender = w.node_as::<SenderNode>(server);
         let stats = sender.stats().clone();
@@ -1052,6 +1078,8 @@ impl RetxScenario {
                 let trace = w.obs().trace.clone();
                 sidecar_obs::global_trace_absorb(&trace);
                 report.trace = trace;
+                report.timeseries = sampler.into_series();
+                report.scoreboard = w.obs().scoreboard.snapshot(super::SCOREBOARD_TOP_K);
             }
         }
         report
@@ -1073,6 +1101,48 @@ mod tests {
         assert!(report.completion.is_some(), "{report:?}");
         assert!(report.proxy_retransmissions > 0, "{report:?}");
         assert!(report.sidecar_messages > 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn sampled_run_attaches_deterministic_timeseries_and_scoreboard() {
+        let scenario = RetxScenario {
+            total_packets: 500,
+            sample_interval: Some(SimDuration::from_secs(5)),
+            ..RetxScenario::default()
+        };
+        let a = scenario.run_sidecar(7);
+        let b = scenario.run_sidecar(7);
+        assert_eq!(a.timeseries.render(), b.timeseries.render());
+        assert!(!a.timeseries.is_empty());
+        // The first window covers the active transfer: the quACK send rate
+        // must be visibly non-zero there.
+        let first = a.timeseries.points().next().expect("has points");
+        let quack_rate = first
+            .rates
+            .iter()
+            .find(|(n, _)| n == "sidecar.sent.quack")
+            .map(|(_, r)| *r)
+            .expect("quack rate track");
+        assert!(quack_rate > 0.0, "{first:?}");
+        // Proxy retransmissions feed the scoreboard, so the lossy subpath
+        // must surface the flow as the unhealthiest row — deterministically.
+        assert_eq!(a.scoreboard, b.scoreboard);
+        assert!(a.proxy_retransmissions > 0);
+        let top = a.scoreboard.rows.first().expect("scoreboard has rows");
+        assert!(top.retx > 0, "{top:?}");
+        assert_eq!(a.scoreboard.overflow, 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn unsampled_run_attaches_no_timeseries() {
+        let scenario = RetxScenario {
+            total_packets: 200,
+            ..RetxScenario::default()
+        };
+        let report = scenario.run_sidecar(1);
+        assert!(report.timeseries.is_empty());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! host; this suite proves the seam itself is behaviorally invisible —
 //! hosting the simulator behind `&mut dyn Driver` changes nothing about
 //! what the protocols do.
+//!
+//! The parity facts (hop counts, causal certification) are read from the
+//! world's obs trace, so the suite rides the `obs` feature.
+#![cfg(feature = "obs")]
 
 use sidecar_netsim::link::{LinkConfig, LossModel};
 use sidecar_netsim::node::NodeId;
